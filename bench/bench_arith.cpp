@@ -1,0 +1,144 @@
+// E7 — §5.4 arithmetic combining: affine (2 muls + 1 add per compose) and
+// Möbius (2×2 matrix product) throughput, the combined-vs-serial exactness
+// of wrapping arithmetic, the guard-bit overflow experiment, and the rate
+// at which exact Möbius composition declines (overflow) as chains grow.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/affine.hpp"
+#include "core/moebius.hpp"
+#include "util/rng.hpp"
+
+using namespace krs::core;
+
+namespace {
+
+void guard_bit_report() {
+  std::printf("== E7a: §5.4 guard bits — 16-bit values, 32-bit guarded "
+              "intermediates ==\n");
+  std::printf("%6s | %10s | %12s | %10s\n", "chain", "trials", "in-range ok",
+              "overflow detected");
+  krs::util::Xoshiro256 rng(99);
+  for (const int n : {2, 4, 8, 16}) {
+    int in_range = 0, detected = 0, missed = 0, wrong = 0;
+    constexpr int kTrials = 20000;
+    for (int t = 0; t < kTrials; ++t) {
+      std::uint32_t exact = rng.below(1 << 12);
+      const auto x0 = static_cast<std::uint16_t>(exact);
+      AffineMap<std::uint32_t> wide;
+      bool serial_overflow = false;
+      for (int i = 0; i < n; ++i) {
+        const auto a = static_cast<std::uint16_t>(rng.below(1 << 12));
+        wide = compose(wide, AffineMap<std::uint32_t>::fetch_add(a));
+        exact += a;
+        serial_overflow |= exact > 0xffffu;
+      }
+      const std::uint32_t w = wide.apply(x0);
+      if (w <= 0xffffu) {
+        (serial_overflow ? wrong : in_range)++;
+      } else {
+        (serial_overflow ? detected : missed)++;
+      }
+    }
+    std::printf("%6d | %10d | %12d | %10d   (false-clear: %d, "
+                "false-alarm: %d)\n",
+                n, kTrials, in_range, detected, wrong, missed);
+  }
+  std::printf("(false-clear must be 0: if the guarded result is in range, "
+              "serial execution did not overflow)\n\n");
+}
+
+void moebius_decline_report() {
+  std::printf("== E7b: exact Möbius combining — how long before 64-bit "
+              "coefficients overflow and the switch declines ==\n");
+  std::printf("%18s | %14s | %12s\n", "operand magnitude", "median chain",
+              "min..max");
+  krs::util::Xoshiro256 rng(7);
+  for (const std::int64_t mag : {4LL, 64LL, 1024LL, 1LL << 20}) {
+    std::vector<int> lens;
+    for (int t = 0; t < 200; ++t) {
+      Moebius acc = Moebius::identity();
+      int len = 0;
+      while (len < 10000) {
+        const auto k = static_cast<std::int64_t>(1 + rng.below(mag));
+        Moebius f = Moebius::identity();
+        switch (rng.below(4)) {
+          case 0: f = Moebius::fetch_add(k); break;
+          case 1: f = Moebius::fetch_mul(k); break;
+          case 2: f = Moebius::fetch_div(k); break;
+          default: f = Moebius::fetch_rsub(k); break;
+        }
+        const auto c = try_compose(acc, f);
+        if (!c) break;
+        acc = *c;
+        ++len;
+      }
+      lens.push_back(len);
+    }
+    std::sort(lens.begin(), lens.end());
+    std::printf("%18lld | %14d | %6d..%d\n", static_cast<long long>(mag),
+                lens[lens.size() / 2], lens.front(), lens.back());
+  }
+  std::printf("(partial combining is always correct — a decline just "
+              "forwards the requests uncombined, §7)\n\n");
+}
+
+void BM_AffineCompose(benchmark::State& state) {
+  krs::util::Xoshiro256 rng(1);
+  Affine f(rng.next(), rng.next());
+  const Affine g(rng.next(), rng.next());
+  for (auto _ : state) benchmark::DoNotOptimize(f = compose(f, g));
+}
+BENCHMARK(BM_AffineCompose);
+
+void BM_AffineApply(benchmark::State& state) {
+  const Affine f(6364136223846793005ULL, 1442695040888963407ULL);
+  Word x = 1;
+  for (auto _ : state) benchmark::DoNotOptimize(x = f.apply(x));
+}
+BENCHMARK(BM_AffineApply);
+
+void BM_MoebiusCompose(benchmark::State& state) {
+  const Moebius f(3, 1, 0, 2), g(1, 4, 2, 1);
+  for (auto _ : state) {
+    auto r = try_compose(f, g);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MoebiusCompose);
+
+void BM_MoebiusApply(benchmark::State& state) {
+  const Moebius f(3, 1, 2, 5);
+  const krs::util::Rational x(7, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(f.apply(x));
+}
+BENCHMARK(BM_MoebiusApply);
+
+void BM_AffineChainVsSerial(benchmark::State& state) {
+  // Cost of combining a chain of k updates vs applying them serially —
+  // the network does the former once per tree edge, memory does one apply.
+  const auto k = static_cast<std::size_t>(state.range(0));
+  krs::util::Xoshiro256 rng(5);
+  std::vector<Affine> ops;
+  for (std::size_t i = 0; i < k; ++i) ops.emplace_back(rng.next(), rng.next());
+  for (auto _ : state) {
+    Affine acc;
+    for (const auto& f : ops) acc = compose(acc, f);
+    benchmark::DoNotOptimize(acc.apply(1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * k);
+}
+BENCHMARK(BM_AffineChainVsSerial)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  guard_bit_report();
+  moebius_decline_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

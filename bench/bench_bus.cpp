@@ -1,0 +1,90 @@
+// E15 (extension of §7) — combining in the memory FIFO of a bus-based
+// multiprocessor: "Combining in this queue will improve the memory
+// throughput by reducing conflicting accesses to the same memory bank."
+// Sweep bank count, bank speed, and hot-spot fraction with queue combining
+// on and off; every run checked serializable.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/fetch_theta.hpp"
+#include "sim/bus_machine.hpp"
+#include "verify/memory_checker.hpp"
+#include "workload/workloads.hpp"
+
+using namespace krs;
+using core::FetchAdd;
+
+namespace {
+
+struct Row {
+  std::uint64_t cycles;
+  double throughput;
+  double latency;
+  std::uint64_t combines;
+};
+
+Row run(std::uint32_t banks, core::Tick service_interval, double hot,
+        bool combining) {
+  sim::BusMachineConfig<FetchAdd> cfg;
+  cfg.processors = 16;
+  cfg.banks = banks;
+  cfg.bank_cfg.service_interval = service_interval;
+  cfg.bank_cfg.combine_in_queue = combining;
+  std::vector<std::unique_ptr<proc::TrafficSource<FetchAdd>>> src;
+  for (std::uint32_t p = 0; p < cfg.processors; ++p) {
+    workload::HotSpotSource<FetchAdd>::Params params;
+    params.total = 256;
+    params.hot_fraction = hot;
+    params.hot_addr = 1;
+    params.addr_space = 4096;
+    src.push_back(std::make_unique<workload::HotSpotSource<FetchAdd>>(
+        params, [](util::Xoshiro256& r) { return FetchAdd(r.below(10)); },
+        0xBEE + p));
+  }
+  sim::BusMachine<FetchAdd> m(cfg, std::move(src));
+  if (!m.run(50'000'000)) {
+    std::fprintf(stderr, "bus machine did not drain\n");
+    std::exit(1);
+  }
+  const auto check = verify::check_machine(m, 0);
+  if (!check.ok) {
+    std::fprintf(stderr, "CHECKER FAILED: %s\n", check.error.c_str());
+    std::exit(1);
+  }
+  const auto s = m.stats();
+  return {s.cycles, s.throughput_ops_per_cycle, s.latency.mean(),
+          s.queue_combines};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E15: §7 — combining in the bus-side memory FIFO ==\n");
+  std::printf("16 processors on one bus, 256 refs each; banks are %s\n\n",
+              "interleaved and slower than the bus");
+
+  for (const core::Tick svc : {2, 4, 8}) {
+    std::printf("---- bank service time = %llu bus cycles ----\n",
+                static_cast<unsigned long long>(svc));
+    std::printf("%6s %7s | %22s | %22s\n", "banks", "hot %", "FIFO combining off",
+                "FIFO combining on");
+    std::printf("%6s %7s | %10s %11s | %10s %11s %9s\n", "", "", "ops/cyc",
+                "lat", "ops/cyc", "lat", "combines");
+    for (const std::uint32_t banks : {2u, 4u, 8u}) {
+      for (const double hot : {0.0, 0.5, 1.0}) {
+        const Row off = run(banks, svc, hot, false);
+        const Row on = run(banks, svc, hot, true);
+        std::printf("%6u %6.0f%% | %10.3f %11.1f | %10.3f %11.1f %9llu\n",
+                    banks, hot * 100, off.throughput, off.latency,
+                    on.throughput, on.latency,
+                    static_cast<unsigned long long>(on.combines));
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("(queue combining recovers throughput exactly where §7 says: "
+              "slow banks + conflicting accesses; at hot=0%% with many fast "
+              "banks it is neutral)\n");
+  return 0;
+}

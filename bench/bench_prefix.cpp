@@ -1,0 +1,122 @@
+// E10 — §6: the prefix-tree operation counts (2n−2−⌈lg n⌉ nontrivial
+// multiplications) and cycle counts (2⌈lg n⌉−2) regenerated from the tree,
+// the Ladner–Fischer size/depth comparison, and wall-clock timings of the
+// asynchronous CSP tree versus serial prefix evaluation.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "prefix/async_tree.hpp"
+#include "prefix/circuits.hpp"
+#include "prefix/schedule.hpp"
+#include "util/bits.hpp"
+
+using namespace krs::prefix;
+
+namespace {
+
+void formulas_report() {
+  std::printf("== E10a: §6 operation/cycle counts (measured vs formula) "
+              "==\n");
+  std::printf("%8s | %12s %12s | %10s %10s | %8s %8s\n", "n", "nontrivial",
+              "2n-2-lg n", "cycles", "2lg n-2", "trivial", "lg n");
+  for (unsigned k = 1; k <= 12; ++k) {
+    const std::size_t n = std::size_t{1} << k;
+    const auto rep = analyze_prefix_tree(n);
+    std::printf("%8zu | %12llu %12llu | %10llu %10d | %8llu %8u\n", n,
+                static_cast<unsigned long long>(rep.nontrivial_multiplications),
+                static_cast<unsigned long long>(2 * n - 2 - k),
+                static_cast<unsigned long long>(rep.leaf_critical_path),
+                2 * static_cast<int>(k) - 2,
+                static_cast<unsigned long long>(rep.trivial_multiplications),
+                k);
+  }
+  std::printf("\n");
+}
+
+void circuits_report() {
+  std::printf("== E10b: combining tree vs Ladner–Fischer/Sklansky prefix "
+              "circuits ==\n");
+  std::printf("%8s | %14s %10s | %14s %10s\n", "n", "tree gates", "depth",
+              "sklansky gates", "depth");
+  for (unsigned k = 2; k <= 12; ++k) {
+    const std::size_t n = std::size_t{1} << k;
+    const auto tree = tree_prefix_circuit(n);
+    const auto skl = sklansky_prefix_circuit(n);
+    std::printf("%8zu | %14zu %10zu | %14zu %10zu\n", n, tree.size(),
+                tree.output_depth(), skl.size(), skl.output_depth());
+  }
+  std::printf("(the tree — i.e. the combining network — is size-economical; "
+              "Sklansky buys half the depth with O(n log n) gates)\n\n");
+}
+
+void BM_AsyncTree(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<long> vals(n);
+  std::iota(vals.begin(), vals.end(), 1);
+  for (auto _ : state) {
+    auto r = async_prefix(vals, std::plus<long>{}, 0L);
+    benchmark::DoNotOptimize(r.total);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AsyncTree)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_SerialPrefix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<long> vals(n), out(n);
+  std::iota(vals.begin(), vals.end(), 1);
+  for (auto _ : state) {
+    long acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = acc;
+      acc += vals[i];
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SerialPrefix)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_TreeCircuitEvaluate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto c = tree_prefix_circuit(n);
+  std::vector<long> vals(n);
+  std::iota(vals.begin(), vals.end(), 1);
+  for (auto _ : state) {
+    auto out = c.evaluate(vals, std::plus<long>{}, 0L);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TreeCircuitEvaluate)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SklanskyCircuitEvaluate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto c = sklansky_prefix_circuit(n);
+  std::vector<long> vals(n);
+  std::iota(vals.begin(), vals.end(), 1);
+  for (auto _ : state) {
+    auto out = c.evaluate(vals, std::plus<long>{}, 0L);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SklanskyCircuitEvaluate)->Arg(64)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  formulas_report();
+  circuits_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E12 — §2: memory-side vs processor-side RMW implementation.
+//
+// Memory-side: two messages per operation, the module busy one cycle,
+// requests combinable in the network. Processor-side: a read-lock / local
+// update / write-unlock extended cycle — three messages, the module locked
+// (refusing other lock requests) for the whole round trip, nothing
+// combinable. The paper: "The second implementation method seems
+// preferable in large shared-memory multiprocessors." This bench measures
+// how much, as contention and machine size grow.
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/fetch_theta.hpp"
+#include "sim/machine.hpp"
+#include "verify/memory_checker.hpp"
+#include "workload/workloads.hpp"
+
+using namespace krs;
+using core::FetchAdd;
+
+namespace {
+
+struct Row {
+  std::uint64_t cycles;
+  double latency;
+  double throughput;
+  bool atomic_ok;
+};
+
+Row run(unsigned log2_procs, bool processor_side, double hot,
+        net::CombinePolicy policy, std::uint64_t per_proc) {
+  sim::MachineConfig<FetchAdd> cfg;
+  cfg.log2_procs = log2_procs;
+  cfg.processor_side_rmw = processor_side;
+  cfg.switch_cfg.policy = policy;
+  const std::uint32_t n = 1u << log2_procs;
+  std::vector<std::unique_ptr<proc::TrafficSource<FetchAdd>>> src;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    workload::HotSpotSource<FetchAdd>::Params params;
+    params.total = per_proc;
+    params.hot_fraction = hot;
+    params.hot_addr = 3;
+    params.addr_space = 1u << 14;
+    src.push_back(std::make_unique<workload::HotSpotSource<FetchAdd>>(
+        params, [](util::Xoshiro256&) { return FetchAdd(1); }, 7777 + p));
+  }
+  sim::Machine<FetchAdd> m(cfg, std::move(src));
+  if (!m.run(100'000'000)) {
+    std::fprintf(stderr, "machine did not drain\n");
+    std::exit(1);
+  }
+  // Atomicity check: replies to hot-cell increments must be distinct.
+  std::set<core::Word> hot_replies;
+  std::uint64_t hot_ops = 0;
+  for (const auto& op : m.completed()) {
+    if (op.addr == 3) {
+      hot_replies.insert(op.reply);
+      ++hot_ops;
+    }
+  }
+  bool ok = hot_replies.size() == hot_ops && m.value_at(3) == hot_ops;
+  if (!processor_side) ok = ok && verify::check_machine(m, 0).ok;
+  const auto s = m.stats();
+  return {s.cycles, s.latency.mean(), s.throughput_ops_per_cycle, ok};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E12: memory-side vs processor-side RMW (§2) ==\n\n");
+  for (const unsigned k : {3u, 4u, 5u}) {
+    std::printf("---- %u processors ----\n", 1u << k);
+    std::printf("%7s | %-26s | %-26s | %-26s\n", "",
+                "proc-side (3 msgs + lock)", "mem-side, no combining",
+                "mem-side + combining");
+    std::printf("%7s | %10s %13s | %10s %13s | %10s %13s\n", "hot %", "lat",
+                "ops/cyc", "lat", "ops/cyc", "lat", "ops/cyc");
+    for (const double hot : {0.0, 0.25, 1.0}) {
+      const Row ps = run(k, true, hot, net::CombinePolicy::kNone, 64);
+      const Row msn = run(k, false, hot, net::CombinePolicy::kNone, 64);
+      const Row msc = run(k, false, hot, net::CombinePolicy::kUnlimited, 64);
+      std::printf("%6.0f%% | %10.1f %13.3f | %10.1f %13.3f | %10.1f %13.3f"
+                  "   %s\n",
+                  hot * 100, ps.latency, ps.throughput, msn.latency,
+                  msn.throughput, msc.latency, msc.throughput,
+                  (ps.atomic_ok && msn.atomic_ok && msc.atomic_ok)
+                      ? "[atomicity ok]"
+                      : "[ATOMICITY VIOLATED]");
+    }
+    std::printf("\n");
+  }
+  std::printf("(the paper's message-count argument: 2 vs 3 messages shows "
+              "up at hot=0; the module-locking serial bottleneck dominates "
+              "as the hot fraction grows; combining only exists on the "
+              "memory-side path)\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// E2/E3/E4 — regenerate the paper's combining tables from the algebra
+// (§5.1's two 3×3 load/store/swap tables, §5.3's 4×4 Boolean table) and
+// time the composition/application primitives every combining switch runs.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/bool_unary.hpp"
+#include "core/fetch_theta.hpp"
+#include "core/load_store_swap.hpp"
+#include "util/rng.hpp"
+
+using namespace krs::core;
+
+namespace {
+
+const char* lss_cell(const LssOp& op) {
+  return to_cstring(op.kind());
+}
+
+void print_tables() {
+  std::printf("== E2: §5.1 combining table (order preserved) ==\n");
+  const LssOp ops[3] = {LssOp::load(), LssOp::store(1), LssOp::swap(2)};
+  const char* names[3] = {"load", "store", "swap"};
+  std::printf("%8s |", "");
+  for (const auto* n : names) std::printf(" %-6s", n);
+  std::printf("\n---------+---------------------\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%8s |", names[i]);
+    for (int j = 0; j < 3; ++j) {
+      std::printf(" %-6s", lss_cell(compose(ops[i], ops[j])));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n== E3: §5.1 combining table (order may reverse; * = "
+              "reversed) ==\n");
+  std::printf("%8s |", "");
+  for (const auto* n : names) std::printf(" %-7s", n);
+  std::printf("\n---------+-----------------------\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%8s |", names[i]);
+    for (int j = 0; j < 3; ++j) {
+      const auto r = compose_reversible(ops[i], ops[j]);
+      std::printf(" %-5s%-2s", lss_cell(r.forwarded), r.reversed ? "*" : "");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n== E4: §5.3 Boolean composition table ==\n");
+  const BoolFn fns[4] = {BoolFn::kLoad, BoolFn::kClear, BoolFn::kSet,
+                         BoolFn::kComp};
+  std::printf("%8s |", "");
+  for (const auto f : fns) std::printf(" %-6s", to_cstring(f));
+  std::printf("\n---------+----------------------------\n");
+  for (const auto f : fns) {
+    std::printf("%8s |", to_cstring(f));
+    for (const auto g : fns) {
+      std::printf(" %-6s", to_cstring(compose_bool_fn(f, g)));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+// --- timings: the per-combine work a switch performs ------------------------
+
+void BM_ComposeFetchAdd(benchmark::State& state) {
+  krs::util::Xoshiro256 rng(1);
+  FetchAdd f(rng.next()), g(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f = compose(f, g));
+  }
+}
+BENCHMARK(BM_ComposeFetchAdd);
+
+void BM_ComposeLss(benchmark::State& state) {
+  LssOp f = LssOp::swap(3), g = LssOp::store(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compose(f, g));
+  }
+}
+BENCHMARK(BM_ComposeLss);
+
+void BM_ComposeBoolVec(benchmark::State& state) {
+  krs::util::Xoshiro256 rng(2);
+  BoolVec f(rng.next(), rng.next()), g(rng.next(), rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f = compose(f, g));
+  }
+}
+BENCHMARK(BM_ComposeBoolVec);
+
+void BM_ApplyBoolVec(benchmark::State& state) {
+  krs::util::Xoshiro256 rng(3);
+  const BoolVec f(rng.next(), rng.next());
+  Word x = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x = f.apply(x));
+  }
+}
+BENCHMARK(BM_ApplyBoolVec);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// A closed-loop barrier on the simulated combining machine.
+//
+// Every processor executes `phases` rounds of:
+//     t ← fetch-and-add(counter, 1)
+//     if t == n·phase − 1:  store(sense, phase)        // last arrival
+//     else:                 spin: load(sense) until ≥ phase
+//
+// This is the classic hot-spot pattern twice over: the fetch-and-adds all
+// hit `counter`, and the spin loads all hit `sense`. The paper's machinery
+// handles both — fetch-and-adds combine through §5.2 and concurrent LOADS
+// combine through §5.1 (load∘load = load), so the barrier costs O(log n)
+// network work per round instead of O(n). Run with combining off to watch
+// the spin traffic saturate the memory module.
+//
+// Build & run:   ./examples/spin_barrier [log2_procs] [phases]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/any_rmw.hpp"
+#include "sim/machine.hpp"
+#include "verify/memory_checker.hpp"
+
+using namespace krs;
+using core::AnyRmw;
+using core::Addr;
+using core::FetchAdd;
+using core::LssOp;
+using core::Tick;
+using core::Word;
+
+namespace {
+
+constexpr Addr kCounter = 0;
+constexpr Addr kSense = 1;
+
+/// Closed-loop traffic source implementing the barrier protocol: the next
+/// operation depends on the previous reply, delivered via on_complete().
+class BarrierWorker final : public proc::TrafficSource<AnyRmw> {
+ public:
+  BarrierWorker(Word parties, Word phases)
+      : parties_(parties), phases_(phases) {}
+
+  std::optional<std::pair<Addr, AnyRmw>> next(Tick, unsigned) override {
+    if (!ready_) return std::nullopt;
+    ready_ = false;
+    switch (state_) {
+      case State::kArrive:
+        return std::make_pair(kCounter, AnyRmw(FetchAdd(1)));
+      case State::kAnnounce:
+        return std::make_pair(kSense, AnyRmw(LssOp::store(phase_)));
+      case State::kSpin:
+        return std::make_pair(kSense, AnyRmw(LssOp::load()));
+      case State::kDone:
+        return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  void on_complete(core::ReqId, const Word& old_value, Tick) override {
+    switch (state_) {
+      case State::kArrive:
+        // Cumulative count: the last arrival of phase p sees n·p − 1.
+        state_ = (old_value == parties_ * phase_ - 1) ? State::kAnnounce
+                                                      : State::kSpin;
+        break;
+      case State::kAnnounce:
+        next_phase();
+        break;
+      case State::kSpin:
+        if (old_value >= phase_) next_phase();
+        break;
+      case State::kDone:
+        break;
+    }
+    ready_ = state_ != State::kDone;
+  }
+
+  [[nodiscard]] bool finished() const override {
+    return state_ == State::kDone;
+  }
+
+ private:
+  enum class State { kArrive, kAnnounce, kSpin, kDone };
+
+  void next_phase() {
+    if (++phase_ > phases_) {
+      state_ = State::kDone;
+    } else {
+      state_ = State::kArrive;
+    }
+  }
+
+  Word parties_;
+  Word phases_;
+  Word phase_ = 1;
+  State state_ = State::kArrive;
+  bool ready_ = true;
+};
+
+std::uint64_t run(unsigned log2_procs, Word phases, net::CombinePolicy policy,
+                  std::uint64_t* combines) {
+  sim::MachineConfig<AnyRmw> cfg;
+  cfg.log2_procs = log2_procs;
+  cfg.switch_cfg.policy = policy;
+  cfg.window = 1;  // the protocol is strictly dependent
+  const Word n = 1u << log2_procs;
+  std::vector<std::unique_ptr<proc::TrafficSource<AnyRmw>>> src;
+  for (Word p = 0; p < n; ++p) {
+    src.push_back(std::make_unique<BarrierWorker>(n, phases));
+  }
+  sim::Machine<AnyRmw> m(cfg, std::move(src));
+  if (!m.run(50'000'000)) {
+    std::fprintf(stderr, "did not drain\n");
+    std::exit(1);
+  }
+  const auto check = verify::check_machine(m, 0);
+  if (!check.ok) {
+    std::fprintf(stderr, "CHECKER FAILED: %s\n", check.error.c_str());
+    std::exit(1);
+  }
+  if (m.value_at(kCounter) != n * phases) {
+    std::fprintf(stderr, "barrier miscounted!\n");
+    std::exit(1);
+  }
+  if (combines != nullptr) *combines = m.stats().combines;
+  return m.stats().cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned log2_procs = argc > 1 ? std::atoi(argv[1]) : 4;
+  const Word phases = argc > 2 ? std::atoll(argv[2]) : 16;
+  std::printf("sense-reversing barrier, %u processors, %llu phases "
+              "(fetch-and-add arrivals + spin loads, both on hot cells)\n\n",
+              1u << log2_procs, static_cast<unsigned long long>(phases));
+  std::uint64_t comb = 0;
+  const auto with = run(log2_procs, phases, net::CombinePolicy::kUnlimited,
+                        &comb);
+  const auto without = run(log2_procs, phases, net::CombinePolicy::kNone,
+                           nullptr);
+  std::printf("combining:     %8llu cycles (%.1f/phase), %llu combines\n",
+              static_cast<unsigned long long>(with),
+              static_cast<double>(with) / static_cast<double>(phases),
+              static_cast<unsigned long long>(comb));
+  std::printf("no combining:  %8llu cycles (%.1f/phase)\n",
+              static_cast<unsigned long long>(without),
+              static_cast<double>(without) / static_cast<double>(phases));
+  std::printf("\nboth runs verified serializable (Theorem 4.2); the "
+              "combining run merges arrivals AND spin reads in the "
+              "network.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// §5.4 (affine subcase) — combining fetch-and-add and fetch-and-multiply.
+//
+// If only addition and multiplication are supported, the spanned semigroup
+// is the affine maps x → ax + b, encoded by two coefficients; composing two
+// maps costs two multiplications and one addition (as the paper notes).
+//
+// Arithmetic is modulo 2^width (wrapping unsigned), i.e. the exact ring
+// Z/2^w: composition is exact, so combined execution produces bit-identical
+// results to serial execution — the overflow caveats of §5.4 concern
+// *detecting* overflow relative to a narrower programmer-visible range,
+// which the guard-bit technique (tested in tests/bench) addresses.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/rmw.hpp"
+#include "core/types.hpp"
+
+namespace krs::core {
+
+template <std::unsigned_integral U>
+class AffineMap {
+ public:
+  using value_type = U;
+
+  /// Identity: x → 1·x + 0.
+  constexpr AffineMap() noexcept : a_(1), b_(0) {}
+  constexpr AffineMap(U a, U b) noexcept : a_(a), b_(b) {}
+
+  static constexpr AffineMap identity() noexcept { return AffineMap{}; }
+  static constexpr AffineMap fetch_add(U k) noexcept { return {U{1}, k}; }
+  static constexpr AffineMap fetch_mul(U k) noexcept { return {k, U{0}}; }
+  static constexpr AffineMap store(U v) noexcept { return {U{0}, v}; }
+
+  [[nodiscard]] constexpr U a() const noexcept { return a_; }
+  [[nodiscard]] constexpr U b() const noexcept { return b_; }
+
+  [[nodiscard]] constexpr U apply(U x) const noexcept {
+    return static_cast<U>(static_cast<U>(a_ * x) + b_);
+  }
+
+  /// Two coefficient words.
+  [[nodiscard]] constexpr std::size_t encoded_size_bytes() const noexcept {
+    return 2 * sizeof(U);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(a_) + "*x+" + std::to_string(b_);
+  }
+
+  friend constexpr bool operator==(const AffineMap&, const AffineMap&) =
+      default;
+
+  /// "f then g": g(f(x)) = g.a*(f.a*x + f.b) + g.b
+  ///           = (g.a*f.a)*x + (g.a*f.b + g.b). Two muls, one add.
+  friend constexpr AffineMap compose(const AffineMap& f,
+                                     const AffineMap& g) noexcept {
+    return AffineMap(static_cast<U>(g.a_ * f.a_),
+                     static_cast<U>(static_cast<U>(g.a_ * f.b_) + g.b_));
+  }
+
+  friend constexpr std::optional<AffineMap> try_compose(
+      const AffineMap& f, const AffineMap& g) noexcept {
+    return compose(f, g);
+  }
+
+ private:
+  U a_;
+  U b_;
+};
+
+using Affine = AffineMap<Word>;
+static_assert(Rmw<Affine>);
+
+}  // namespace krs::core

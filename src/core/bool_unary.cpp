@@ -1,0 +1,27 @@
+#include "core/bool_unary.hpp"
+
+namespace krs::core {
+
+const char* to_cstring(BoolFn f) noexcept {
+  switch (f) {
+    case BoolFn::kLoad:
+      return "load";
+    case BoolFn::kClear:
+      return "clear";
+    case BoolFn::kSet:
+      return "set";
+    case BoolFn::kComp:
+      return "comp";
+  }
+  return "?";
+}
+
+std::string BoolVec::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "boolvec(keep=%016llx,flip=%016llx)",
+                static_cast<unsigned long long>(keep_),
+                static_cast<unsigned long long>(flip_));
+  return buf;
+}
+
+}  // namespace krs::core

@@ -1,0 +1,170 @@
+// §5.3 — Boolean operations.
+//
+// The four unary Boolean functions {0, 1, x, x̄} correspond to the RMW
+// operations test-and-clear, test-and-set, load, and test-and-complement.
+// They compose by the paper's 4×4 table:
+//
+//                second: load   clear  set  comp
+//   first: load          load   clear  set  comp
+//          clear         clear  clear  set  set
+//          set           set    clear  set  clear
+//          comp          comp   clear  set  load
+//
+// (Row = first executed, column = second; entry = composition "first then
+// second". E.g. comp∘comp = load.)
+//
+// Every bitwise unary Boolean function on a w-bit word is of the form
+//     f(x) = (x AND keep) XOR flip
+// for word constants keep/flip (per-bit: keep=1,flip=0 load; keep=1,flip=1
+// complement; keep=0,flip=0 clear; keep=0,flip=1 set). Composition stays in
+// this form, so the encoding is two words — tractable. This is the
+// bit-vector extension the paper suggests for multiple locking.
+//
+// All 16 *binary* Boolean operations fetch-and-θ(X, a) reduce to this
+// family: with the operand a fixed, θ(·, a) is unary in each bit position
+// (e.g. fetch-and-AND(X, a) is load where a has 1-bits and test-and-clear
+// where it has 0-bits).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/rmw.hpp"
+#include "core/types.hpp"
+
+namespace krs::core {
+
+/// The four single-bit unary Boolean RMW opcodes.
+enum class BoolFn : std::uint8_t { kLoad = 0, kClear = 1, kSet = 2, kComp = 3 };
+
+const char* to_cstring(BoolFn f) noexcept;
+
+/// Evaluate a single-bit unary Boolean function.
+constexpr bool apply_bool_fn(BoolFn f, bool x) noexcept {
+  switch (f) {
+    case BoolFn::kLoad:
+      return x;
+    case BoolFn::kClear:
+      return false;
+    case BoolFn::kSet:
+      return true;
+    case BoolFn::kComp:
+      return !x;
+  }
+  return x;
+}
+
+/// Composition "f then g" of single-bit functions, computed from semantics
+/// (tests check it against the paper's printed table).
+constexpr BoolFn compose_bool_fn(BoolFn f, BoolFn g) noexcept {
+  const bool r0 = apply_bool_fn(g, apply_bool_fn(f, false));
+  const bool r1 = apply_bool_fn(g, apply_bool_fn(f, true));
+  if (r0 == r1) return r0 ? BoolFn::kSet : BoolFn::kClear;
+  return r0 ? BoolFn::kComp : BoolFn::kLoad;
+}
+
+/// A bitwise unary Boolean mapping on a word: f(x) = (x & keep) ^ flip.
+class BoolVec {
+ public:
+  using value_type = Word;
+
+  /// Identity (bitwise load).
+  constexpr BoolVec() noexcept : keep_(~Word{0}), flip_(0) {}
+
+  constexpr BoolVec(Word keep, Word flip) noexcept
+      : keep_(keep), flip_(flip) {}
+
+  static constexpr BoolVec identity() noexcept { return BoolVec{}; }
+
+  /// The same single-bit function in every position.
+  static constexpr BoolVec broadcast(BoolFn f) noexcept {
+    switch (f) {
+      case BoolFn::kLoad:
+        return BoolVec(~Word{0}, 0);
+      case BoolFn::kClear:
+        return BoolVec(0, 0);
+      case BoolFn::kSet:
+        return BoolVec(0, ~Word{0});
+      case BoolFn::kComp:
+        return BoolVec(~Word{0}, ~Word{0});
+    }
+    return identity();
+  }
+
+  /// The mapping of fetch-and-θ(X, a) for a binary Boolean θ given by its
+  /// truth table θ(x, y) = tt[2*x + y].
+  static constexpr BoolVec fetch_and_binary(std::array<bool, 4> tt,
+                                            Word a) noexcept {
+    // Per bit position i (with operand bit b = a_i), the unary function is
+    // u(x) = θ(x, b): keep bit = u(0) XOR u(1), flip bit = u(0).
+    // Compute the keep/flip words for b=0 and b=1 and select by a.
+    const bool u00 = tt[0], u10 = tt[2];  // b = 0: u(0), u(1)
+    const bool u01 = tt[1], u11 = tt[3];  // b = 1: u(0), u(1)
+    const Word keep0 = (u00 != u10) ? ~Word{0} : 0;
+    const Word flip0 = u00 ? ~Word{0} : 0;
+    const Word keep1 = (u01 != u11) ? ~Word{0} : 0;
+    const Word flip1 = u01 ? ~Word{0} : 0;
+    return BoolVec((keep0 & ~a) | (keep1 & a), (flip0 & ~a) | (flip1 & a));
+  }
+
+  /// §5.1's partial-word stores: "combination of store operations that
+  /// affect only bytes or half-words will require introducing store
+  /// operations that affect any subset of bytes in a word." A masked store
+  /// writes v into the mask-selected bits and preserves the rest — it is
+  /// the unary Boolean mapping keep = ~mask, flip = v & mask, so partial
+  /// stores combine through this family for free.
+  static constexpr BoolVec masked_store(Word v, Word mask) noexcept {
+    return BoolVec(~mask, v & mask);
+  }
+
+  [[nodiscard]] constexpr Word keep() const noexcept { return keep_; }
+  [[nodiscard]] constexpr Word flip() const noexcept { return flip_; }
+
+  [[nodiscard]] constexpr Word apply(Word x) const noexcept {
+    return (x & keep_) ^ flip_;
+  }
+
+  /// The single-bit function acting at bit position i.
+  [[nodiscard]] constexpr BoolFn fn_at(unsigned i) const noexcept {
+    const bool k = (keep_ >> i) & 1u;
+    const bool b = (flip_ >> i) & 1u;
+    if (k) return b ? BoolFn::kComp : BoolFn::kLoad;
+    return b ? BoolFn::kSet : BoolFn::kClear;
+  }
+
+  /// Two words (the paper: mappings on n-bit vectors take 2n bits).
+  [[nodiscard]] constexpr std::size_t encoded_size_bytes() const noexcept {
+    return 2 * sizeof(Word);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const BoolVec&, const BoolVec&) = default;
+
+  /// (x&k1 ^ b1)&k2 ^ b2  =  x&(k1&k2) ^ ((b1&k2)^b2): two ANDs and a XOR.
+  friend constexpr BoolVec compose(const BoolVec& f, const BoolVec& g) noexcept {
+    return BoolVec(f.keep_ & g.keep_, (f.flip_ & g.keep_) ^ g.flip_);
+  }
+
+  friend constexpr std::optional<BoolVec> try_compose(const BoolVec& f,
+                                                      const BoolVec& g) noexcept {
+    return compose(f, g);
+  }
+
+ private:
+  Word keep_;
+  Word flip_;
+};
+
+static_assert(Rmw<BoolVec>);
+
+// Truth tables for the common binary Boolean operations (θ(x,y) = tt[2x+y]).
+inline constexpr std::array<bool, 4> kTtAnd = {false, false, false, true};
+inline constexpr std::array<bool, 4> kTtOr = {false, true, true, true};
+inline constexpr std::array<bool, 4> kTtXor = {false, true, true, false};
+inline constexpr std::array<bool, 4> kTtNand = {true, true, true, false};
+inline constexpr std::array<bool, 4> kTtNor = {true, false, false, false};
+
+}  // namespace krs::core

@@ -1,0 +1,189 @@
+// §5.6 — General data-level synchronization.
+//
+// A data-level synchronization scheme is an automaton A = ⟨Φ, S, δ⟩: every
+// shared variable is tagged with a state s ∈ S, and an operation is guarded
+// by a set of states V ⊆ S in which it may execute; executing it also moves
+// the tag through δ. A failed operation (s ∉ V) leaves the cell unchanged
+// and is reported to the issuer as a negative acknowledgment — which the
+// issuer detects from the old state carried by the reply.
+//
+// Modeled as *total* mappings on (value, state) cells: per state, the
+// mapping either stores a value or keeps the old one, and names a successor
+// state. Failure is the identity entry. Totality makes composition closed,
+// and the per-state table realizes the paper's bound directly: a combined
+// request carries at most |S| distinct store values (Section 5.6's best
+// possible uniform bound, attained by the store-if-state=s family — see
+// tests).
+//
+// The full/empty family of §5.5 is the |S| = 2 special case; tests exhibit
+// the isomorphism. Path expressions (Campbell–Habermann) compile to such
+// automata; see examples/path_expression.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/rmw.hpp"
+#include "core/types.hpp"
+#include "util/assert.hpp"
+
+namespace krs::core {
+
+/// A tagged cell: data word plus automaton state.
+struct DlsCell {
+  Word value = 0;
+  std::uint8_t state = 0;
+
+  friend constexpr bool operator==(const DlsCell&, const DlsCell&) = default;
+};
+
+inline std::string to_string(const DlsCell& c) {
+  return "(" + std::to_string(c.value) + ",s" + std::to_string(c.state) + ")";
+}
+
+/// Guarded RMW operation over an automaton with NStates states.
+template <unsigned NStates>
+class DlsOp {
+  static_assert(NStates >= 1 && NStates <= 16,
+                "tractability requires a small state set (see §5.6)");
+
+ public:
+  using value_type = DlsCell;
+  static constexpr unsigned kStates = NStates;
+
+  /// What the mapping does when the cell is in a given state.
+  struct Entry {
+    bool store = false;       ///< store `value` (else keep the old word)
+    Word value = 0;           ///< stored word, if `store`
+    std::uint8_t next = 0;    ///< successor state
+
+    friend constexpr bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  /// Identity mapping (every state: keep value, stay put).
+  constexpr DlsOp() noexcept {
+    for (unsigned s = 0; s < NStates; ++s) entries_[s] = Entry{false, 0, static_cast<std::uint8_t>(s)};
+  }
+
+  static constexpr DlsOp identity() noexcept { return DlsOp{}; }
+
+  /// A guarded load: succeeds in the states of `guard` (bitmask), moving
+  /// the tag through `next`; fails (identity) elsewhere.
+  static constexpr DlsOp guarded_load(std::uint16_t guard,
+                                      std::array<std::uint8_t, NStates> next) noexcept {
+    DlsOp op;
+    for (unsigned s = 0; s < NStates; ++s) {
+      if (guard & (1u << s)) {
+        KRS_ASSERT(next[s] < NStates);
+        op.entries_[s] = Entry{false, 0, next[s]};
+      }
+    }
+    op.guard_ = guard;
+    return op;
+  }
+
+  /// A guarded store of v.
+  static constexpr DlsOp guarded_store(Word v, std::uint16_t guard,
+                                       std::array<std::uint8_t, NStates> next) noexcept {
+    DlsOp op;
+    for (unsigned s = 0; s < NStates; ++s) {
+      if (guard & (1u << s)) {
+        KRS_ASSERT(next[s] < NStates);
+        op.entries_[s] = Entry{true, v, next[s]};
+      }
+    }
+    op.guard_ = guard;
+    return op;
+  }
+
+  [[nodiscard]] constexpr const Entry& entry(unsigned s) const noexcept {
+    KRS_EXPECTS(s < NStates);
+    return entries_[s];
+  }
+
+  /// The guard set of an *original* (uncombined) request; used by the
+  /// issuer to interpret the reply. Combined mappings do not maintain it.
+  [[nodiscard]] constexpr std::uint16_t guard() const noexcept { return guard_; }
+
+  [[nodiscard]] constexpr bool succeeded(const DlsCell& old) const noexcept {
+    return (guard_ & (1u << old.state)) != 0;
+  }
+
+  [[nodiscard]] constexpr DlsCell apply(const DlsCell& c) const noexcept {
+    KRS_EXPECTS(c.state < NStates);
+    const Entry& e = entries_[c.state];
+    return DlsCell{e.store ? e.value : c.value, e.next};
+  }
+
+  /// Number of distinct store values the encoding must carry — the paper's
+  /// §5.6 bound says this never exceeds |S|.
+  [[nodiscard]] constexpr unsigned distinct_store_values() const noexcept {
+    std::array<Word, NStates> vals{};
+    unsigned n = 0;
+    for (unsigned s = 0; s < NStates; ++s) {
+      if (!entries_[s].store) continue;
+      bool seen = false;
+      for (unsigned i = 0; i < n; ++i) {
+        if (vals[i] == entries_[s].value) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) vals[n++] = entries_[s].value;
+    }
+    return n;
+  }
+
+  /// Per state: 1 flag bit + state index + value slot reference; plus the
+  /// distinct store values.
+  [[nodiscard]] constexpr std::size_t encoded_size_bytes() const noexcept {
+    return NStates + distinct_store_values() * sizeof(Word);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "dls{";
+    for (unsigned i = 0; i < NStates; ++i) {
+      if (i) s += ";";
+      const Entry& e = entries_[i];
+      s += "s" + std::to_string(i) + (e.store ? "->(" + std::to_string(e.value) + ",s" : "->(keep,s") +
+           std::to_string(e.next) + ")";
+    }
+    return s + "}";
+  }
+
+  friend constexpr bool operator==(const DlsOp& a, const DlsOp& b) noexcept {
+    return a.entries_ == b.entries_;  // guard_ is issuer-side metadata
+  }
+
+  /// "f then g": chase each state through f, then through g.
+  friend constexpr DlsOp compose(const DlsOp& f, const DlsOp& g) noexcept {
+    DlsOp out;
+    for (unsigned s = 0; s < NStates; ++s) {
+      const Entry& e1 = f.entries_[s];
+      const Entry& e2 = g.entries_[e1.next];
+      Entry& o = out.entries_[s];
+      o.store = e1.store || e2.store;
+      // Normalize value to 0 for keep-entries so equality is canonical.
+      o.value = e2.store ? e2.value : (e1.store ? e1.value : 0);
+      o.next = e2.next;
+    }
+    out.guard_ = 0;
+    return out;
+  }
+
+  friend constexpr std::optional<DlsOp> try_compose(const DlsOp& f,
+                                                    const DlsOp& g) noexcept {
+    return compose(f, g);
+  }
+
+ private:
+  std::array<Entry, NStates> entries_{};
+  std::uint16_t guard_ = 0;
+};
+
+static_assert(Rmw<DlsOp<2>>);
+static_assert(Rmw<DlsOp<4>>);
+
+}  // namespace krs::core

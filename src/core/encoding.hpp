@@ -1,0 +1,203 @@
+// Wire encodings for the mapping families — the tractability requirement
+// made concrete.
+//
+// §5 defines a family Φ as *tractable* when there is an encoding
+// φ : Φ̄ → {0,1}* such that (1) |φ(f)| = O(w), (2) φ(f∘g) is cheaply
+// computable from φ(f), φ(g), and (3) f(a) is cheaply computable from φ(f)
+// and a. The in-memory classes satisfy (2) and (3); this header supplies
+// (1) literally: every family serializes to a compact byte string and
+// round-trips losslessly, so a hardware switch (or a network message)
+// could carry exactly these bytes.
+//
+// Format: one opcode/tag byte (family-specific), followed by little-endian
+// fixed-width operand words. Encodings are canonical: equal mappings
+// produce identical bytes (tested).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/affine.hpp"
+#include "core/bool_unary.hpp"
+#include "core/fetch_theta.hpp"
+#include "core/full_empty.hpp"
+#include "core/load_store_swap.hpp"
+#include "core/moebius.hpp"
+#include "util/assert.hpp"
+
+namespace krs::core {
+
+using Bytes = std::vector<std::uint8_t>;
+
+namespace detail {
+
+inline void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::optional<std::uint64_t> get_u64(std::span<const std::uint8_t>& in) {
+  if (in.size() < 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  in = in.subspan(8);
+  return v;
+}
+
+inline std::optional<std::uint8_t> get_u8(std::span<const std::uint8_t>& in) {
+  if (in.empty()) return std::nullopt;
+  const std::uint8_t b = in[0];
+  in = in.subspan(1);
+  return b;
+}
+
+}  // namespace detail
+
+// --- loads/stores/swaps -------------------------------------------------------
+
+inline Bytes encode(const LssOp& op) {
+  Bytes out{static_cast<std::uint8_t>(op.kind())};
+  if (op.is_constant()) detail::put_u64(out, op.value());
+  return out;
+}
+
+inline std::optional<LssOp> decode_lss(std::span<const std::uint8_t> in) {
+  const auto tag = detail::get_u8(in);
+  if (!tag) return std::nullopt;
+  switch (static_cast<LssKind>(*tag)) {
+    case LssKind::kLoad:
+      return in.empty() ? std::optional<LssOp>(LssOp::load()) : std::nullopt;
+    case LssKind::kStore: {
+      const auto v = detail::get_u64(in);
+      if (!v || !in.empty()) return std::nullopt;
+      return LssOp::store(*v);
+    }
+    case LssKind::kSwap: {
+      const auto v = detail::get_u64(in);
+      if (!v || !in.empty()) return std::nullopt;
+      return LssOp::swap(*v);
+    }
+  }
+  return std::nullopt;
+}
+
+// --- fetch-and-θ ---------------------------------------------------------------
+
+template <typename Op>
+Bytes encode(const FetchTheta<Op>& op) {
+  Bytes out;
+  detail::put_u64(out, op.operand());
+  return out;
+}
+
+template <typename Op>
+std::optional<FetchTheta<Op>> decode_fetch_theta(
+    std::span<const std::uint8_t> in) {
+  const auto v = detail::get_u64(in);
+  if (!v || !in.empty()) return std::nullopt;
+  return FetchTheta<Op>(*v);
+}
+
+// --- Boolean bit-vector ---------------------------------------------------------
+
+inline Bytes encode(const BoolVec& op) {
+  Bytes out;
+  detail::put_u64(out, op.keep());
+  detail::put_u64(out, op.flip());
+  return out;
+}
+
+inline std::optional<BoolVec> decode_boolvec(std::span<const std::uint8_t> in) {
+  const auto k = detail::get_u64(in);
+  const auto f = detail::get_u64(in);
+  if (!k || !f || !in.empty()) return std::nullopt;
+  return BoolVec(*k, *f);
+}
+
+// --- affine ---------------------------------------------------------------------
+
+inline Bytes encode(const Affine& op) {
+  Bytes out;
+  detail::put_u64(out, op.a());
+  detail::put_u64(out, op.b());
+  return out;
+}
+
+inline std::optional<Affine> decode_affine(std::span<const std::uint8_t> in) {
+  const auto a = detail::get_u64(in);
+  const auto b = detail::get_u64(in);
+  if (!a || !b || !in.empty()) return std::nullopt;
+  return Affine(*a, *b);
+}
+
+// --- Möbius ---------------------------------------------------------------------
+
+inline Bytes encode(const Moebius& op) {
+  Bytes out;
+  detail::put_u64(out, static_cast<std::uint64_t>(op.a()));
+  detail::put_u64(out, static_cast<std::uint64_t>(op.b()));
+  detail::put_u64(out, static_cast<std::uint64_t>(op.c()));
+  detail::put_u64(out, static_cast<std::uint64_t>(op.d()));
+  return out;
+}
+
+inline std::optional<Moebius> decode_moebius(std::span<const std::uint8_t> in) {
+  const auto a = detail::get_u64(in);
+  const auto b = detail::get_u64(in);
+  const auto c = detail::get_u64(in);
+  const auto d = detail::get_u64(in);
+  if (!a || !b || !c || !d || !in.empty()) return std::nullopt;
+  const auto sa = static_cast<std::int64_t>(*a);
+  const auto sb = static_cast<std::int64_t>(*b);
+  const auto sc = static_cast<std::int64_t>(*c);
+  const auto sd = static_cast<std::int64_t>(*d);
+  if (sc == 0 && sd == 0) return std::nullopt;  // not a Möbius function
+  if (sa == INT64_MIN || sb == INT64_MIN || sc == INT64_MIN ||
+      sd == INT64_MIN) {
+    return std::nullopt;
+  }
+  return Moebius(sa, sb, sc, sd);
+}
+
+// --- full/empty ------------------------------------------------------------------
+
+inline Bytes encode(const FEOp& op) {
+  Bytes out{static_cast<std::uint8_t>(op.kind())};
+  if (op.carries_value()) detail::put_u64(out, op.value());
+  return out;
+}
+
+inline std::optional<FEOp> decode_fe(std::span<const std::uint8_t> in) {
+  const auto tag = detail::get_u8(in);
+  if (!tag || *tag > static_cast<std::uint8_t>(FEKind::kStoreIfClearClear)) {
+    return std::nullopt;
+  }
+  const auto kind = static_cast<FEKind>(*tag);
+  const bool carries = kind != FEKind::kLoad && kind != FEKind::kLoadClear;
+  std::uint64_t v = 0;
+  if (carries) {
+    const auto w = detail::get_u64(in);
+    if (!w) return std::nullopt;
+    v = *w;
+  }
+  if (!in.empty()) return std::nullopt;
+  switch (kind) {
+    case FEKind::kLoad:
+      return FEOp::load();
+    case FEKind::kLoadClear:
+      return FEOp::load_and_clear();
+    case FEKind::kStoreSet:
+      return FEOp::store_and_set(v);
+    case FEKind::kStoreIfClearSet:
+      return FEOp::store_if_clear_and_set(v);
+    case FEKind::kStoreClear:
+      return FEOp::store_and_clear(v);
+    case FEKind::kStoreIfClearClear:
+      return FEOp::store_if_clear_and_clear(v);
+  }
+  return std::nullopt;
+}
+
+}  // namespace krs::core

@@ -1,0 +1,124 @@
+// §5.2 — Associative operations: fetch-and-θ.
+//
+// For an associative θ with identity element e, the family {θ_a : θ_a(x) =
+// x θ a} is a tractable semigroup: θ_a ∘ θ_b = θ_{aθb}, the encoding is one
+// word (the operand a), and θ_e is the identity mapping (a load).
+//
+// fetch-and-add is FetchTheta<PlusOp>; the paper also singles out
+// fetch-and-OR (test-and-set is fetch-and-OR(X, 1)) and fetch-and-min
+// (allocation with priorities). We additionally provide and, xor, and max —
+// all standard combinable atomics on modern hardware.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "core/rmw.hpp"
+#include "core/types.hpp"
+
+namespace krs::core {
+
+// Operation policies: an associative binary op on Word with its identity.
+// Addition is modulo 2^64 (wrapping), matching fixed-point hardware
+// arithmetic; see §5.4 for the guard-bit discussion.
+
+struct PlusOp {
+  static constexpr const char* name = "add";
+  static constexpr Word identity_element = 0;
+  static constexpr Word apply(Word x, Word a) noexcept { return x + a; }
+};
+
+struct BitOrOp {
+  static constexpr const char* name = "or";
+  static constexpr Word identity_element = 0;
+  static constexpr Word apply(Word x, Word a) noexcept { return x | a; }
+};
+
+struct BitAndOp {
+  static constexpr const char* name = "and";
+  static constexpr Word identity_element = ~Word{0};
+  static constexpr Word apply(Word x, Word a) noexcept { return x & a; }
+};
+
+struct BitXorOp {
+  static constexpr const char* name = "xor";
+  static constexpr Word identity_element = 0;
+  static constexpr Word apply(Word x, Word a) noexcept { return x ^ a; }
+};
+
+struct MinOp {
+  static constexpr const char* name = "min";
+  static constexpr Word identity_element = std::numeric_limits<Word>::max();
+  static constexpr Word apply(Word x, Word a) noexcept { return std::min(x, a); }
+};
+
+struct MaxOp {
+  static constexpr const char* name = "max";
+  static constexpr Word identity_element = 0;
+  static constexpr Word apply(Word x, Word a) noexcept { return std::max(x, a); }
+};
+
+/// The mapping θ_a of a fetch-and-θ request.
+template <typename Op>
+class FetchTheta {
+ public:
+  using value_type = Word;
+  using op_type = Op;
+
+  constexpr FetchTheta() noexcept : operand_(Op::identity_element) {}
+  explicit constexpr FetchTheta(Word a) noexcept : operand_(a) {}
+
+  static constexpr FetchTheta identity() noexcept { return FetchTheta{}; }
+
+  [[nodiscard]] constexpr Word operand() const noexcept { return operand_; }
+
+  [[nodiscard]] constexpr Word apply(Word x) const noexcept {
+    return Op::apply(x, operand_);
+  }
+
+  /// One operand word.
+  [[nodiscard]] constexpr std::size_t encoded_size_bytes() const noexcept {
+    return sizeof(Word);
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string("fetch-and-") + Op::name + "(" +
+           std::to_string(operand_) + ")";
+  }
+
+  friend constexpr bool operator==(const FetchTheta&, const FetchTheta&) =
+      default;
+
+  /// θ_a ∘ θ_b = θ_{a θ b} — one θ evaluation per combine.
+  friend constexpr FetchTheta compose(const FetchTheta& f,
+                                      const FetchTheta& g) noexcept {
+    return FetchTheta(Op::apply(f.operand_, g.operand_));
+  }
+
+  friend constexpr std::optional<FetchTheta> try_compose(
+      const FetchTheta& f, const FetchTheta& g) noexcept {
+    return compose(f, g);
+  }
+
+ private:
+  Word operand_;
+};
+
+using FetchAdd = FetchTheta<PlusOp>;
+using FetchOr = FetchTheta<BitOrOp>;
+using FetchAnd = FetchTheta<BitAndOp>;
+using FetchXor = FetchTheta<BitXorOp>;
+using FetchMin = FetchTheta<MinOp>;
+using FetchMax = FetchTheta<MaxOp>;
+
+static_assert(Rmw<FetchAdd>);
+static_assert(Rmw<FetchOr>);
+static_assert(Rmw<FetchMin>);
+
+/// test-and-set(X) ≡ fetch-and-OR(X, 1) (§5.2).
+constexpr FetchOr test_and_set() noexcept { return FetchOr(1); }
+
+}  // namespace krs::core

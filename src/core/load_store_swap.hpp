@@ -1,0 +1,147 @@
+// §5.1 — Loads, Stores, and Swaps.
+//
+// The mapping family is {id} ∪ {I_v}: a load is RMW(X, id); a store of v is
+// RMW(X, I_v) with the returned value ignored; a swap is RMW(X, I_v) with
+// the returned value used. Store and swap have the *same* update mapping —
+// the kind distinction matters only for traffic (a store's reply is a bare
+// acknowledgment) and for the order-reversal optimization.
+//
+// The paper gives two 3×3 combining tables. The first preserves request
+// order (always correct):
+//
+//                second: load   store  swap
+//   first: load          load   swap   swap
+//          store         store  store  store
+//          swap          swap   swap   swap
+//
+// The second may reverse the order of the two requests (marked *) so that a
+// store executes before a load/swap and the load/swap can be answered
+// locally, saving the reply's data word:
+//
+//                second: load   store   swap
+//   first: load          load   store*  swap
+//          store         store  store   store
+//          swap          swap   store*  swap
+//
+// Reversal is only legal when the two requests come from different
+// processors (reversing two requests of one processor violates M2.3); the
+// switch code enforces that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/rmw.hpp"
+#include "core/types.hpp"
+
+namespace krs::core {
+
+enum class LssKind : std::uint8_t { kLoad, kStore, kSwap };
+
+const char* to_cstring(LssKind k) noexcept;
+
+class LssOp {
+ public:
+  using value_type = Word;
+
+  /// Default-constructed op is a load (the identity mapping).
+  constexpr LssOp() noexcept : kind_(LssKind::kLoad), value_(0) {}
+
+  static constexpr LssOp load() noexcept { return LssOp{}; }
+  static constexpr LssOp store(Word v) noexcept {
+    return LssOp(LssKind::kStore, v);
+  }
+  static constexpr LssOp swap(Word v) noexcept {
+    return LssOp(LssKind::kSwap, v);
+  }
+  static constexpr LssOp identity() noexcept { return load(); }
+
+  [[nodiscard]] constexpr LssKind kind() const noexcept { return kind_; }
+
+  /// The stored value; meaningful only for store/swap.
+  [[nodiscard]] constexpr Word value() const noexcept { return value_; }
+
+  /// Evaluate the update mapping: id for a load, I_v for store/swap.
+  [[nodiscard]] constexpr Word apply(Word x) const noexcept {
+    return kind_ == LssKind::kLoad ? x : value_;
+  }
+
+  /// True iff the mapping is a constant mapping I_v.
+  [[nodiscard]] constexpr bool is_constant() const noexcept {
+    return kind_ != LssKind::kLoad;
+  }
+
+  /// Does the reply to this request carry a data word? (Stores only need an
+  /// acknowledgment.)
+  [[nodiscard]] constexpr bool reply_needs_data() const noexcept {
+    return kind_ != LssKind::kStore;
+  }
+
+  /// Wire encoding: one opcode byte, plus a data word for store/swap.
+  [[nodiscard]] constexpr std::size_t encoded_size_bytes() const noexcept {
+    return kind_ == LssKind::kLoad ? 1 : 1 + sizeof(Word);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const LssOp&, const LssOp&) = default;
+
+  /// Order-preserving combination (first table). compose(f, g) is "f then
+  /// g"; the result's kind is the forwarded request's kind.
+  friend constexpr LssOp compose(const LssOp& first, const LssOp& second) noexcept {
+    // Mapping: id∘g = g, f∘I_v = I_v; kind bookkeeping per the table.
+    switch (first.kind_) {
+      case LssKind::kLoad:
+        // A load combined with a constant op must still fetch the old value
+        // (to answer the load), so it is forwarded as a swap.
+        return second.kind_ == LssKind::kLoad ? load() : swap(second.value_);
+      case LssKind::kStore:
+        // The store's constant answers any second request locally at
+        // decombination time; no data need return from memory.
+        return store(second.is_constant() ? second.value_ : first.value_);
+      case LssKind::kSwap:
+        return swap(second.is_constant() ? second.value_ : first.value_);
+    }
+    return load();  // unreachable
+  }
+
+  friend constexpr std::optional<LssOp> try_compose(const LssOp& f,
+                                                    const LssOp& g) noexcept {
+    return compose(f, g);
+  }
+
+ private:
+  constexpr LssOp(LssKind k, Word v) noexcept : kind_(k), value_(v) {}
+
+  LssKind kind_;
+  Word value_;
+};
+
+static_assert(Rmw<LssOp>);
+
+/// Result of the order-reversing combination (second table).
+struct LssReversedCombine {
+  LssOp forwarded;  ///< request sent toward memory
+  bool reversed;    ///< true iff the second request's effect precedes the
+                    ///< first's (starred entries in the table)
+};
+
+/// Combine with the order-reversal optimization: whenever the second request
+/// is a store, execute it (logically) first so the first request's reply is
+/// known locally and the forwarded request degenerates to a store.
+/// Never apply to two requests of the same processor.
+constexpr LssReversedCombine compose_reversible(const LssOp& first,
+                                                const LssOp& second) noexcept {
+  if (second.kind() == LssKind::kStore && first.kind() != LssKind::kStore) {
+    // load+store → store*, swap+store → store*: memory ends with the FIRST
+    // request's effect (a load leaves the stored value; a swap overwrites).
+    const LssOp fwd = first.kind() == LssKind::kLoad
+                          ? LssOp::store(second.value())
+                          : LssOp::store(first.value());
+    return {fwd, true};
+  }
+  return {compose(first, second), false};
+}
+
+}  // namespace krs::core

@@ -1,0 +1,91 @@
+// §5.4 — The four arithmetic operations (and their reverses) via Möbius
+// (linear-fractional) transformations.
+//
+// The semigroup spanned by {x → x ψ a : ψ ∈ {+, −, ×, ÷, reverse−,
+// reverse÷}} consists of the Möbius functions x → (ax + b)/(cx + d) with
+// (c, d) ≠ (0, 0). Representing such a function by its coefficient matrix
+//
+//        A = | a  b |
+//            | c  d |
+//
+// composition is matrix multiplication: with the paper's convention
+// f∘g(x) = g(f(x)), the matrix of f∘g is  M(g) · M(f).
+//
+// The reference implementation is exact (64-bit integer coefficients,
+// gcd-normalized, overflow-checked; exact Rational cell values). When a
+// composition would overflow, try_compose declines — a combining switch
+// simply forwards the two requests uncombined, which is always correct
+// ("partial combining", §7). Division by zero during apply yields an
+// invalid Rational, modelling the numerical-stability caveat of §5.4.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/rmw.hpp"
+#include "util/rational.hpp"
+
+namespace krs::core {
+
+class Moebius {
+ public:
+  using value_type = util::Rational;
+
+  /// Identity: x → (1·x + 0)/(0·x + 1).
+  constexpr Moebius() noexcept : a_(1), b_(0), c_(0), d_(1) {}
+
+  /// General coefficients; normalized by gcd and sign. (c, d) must not both
+  /// be zero.
+  Moebius(std::int64_t a, std::int64_t b, std::int64_t c, std::int64_t d);
+
+  static Moebius identity() noexcept { return Moebius{}; }
+  static Moebius fetch_add(std::int64_t k) { return {1, k, 0, 1}; }
+  static Moebius fetch_sub(std::int64_t k) { return {1, -k, 0, 1}; }
+  static Moebius fetch_mul(std::int64_t k) { return {k, 0, 0, 1}; }
+  static Moebius fetch_div(std::int64_t k) { return {1, 0, 0, k}; }
+  /// x → k − x.
+  static Moebius fetch_rsub(std::int64_t k) { return {-1, k, 0, 1}; }
+  /// x → k / x.
+  static Moebius fetch_rdiv(std::int64_t k) { return {0, k, 1, 0}; }
+  static Moebius store(std::int64_t v) { return {0, v, 0, 1}; }
+
+  [[nodiscard]] std::int64_t a() const noexcept { return a_; }
+  [[nodiscard]] std::int64_t b() const noexcept { return b_; }
+  [[nodiscard]] std::int64_t c() const noexcept { return c_; }
+  [[nodiscard]] std::int64_t d() const noexcept { return d_; }
+
+  /// (a·x + b) / (c·x + d); invalid Rational if the denominator vanishes or
+  /// intermediate arithmetic overflows.
+  [[nodiscard]] util::Rational apply(const util::Rational& x) const noexcept;
+
+  /// Four coefficient words.
+  [[nodiscard]] std::size_t encoded_size_bytes() const noexcept {
+    return 4 * sizeof(std::int64_t);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Equality of normalized coefficient matrices. Note: projectively, A and
+  /// −A denote the same function; normalization fixes the sign, so this is
+  /// also functional equality.
+  friend bool operator==(const Moebius&, const Moebius&) = default;
+
+  /// "f then g": coefficient matrix M(g)·M(f). Dies (KRS_ASSERT) on
+  /// overflow — use try_compose in switch code.
+  friend Moebius compose(const Moebius& f, const Moebius& g);
+
+  /// Compose, or nullopt if 64-bit coefficients would overflow.
+  friend std::optional<Moebius> try_compose(const Moebius& f,
+                                            const Moebius& g) noexcept;
+
+ private:
+  // Coefficients are kept gcd-normalized with the first nonzero of (c, d)
+  // positive, giving a canonical representative of the projective class.
+  std::int64_t a_, b_, c_, d_;
+};
+
+static_assert(Rmw<Moebius>);
+
+}  // namespace krs::core

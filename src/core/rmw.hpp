@@ -1,0 +1,54 @@
+// The RMW formalism of Section 2 and the tractability requirements of
+// Section 5, expressed as a C++20 concept.
+//
+// An RMW operation is RMW(X, f): atomically return the old value of X and
+// store f(X). A *family* of update mappings is modeled as a value type M
+// (one object = one mapping) providing:
+//
+//   - M::value_type             the type of the memory cell it acts on
+//   - f.apply(x)                evaluate f at x
+//   - compose(f, g)             the mapping "f then g"  (paper: f∘g, with
+//                               (f∘g)(x) = g(f(x)), footnote 3)
+//   - try_compose(f, g)         compose, or nullopt when the switch should
+//                               decline to combine (e.g. coefficient
+//                               overflow in the Möbius family)
+//   - M::identity()             the identity mapping (a plain load)
+//   - f.encoded_size_bytes()    size of the wire encoding, for the
+//                               tractability requirement |φ(f)| = O(w) and
+//                               for traffic accounting in the simulator
+//
+// Combining (Section 4.2) needs ONLY this interface, which is the paper's
+// point (1): the mechanism is general, not an ad-hoc trick for fetch-and-add.
+//
+// Composition convention. Throughout this codebase `compose(f, g)` means
+// "first f, then g": compose(f, g).apply(x) == g.apply(f.apply(x)). When a
+// switch holds a queued request ⟨id1, f⟩ and a request ⟨id2, g⟩ arrives
+// behind it, the forwarded combined request carries compose(f, g) and the
+// saved mapping for decombination is f (the reply to id2 is f(val)).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <optional>
+
+namespace krs::core {
+
+template <typename M>
+concept Rmw = std::semiregular<M> &&
+    requires(const M& f, const M& g, const typename M::value_type& x) {
+      typename M::value_type;
+      { f.apply(x) } -> std::convertible_to<typename M::value_type>;
+      { compose(f, g) } -> std::convertible_to<M>;
+      { try_compose(f, g) } -> std::same_as<std::optional<M>>;
+      { M::identity() } -> std::convertible_to<M>;
+      { f.encoded_size_bytes() } -> std::convertible_to<std::size_t>;
+    };
+
+/// Default try_compose for families whose composition is total: always
+/// combine. Families with partial composition (Möbius) shadow this.
+template <typename M>
+std::optional<M> try_compose_total(const M& f, const M& g) {
+  return compose(f, g);
+}
+
+}  // namespace krs::core

@@ -1,0 +1,101 @@
+// Omega (perfect-shuffle) multistage network topology.
+//
+// An Omega network with n = 2^k inputs has k stages of n/2 two-by-two
+// switches. Before every stage the n "wires" are permuted by the perfect
+// shuffle (left rotation of the k-bit wire index); within a stage, a switch
+// routes a request to output port b where b is the destination address bit
+// examined at that stage (most significant first).
+//
+// The Omega network has a unique path between every (processor, module)
+// pair, which gives the paper's §4.1 assumptions for free: it is
+// non-overtaking per source/destination pair, and replies can retrace the
+// request path exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace krs::net {
+
+/// Pure wiring arithmetic for an n = 2^k input Omega network.
+class OmegaTopology {
+ public:
+  explicit OmegaTopology(unsigned log2_ports) : k_(log2_ports) {
+    KRS_EXPECTS(k_ >= 1 && k_ <= 16);
+  }
+
+  [[nodiscard]] unsigned stages() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t ports() const noexcept { return 1u << k_; }
+  [[nodiscard]] std::uint32_t switches_per_stage() const noexcept {
+    return 1u << (k_ - 1);
+  }
+
+  /// Perfect shuffle: left-rotate the k-bit wire index.
+  [[nodiscard]] std::uint32_t shuffle(std::uint32_t wire) const noexcept {
+    return ((wire << 1) | (wire >> (k_ - 1))) & (ports() - 1);
+  }
+
+  /// Inverse shuffle: right-rotate.
+  [[nodiscard]] std::uint32_t unshuffle(std::uint32_t wire) const noexcept {
+    return ((wire >> 1) | ((wire & 1) << (k_ - 1))) & (ports() - 1);
+  }
+
+  /// The switch row and input port reached at stage `s` by the wire that
+  /// leaves stage s-1 (or a processor, for s = 0) with index `wire`.
+  struct PortRef {
+    std::uint32_t row;
+    unsigned port;
+  };
+
+  [[nodiscard]] PortRef stage_input(std::uint32_t wire) const noexcept {
+    const std::uint32_t w = shuffle(wire);
+    return {w >> 1, static_cast<unsigned>(w & 1)};
+  }
+
+  /// Output port a request bound for memory module `dst` takes at stage s.
+  [[nodiscard]] unsigned route_bit(std::uint32_t dst, unsigned s) const noexcept {
+    KRS_EXPECTS(s < k_);
+    return util::bit_of(dst, k_ - 1 - s);
+  }
+
+  /// Wire index leaving (row, out_port).
+  [[nodiscard]] static std::uint32_t output_wire(std::uint32_t row,
+                                                 unsigned port) noexcept {
+    return (row << 1) | port;
+  }
+
+  /// Where the wire feeding stage-s input (row, port) comes from:
+  /// for s == 0, the processor with this index; otherwise the output wire
+  /// (row', port') of stage s-1.
+  [[nodiscard]] std::uint32_t upstream_wire(std::uint32_t row,
+                                            unsigned port) const noexcept {
+    return unshuffle(output_wire(row, port));
+  }
+
+  /// Full forward route of a (src processor, dst module) pair: the switch
+  /// (row, in port, out port) at each stage. Mostly used by tests.
+  struct Hop {
+    std::uint32_t row;
+    unsigned in_port;
+    unsigned out_port;
+  };
+
+  template <typename OutIt>
+  void route(std::uint32_t src, std::uint32_t dst, OutIt out) const {
+    std::uint32_t wire = src;
+    for (unsigned s = 0; s < k_; ++s) {
+      const PortRef in = stage_input(wire);
+      const unsigned op = route_bit(dst, s);
+      *out++ = Hop{in.row, in.port, op};
+      wire = output_wire(in.row, op);
+    }
+    KRS_ENSURES(wire == dst);
+  }
+
+ private:
+  unsigned k_;
+};
+
+}  // namespace krs::net

@@ -1,0 +1,46 @@
+// Network packets: requests travelling toward memory, replies travelling
+// back. A forward packet accumulates the path header the paper describes
+// ("as a message travels through the network, it can construct a header
+// describing its path; this header is used to route the reply in the
+// reverse direction").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/combining.hpp"
+#include "core/rmw.hpp"
+#include "core/types.hpp"
+
+namespace krs::net {
+
+/// Kind of memory transaction carried by a forward packet. kRmw is the
+/// memory-side implementation of §2 (one request, one reply, combinable).
+/// kReadLock/kWriteUnlock model the processor-side baseline (the "load-store
+/// extended cycle" with the module locked in between) — never combined.
+enum class TxnKind : std::uint8_t { kRmw, kReadLock, kWriteUnlock };
+
+template <core::Rmw M>
+struct FwdPacket {
+  core::Request<M> req;
+  TxnKind kind = TxnKind::kRmw;
+  /// True once this message has absorbed or been produced by any combine —
+  /// order reversal (§5.1) is then no longer permitted, since the message
+  /// may represent several requests whose relative order is already fixed.
+  bool combined = false;
+  /// New cell value carried by a kWriteUnlock (the processor computed f(v)
+  /// locally in the processor-side implementation of §2).
+  typename M::value_type store_value{};
+  /// Input port taken at each stage so far; replies pop from the back.
+  std::vector<std::uint8_t> path;
+};
+
+template <core::Rmw M>
+struct RevPacket {
+  core::Reply<M> reply;
+  std::vector<std::uint8_t> path;
+  /// Negative acknowledgment (processor-side baseline: lock refused).
+  bool nack = false;
+};
+
+}  // namespace krs::net

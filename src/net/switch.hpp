@@ -1,0 +1,304 @@
+// A 2×2 packet-switched combining switch (§4.2), the building block of the
+// Ultracomputer-style network.
+//
+// Forward direction: requests arriving at an input port are routed to an
+// output queue by a destination bit. If a request for the same address is
+// already waiting in that queue (and policy allows), the arrival is
+// *combined* into it: the queued request's mapping becomes compose(f, g)
+// and a wait-buffer record (id2, f, path of the absorbed request) is saved
+// under the queued request's id. Combining consumes no queue space — that
+// is precisely how combining relieves hot-spot congestion.
+//
+// Reverse direction: a reply arriving for id first decombines: for every
+// wait-buffer record saved under id (in LIFO order of the values they
+// captured — order is immaterial since each targets a distinct requester),
+// a new reply ⟨id2, f(val)⟩ is emitted along the absorbed request's own
+// path. The original reply then continues along its popped path.
+//
+// Policy knobs reproduce the design space of §7 ("one can use combining
+// logic that detects only part of the combinable pairs"): combining can be
+// disabled (baseline network), limited to pairwise (one combine per queued
+// message, as in the NYU VLSI switch) or unlimited fan-in; the wait buffer
+// has finite capacity, and a full wait buffer declines further combining.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/combining.hpp"
+#include "core/load_store_swap.hpp"
+#include "core/rmw.hpp"
+#include "core/types.hpp"
+#include "net/packet.hpp"
+#include "util/assert.hpp"
+
+namespace krs::net {
+
+enum class CombinePolicy : std::uint8_t {
+  kNone,      ///< never combine (baseline network)
+  kPairwise,  ///< a queued message combines at most once per switch
+  kUnlimited  ///< unbounded fan-in per queued message
+};
+
+struct SwitchConfig {
+  CombinePolicy policy = CombinePolicy::kUnlimited;
+  std::size_t queue_capacity = 4;        ///< per output-port request queue
+  std::size_t wait_buffer_capacity = 64; ///< combine records per switch
+  /// §5.1's order-reversal optimization (second table): when a store
+  /// arrives behind a queued load/swap, execute the store (logically)
+  /// first so the forwarded request degenerates to a store and no data
+  /// word need return from memory. Only applies to the load/store/swap
+  /// family, only between uncombined requests of DIFFERENT processors
+  /// ("reversing operations is clearly wrong when successive requests of
+  /// the same processor are combined").
+  bool allow_order_reversal = false;
+};
+
+struct SwitchStats {
+  std::uint64_t requests_forwarded = 0;
+  std::uint64_t request_bytes = 0;  ///< header + mapping encoding, enqueued
+  std::uint64_t combines = 0;
+  std::uint64_t reversed_combines = 0;  ///< §5.1 starred-table combines
+  std::uint64_t combine_declined_policy = 0;
+  std::uint64_t combine_declined_waitbuf = 0;
+  std::uint64_t stalls = 0;  ///< cycles an arrival could not move (queue full)
+  std::uint64_t replies_forwarded = 0;
+  std::uint64_t max_wait_buffer = 0;
+  std::uint64_t max_queue_depth = 0;  ///< deepest request FIFO ever seen
+};
+
+/// One combine event, reported to the machine-level log so the verifier can
+/// expand combined messages into the request sequences they represent.
+struct CombineEvent {
+  core::ReqId representative;
+  core::ReqId absorbed;
+  core::Addr addr;
+  /// §5.1 reversal: the absorbed request's effect logically PRECEDES the
+  /// representative's (the verifier expands it first).
+  bool reversed = false;
+};
+
+template <core::Rmw M>
+class CombiningSwitch {
+ public:
+  explicit CombiningSwitch(const SwitchConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Try to accept a forward packet at input port `in_port`, destined for
+  /// output port `out_port`. Returns true if the packet was consumed
+  /// (enqueued or combined); false if the switch is full (caller retries
+  /// next cycle). On combining, the event is appended to *events.
+  bool offer_request(FwdPacket<M>&& pkt, unsigned in_port, unsigned out_port,
+                     std::vector<CombineEvent>* events) {
+    KRS_EXPECTS(in_port < 2 && out_port < 2);
+    auto& q = fwd_out_[out_port];
+    if (pkt.kind == TxnKind::kRmw && cfg_.policy != CombinePolicy::kNone) {
+      // Combine only with the YOUNGEST queued request for this address, and
+      // give up if that one declines. Combining with an older entry could
+      // sequence this arrival ahead of an intervening request from the same
+      // processor to the same location, violating M2.3 — the unique-path
+      // network keeps same-source/same-address requests in one queue, so
+      // "youngest match" preserves their order unconditionally.
+      for (auto it = q.rbegin(); it != q.rend(); ++it) {
+        auto& queued = *it;
+        if (queued.kind != TxnKind::kRmw || queued.req.addr != pkt.req.addr) {
+          continue;
+        }
+        if (cfg_.policy == CombinePolicy::kPairwise &&
+            combine_count_[queued.req.id] >= 1) {
+          ++stats_.combine_declined_policy;
+          break;
+        }
+        if (wait_size_ >= cfg_.wait_buffer_capacity) {
+          ++stats_.combine_declined_waitbuf;
+          break;
+        }
+        // §5.1 order reversal, when enabled and applicable (load/store/swap
+        // family, both messages uncombined originals of distinct
+        // processors, and the reversible table actually reverses).
+        if (try_reversed_combine(queued, pkt, in_port, events)) return true;
+        auto rec = core::try_combine(queued.req, pkt.req);
+        if (!rec) break;  // family declined (e.g. Möbius overflow)
+        queued.combined = true;
+        pkt.path.push_back(static_cast<std::uint8_t>(in_port));
+        wait_buffer_[queued.req.id].recs.push_back(
+            WaitRecord{*rec, std::move(pkt.path), /*reversed=*/false, M{}});
+        ++wait_size_;
+        stats_.max_wait_buffer =
+            std::max<std::uint64_t>(stats_.max_wait_buffer, wait_size_);
+        ++combine_count_[queued.req.id];
+        ++stats_.combines;
+        if (events != nullptr) {
+          events->push_back({queued.req.id, rec->second, pkt.req.addr, false});
+        }
+        return true;
+      }
+    }
+    if (q.size() >= cfg_.queue_capacity) {
+      ++stats_.stalls;
+      return false;
+    }
+    stats_.request_bytes += kMessageHeaderBytes + pkt.req.f.encoded_size_bytes();
+    pkt.path.push_back(static_cast<std::uint8_t>(in_port));
+    q.push_back(std::move(pkt));
+    ++stats_.requests_forwarded;
+    stats_.max_queue_depth =
+        std::max<std::uint64_t>(stats_.max_queue_depth, q.size());
+    return true;
+  }
+
+  /// id (8) + address (8): the fixed part of a request message.
+  static constexpr std::size_t kMessageHeaderBytes = 16;
+
+  /// Head of the output queue for a port (next packet to leave toward the
+  /// next stage / memory), or nullptr.
+  [[nodiscard]] const FwdPacket<M>* peek_output(unsigned out_port) const {
+    const auto& q = fwd_out_[out_port];
+    return q.empty() ? nullptr : &q.front();
+  }
+
+  FwdPacket<M> pop_output(unsigned out_port) {
+    auto& q = fwd_out_[out_port];
+    KRS_EXPECTS(!q.empty());
+    FwdPacket<M> p = std::move(q.front());
+    q.pop_front();
+    return p;
+  }
+
+  /// Accept a reply coming back from the memory side. Decombines against
+  /// the wait buffer and stages all resulting replies on the reverse
+  /// queues of their input ports.
+  void accept_reply(RevPacket<M>&& pkt) {
+    deliver_reverse(std::move(pkt));
+  }
+
+  [[nodiscard]] const RevPacket<M>* peek_reply(unsigned in_port) const {
+    const auto& q = rev_out_[in_port];
+    return q.empty() ? nullptr : &q.front();
+  }
+
+  RevPacket<M> pop_reply(unsigned in_port) {
+    auto& q = rev_out_[in_port];
+    KRS_EXPECTS(!q.empty());
+    RevPacket<M> p = std::move(q.front());
+    q.pop_front();
+    return p;
+  }
+
+  [[nodiscard]] const SwitchStats& stats() const noexcept { return stats_; }
+
+  /// True when no request or reply traffic is pending in this switch.
+  [[nodiscard]] bool idle() const noexcept {
+    return fwd_out_[0].empty() && fwd_out_[1].empty() && rev_out_[0].empty() &&
+           rev_out_[1].empty() && wait_buffer_.empty();
+  }
+
+  [[nodiscard]] std::size_t wait_buffer_size() const noexcept {
+    return wait_size_;
+  }
+
+ private:
+  struct WaitRecord {
+    core::CombineRecord<M> rec;
+    std::vector<std::uint8_t> path;  ///< absorbed request's path up to here
+    /// §5.1 reversal: the absorbed request logically executed FIRST; its
+    /// reply is the raw memory value, and the representative's reply is
+    /// absorbed_map(val) instead of val.
+    bool reversed = false;
+    M absorbed_map{};
+  };
+
+  struct WaitEntry {
+    std::vector<WaitRecord> recs;
+  };
+
+  /// Attempt the §5.1 reversed combination of `pkt` (an arriving store)
+  /// into `queued` (a load/swap). Only defined for the LssOp family.
+  bool try_reversed_combine(FwdPacket<M>& queued, FwdPacket<M>& pkt,
+                            unsigned in_port,
+                            std::vector<CombineEvent>* events) {
+    if constexpr (std::same_as<M, core::LssOp>) {
+      if (!cfg_.allow_order_reversal) return false;
+      if (queued.combined || pkt.combined) return false;
+      if (queued.req.id.proc == pkt.req.id.proc) return false;
+      if (wait_size_ >= cfg_.wait_buffer_capacity) return false;
+      const auto r = core::compose_reversible(queued.req.f, pkt.req.f);
+      if (!r.reversed) return false;
+      WaitRecord wr;
+      wr.rec = core::CombineRecord<M>{queued.req.id, pkt.req.id, M{}};
+      pkt.path.push_back(static_cast<std::uint8_t>(in_port));
+      wr.path = std::move(pkt.path);
+      wr.reversed = true;
+      wr.absorbed_map = pkt.req.f;
+      queued.req.f = r.forwarded;
+      queued.combined = true;
+      wait_buffer_[queued.req.id].recs.push_back(std::move(wr));
+      ++wait_size_;
+      stats_.max_wait_buffer =
+          std::max<std::uint64_t>(stats_.max_wait_buffer, wait_size_);
+      ++combine_count_[queued.req.id];
+      ++stats_.combines;
+      ++stats_.reversed_combines;
+      if (events != nullptr) {
+        events->push_back({queued.req.id, pkt.req.id, pkt.req.addr, true});
+      }
+      return true;
+    } else {
+      (void)queued;
+      (void)pkt;
+      (void)in_port;
+      (void)events;
+      return false;
+    }
+  }
+
+  void deliver_reverse(RevPacket<M>&& pkt) {
+    // Decombine first: every record saved under this id spawns a reply.
+    if (auto it = wait_buffer_.find(pkt.reply.id); it != wait_buffer_.end()) {
+      std::vector<WaitRecord> recs = std::move(it->second.recs);
+      wait_buffer_.erase(it);
+      combine_count_.erase(pkt.reply.id);
+      KRS_ASSERT(wait_size_ >= recs.size());
+      wait_size_ -= recs.size();
+      const auto original_val = pkt.reply.value;
+      for (auto& wr : recs) {
+        RevPacket<M> second;
+        second.reply.id = wr.rec.second;
+        second.reply.value = wr.reversed
+                                 ? original_val
+                                 : core::decombine(wr.rec, original_val);
+        second.reply.completed = pkt.reply.completed;
+        second.path = std::move(wr.path);
+        second.nack = pkt.nack;
+        if (wr.reversed) {
+          // The representative executed after the absorbed store: its
+          // reply is the value that store wrote.
+          pkt.reply.value = wr.absorbed_map.apply(original_val);
+        }
+        route_out(std::move(second));
+      }
+    }
+    route_out(std::move(pkt));
+  }
+
+  void route_out(RevPacket<M>&& pkt) {
+    KRS_EXPECTS(!pkt.path.empty());
+    const unsigned port = pkt.path.back();
+    pkt.path.pop_back();
+    KRS_EXPECTS(port < 2);
+    rev_out_[port].push_back(std::move(pkt));
+    ++stats_.replies_forwarded;
+  }
+
+  SwitchConfig cfg_;
+  std::deque<FwdPacket<M>> fwd_out_[2];
+  std::deque<RevPacket<M>> rev_out_[2];
+  std::unordered_map<core::ReqId, WaitEntry, core::ReqIdHash> wait_buffer_;
+  std::unordered_map<core::ReqId, unsigned, core::ReqIdHash> combine_count_;
+  std::size_t wait_size_ = 0;
+  SwitchStats stats_;
+};
+
+}  // namespace krs::net

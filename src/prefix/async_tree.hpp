@@ -1,0 +1,135 @@
+// §6 — the combining network as an asynchronous parallel-prefix machine.
+//
+// This is a faithful executable of the paper's CSP processes, with real
+// threads and blocking channels replacing CSP rendezvous:
+//
+//   Leaf::      parent ! val;   parent ? val
+//   Node::      left ? lval;  right ? rval;  parent ! lval*rval;
+//               parent ? pval;  left ! pval;  right ! pval*lval
+//   Superoot::  child ? val;  child ! id
+//
+// On return, leaf i holds val_1 * … * val_{i-1} (the EXCLUSIVE prefix: the
+// reply an RMW request would receive from a combining network), and the
+// superoot holds val_1 * … * val_n (the value the memory cell ends with).
+//
+// "The global clock synchronization used by [Ladner–Fischer] is replaced by
+// local dataflow synchronization" — here literally: there is no barrier or
+// clock anywhere, only channel sends and receives.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/channel.hpp"
+
+namespace krs::prefix {
+
+template <typename T>
+struct AsyncPrefixResult {
+  std::vector<T> exclusive_prefix;  ///< per leaf: product of earlier leaves
+  T total;                          ///< product of all leaves (at superoot)
+  std::uint64_t applications = 0;   ///< * evaluations actually performed
+};
+
+/// Run the asynchronous prefix tree over `vals` with associative `op` and
+/// its identity. The tree splits n leaves as ⌈n/2⌉ / ⌊n/2⌋ at every level
+/// (a complete tree when n is a power of two). One thread per internal
+/// node, leaf, and superoot — pure message passing, no shared state.
+template <typename T, typename Op>
+AsyncPrefixResult<T> async_prefix(const std::vector<T>& vals, Op op,
+                                  const T& identity) {
+  KRS_EXPECTS(!vals.empty());
+  const std::size_t n = vals.size();
+  using Chan = util::Channel<T>;
+
+  AsyncPrefixResult<T> result;
+  result.exclusive_prefix.assign(n, identity);
+  std::atomic<std::uint64_t> apps{0};
+  const auto counted = [&op, &apps](const T& a, const T& b) {
+    apps.fetch_add(1, std::memory_order_relaxed);
+    return op(a, b);
+  };
+
+  // Channel pairs: up[i] carries child→parent values, down[i] parent→child,
+  // one pair per tree edge. Edges are created during recursive layout.
+  std::vector<std::unique_ptr<Chan>> ups, downs;
+  const auto new_edge = [&]() {
+    ups.push_back(std::make_unique<Chan>(1));
+    downs.push_back(std::make_unique<Chan>(1));
+    return ups.size() - 1;
+  };
+
+  struct NodeSpec {
+    std::size_t parent_edge;
+    std::size_t left_edge;
+    std::size_t right_edge;
+  };
+  struct LeafSpec {
+    std::size_t parent_edge;
+    std::size_t index;
+  };
+  std::vector<NodeSpec> nodes;
+  std::vector<LeafSpec> leaves;
+
+  // Lay out the subtree covering [lo, lo+len) hanging off `parent_edge`.
+  const auto layout = [&](auto&& self, std::size_t lo, std::size_t len,
+                          std::size_t parent_edge) -> void {
+    if (len == 1) {
+      leaves.push_back({parent_edge, lo});
+      return;
+    }
+    const std::size_t left_len = (len + 1) / 2;
+    const std::size_t le = new_edge();
+    const std::size_t re = new_edge();
+    nodes.push_back({parent_edge, le, re});
+    self(self, lo, left_len, le);
+    self(self, lo + left_len, len - left_len, re);
+  };
+  const std::size_t root_edge = new_edge();
+  layout(layout, 0, n, root_edge);
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(nodes.size() + leaves.size() + 1);
+
+    // Superoot: receives the total, replies with the identity.
+    threads.emplace_back([&] {
+      auto total = ups[root_edge]->receive();
+      KRS_ASSERT(total.has_value());
+      result.total = *std::move(total);
+      downs[root_edge]->send(identity);
+    });
+
+    for (const auto& nd : nodes) {
+      threads.emplace_back([&, nd] {
+        auto lval = ups[nd.left_edge]->receive();
+        auto rval = ups[nd.right_edge]->receive();
+        KRS_ASSERT(lval && rval);
+        ups[nd.parent_edge]->send(counted(*lval, *rval));
+        auto pval = downs[nd.parent_edge]->receive();
+        KRS_ASSERT(pval.has_value());
+        downs[nd.left_edge]->send(*pval);
+        downs[nd.right_edge]->send(counted(*pval, *lval));
+      });
+    }
+
+    for (const auto& lf : leaves) {
+      threads.emplace_back([&, lf] {
+        ups[lf.parent_edge]->send(vals[lf.index]);
+        auto pre = downs[lf.parent_edge]->receive();
+        KRS_ASSERT(pre.has_value());
+        result.exclusive_prefix[lf.index] = *std::move(pre);
+      });
+    }
+  }  // join all
+
+  result.applications = apps.load();
+  return result;
+}
+
+}  // namespace krs::prefix

@@ -1,0 +1,174 @@
+// Parallel-prefix circuit generators, for the §6 comparison with
+// Ladner–Fischer [12].
+//
+// A circuit is a DAG of binary * gates over n inputs computing all
+// EXCLUSIVE prefixes id, x1, x1*x2, …, x1*…*x_{n-1} — exclusive because
+// that is exactly what a combining network delivers: the reply to request i
+// is the prefix of the EARLIER requests applied to the cell, with no final
+// multiplication at the leaf. (The total x1*…*xn is produced as a
+// byproduct: the value the memory cell ends with.)
+//
+// Two classical constructions:
+//
+//  * tree_prefix_circuit — the up-sweep/down-sweep tree: gate-for-gate the
+//    operations of the combining tree of §6 (the size-economical end of
+//    the Ladner–Fischer recursive family). Size 2n − 2 − ⌈lg n⌉ for
+//    n = 2^k (checked by tests against analyze_prefix_tree and the paper's
+//    formula), depth ≈ 2 lg n.
+//
+//  * sklansky_prefix_circuit — the depth-optimal divide-and-conquer
+//    construction (Ladner–Fischer P0): depth ⌈lg n⌉, size ≈ (n/2)·lg n.
+//    More gates, half the depth: the size/depth trade-off the LF paper is
+//    about, reproduced in bench_prefix.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace krs::prefix {
+
+/// Operand reference: kIdentityRef, an input (< inputs), or a gate output
+/// (inputs + gate index).
+inline constexpr std::size_t kIdentityRef = static_cast<std::size_t>(-1);
+
+struct Gate {
+  std::size_t lhs;
+  std::size_t rhs;
+};
+
+struct PrefixCircuit {
+  std::size_t inputs = 0;
+  std::vector<Gate> gates;
+  /// outputs[i]: reference computing the exclusive prefix x1*…*x_{i-1}.
+  std::vector<std::size_t> outputs;
+  /// Reference computing the total product x1*…*xn.
+  std::size_t total = kIdentityRef;
+
+  [[nodiscard]] std::size_t size() const noexcept { return gates.size(); }
+
+  /// Depth of the deepest gate feeding an exclusive-prefix output (the
+  /// reply path; the total is excluded, mirroring §6's cycle count).
+  [[nodiscard]] std::size_t output_depth() const {
+    const auto d = gate_depths();
+    std::size_t out_max = 0;
+    for (const auto ref : outputs) out_max = std::max(out_max, ref_depth(ref, d));
+    return out_max;
+  }
+
+  /// Depth including the total product.
+  [[nodiscard]] std::size_t full_depth() const {
+    const auto d = gate_depths();
+    std::size_t m = ref_depth(total, d);
+    for (const auto ref : outputs) m = std::max(m, ref_depth(ref, d));
+    return m;
+  }
+
+  /// Evaluate over concrete values; returns the exclusive prefixes.
+  template <typename T, typename Op>
+  std::vector<T> evaluate(const std::vector<T>& xs, Op op,
+                          const T& identity) const {
+    T total_out{};
+    return evaluate_with_total(xs, op, identity, total_out);
+  }
+
+  template <typename T, typename Op>
+  std::vector<T> evaluate_with_total(const std::vector<T>& xs, Op op,
+                                     const T& identity, T& total_out) const {
+    KRS_EXPECTS(xs.size() == inputs);
+    std::vector<T> val;
+    val.reserve(gates.size());
+    const auto ref = [&](std::size_t r) -> const T& {
+      if (r == kIdentityRef) return identity;
+      return r < inputs ? xs[r] : val[r - inputs];
+    };
+    for (const auto& g : gates) val.push_back(op(ref(g.lhs), ref(g.rhs)));
+    std::vector<T> out;
+    out.reserve(outputs.size());
+    for (const auto r : outputs) out.push_back(ref(r));
+    total_out = ref(total);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> gate_depths() const {
+    std::vector<std::size_t> d(gates.size());
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      d[g] = 1 + std::max(ref_depth(gates[g].lhs, d),
+                          ref_depth(gates[g].rhs, d));
+    }
+    return d;
+  }
+
+  [[nodiscard]] std::size_t ref_depth(std::size_t ref,
+                                      const std::vector<std::size_t>& d) const {
+    if (ref == kIdentityRef || ref < inputs) return 0;
+    return d[ref - inputs];
+  }
+};
+
+/// The combining-tree (up/down sweep) exclusive-prefix circuit. The
+/// recursion passes `prefix`, the reference to the product of everything
+/// left of the current range (kIdentityRef on the leftmost spine — those
+/// multiplications are the trivial ones of §6 and are elided).
+inline PrefixCircuit tree_prefix_circuit(std::size_t n) {
+  KRS_EXPECTS(n >= 1);
+  PrefixCircuit c;
+  c.inputs = n;
+  c.outputs.assign(n, kIdentityRef);
+  // Build with an explicit recursive lambda returning the subtree product.
+  const auto build = [&](auto&& self, std::size_t lo, std::size_t len,
+                         std::size_t prefix) -> std::size_t {
+    if (len == 1) {
+      c.outputs[lo] = prefix;
+      return lo;
+    }
+    const std::size_t left = (len + 1) / 2;
+    const std::size_t lref = self(self, lo, left, prefix);
+    std::size_t rprefix;
+    if (prefix == kIdentityRef) {
+      rprefix = lref;  // the §6 trivial multiplication, elided
+    } else {
+      c.gates.push_back({prefix, lref});
+      rprefix = c.inputs + c.gates.size() - 1;
+    }
+    const std::size_t rref = self(self, lo + left, len - left, rprefix);
+    c.gates.push_back({lref, rref});
+    return c.inputs + c.gates.size() - 1;
+  };
+  c.total = n == 1 ? 0 : build(build, 0, n, kIdentityRef);
+  if (n == 1) c.outputs[0] = kIdentityRef;
+  return c;
+}
+
+/// Sklansky / Ladner–Fischer P0, exclusive form: compute the inclusive
+/// prefixes with the classical minimum-depth recursion, then shift.
+inline PrefixCircuit sklansky_prefix_circuit(std::size_t n) {
+  KRS_EXPECTS(n >= 1);
+  PrefixCircuit c;
+  c.inputs = n;
+  std::vector<std::size_t> inclusive(n, kIdentityRef);
+  const auto build = [&](auto&& self, std::size_t lo, std::size_t len) -> void {
+    if (len == 1) {
+      inclusive[lo] = lo;
+      return;
+    }
+    const std::size_t left = (len + 1) / 2;
+    self(self, lo, left);
+    self(self, lo + left, len - left);
+    const std::size_t lref = inclusive[lo + left - 1];
+    for (std::size_t i = lo + left; i < lo + len; ++i) {
+      c.gates.push_back({lref, inclusive[i]});
+      inclusive[i] = c.inputs + c.gates.size() - 1;
+    }
+  };
+  build(build, 0, n);
+  c.outputs.assign(n, kIdentityRef);
+  for (std::size_t i = 1; i < n; ++i) c.outputs[i] = inclusive[i - 1];
+  c.total = inclusive[n - 1];
+  return c;
+}
+
+}  // namespace krs::prefix

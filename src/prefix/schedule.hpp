@@ -1,0 +1,102 @@
+// §6 — operation counts and critical paths of the prefix tree.
+//
+// The paper: "Each internal node performs two multiplications, of which
+// ⌈lg n⌉ are trivial. Thus, 2n − 2 − ⌈lg n⌉ nontrivial multiplications are
+// done. The algorithm can be implemented to run in 2⌈lg n⌉ − 2
+// multiplication cycles, when globally synchronized."
+//
+// This header computes both quantities from the tree itself (no closed
+// form), so the tests can CHECK the paper's formulas rather than restate
+// them:
+//
+//  * nontrivial multiplications: every internal node multiplies once going
+//    up (lval*rval) and once going down (pval*lval for its right child);
+//    down-multiplications with pval = identity — the nodes on the leftmost
+//    spine — are trivial.
+//
+//  * multiplication cycles: the dataflow critical path where a nontrivial
+//    multiplication costs one cycle, messages are free, and a node may
+//    compute its down product as soon as pval and lval are available (it
+//    need not wait for its own up product — the eager schedule). The
+//    paper's figure counts the cycles until every LEAF has its prefix; the
+//    root's final product (the memory update) overlaps with the down sweep
+//    and is off that path.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace krs::prefix {
+
+struct ScheduleReport {
+  std::uint64_t internal_nodes = 0;
+  std::uint64_t total_multiplications = 0;     ///< 2 per internal node
+  std::uint64_t trivial_multiplications = 0;   ///< identity-operand downs
+  std::uint64_t nontrivial_multiplications = 0;
+  std::uint64_t leaf_critical_path = 0;   ///< cycles to all leaf prefixes
+  std::uint64_t total_critical_path = 0;  ///< cycles incl. the root product
+};
+
+/// Analyze the ⌈n/2⌉/⌊n/2⌋-split prefix tree over n leaves.
+inline ScheduleReport analyze_prefix_tree(std::size_t n) {
+  KRS_EXPECTS(n >= 1);
+  ScheduleReport r;
+  if (n == 1) return r;
+
+  // First pass: up times (product availability) plus node/mult counts.
+  const auto up = [&](auto&& self, std::size_t len) -> std::uint64_t {
+    if (len == 1) return 0;
+    const std::size_t left = (len + 1) / 2;
+    const std::uint64_t lt = self(self, left);
+    const std::uint64_t rt = self(self, len - left);
+    ++r.internal_nodes;
+    r.total_multiplications += 1;  // up multiplication (always nontrivial
+                                   // for len >= 2 operands... counted below)
+    return std::max(lt, rt) + 1;
+  };
+
+  // Second pass: down sweep. pval_id marks the leftmost spine. Returns the
+  // latest cycle at which a leaf of this subtree receives its prefix, given
+  // that pval arrives at `pval_time`.
+  const auto down = [&](auto&& self, std::size_t len, std::uint64_t pval_time,
+                        bool pval_id) -> std::uint64_t {
+    if (len == 1) return pval_time;
+    const std::size_t left = (len + 1) / 2;
+    // Recompute child up times locally (cheap; tree depth is log n).
+    const auto up_time = [](auto&& s, std::size_t l) -> std::uint64_t {
+      if (l == 1) return 0;
+      const std::size_t ll = (l + 1) / 2;
+      return std::max(s(s, ll), s(s, l - ll)) + 1;
+    };
+    const std::uint64_t lup = up_time(up_time, left);
+    r.total_multiplications += 1;  // down multiplication pval*lval
+    std::uint64_t right_pval_time;
+    bool right_pval_id = false;
+    if (pval_id) {
+      // pval is the identity: the right child's pval is just lval — the
+      // trivial multiplication of the left spine.
+      ++r.trivial_multiplications;
+      right_pval_time = lup;
+      right_pval_id = false;
+    } else {
+      right_pval_time = std::max(pval_time, lup) + 1;
+    }
+    const std::uint64_t ldone = self(self, left, pval_time, pval_id);
+    const std::uint64_t rdone =
+        self(self, len - left, right_pval_time, right_pval_id);
+    return std::max(ldone, rdone);
+  };
+
+  const std::uint64_t root_up = up(up, n);
+  r.leaf_critical_path = down(down, n, 0, true);
+  r.total_critical_path = std::max(r.leaf_critical_path, root_up);
+  r.nontrivial_multiplications =
+      r.total_multiplications - r.trivial_multiplications;
+  return r;
+}
+
+}  // namespace krs::prefix

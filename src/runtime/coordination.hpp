@@ -1,0 +1,135 @@
+// Fetch-and-add coordination algorithms — the "efficient coordination code
+// for the NYU Ultracomputer operating system" lineage ([10], §2) that
+// motivates making fetch-and-add combinable: none of these has a serial
+// critical section; every operation is a constant number of RMW accesses
+// that a combining memory serves in parallel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "runtime/fetch_and_op.hpp"
+#include "util/assert.hpp"
+
+namespace krs::runtime {
+
+/// Centralized fetch-and-add barrier: one fetch-and-add per arrival; the
+/// last arrival resets the count and advances the phase number. With
+/// combining (hardware or the software combining tree) the arrivals
+/// collapse into O(log P) memory operations.
+///
+/// Phase-numbered rather than sense-reversing so threads carry NO per-
+/// thread state: any `parties` threads (including freshly spawned ones)
+/// can use the barrier at any time — sense-reversing barriers go wrong
+/// when new threads join with a stale sense.
+class FaaBarrier {
+ public:
+  explicit FaaBarrier(unsigned parties) : parties_(parties) {
+    KRS_EXPECTS(parties >= 1);
+  }
+
+  void arrive_and_wait() {
+    const Word phase = phase_.load(std::memory_order_acquire);
+    if (fetch_and_add(count_, 1) == parties_ - 1) {
+      count_.store(0, std::memory_order_relaxed);
+      phase_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      unsigned spins = 0;
+      while (phase_.load(std::memory_order_acquire) == phase) {
+        if (++spins > 64) std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Backwards-compatible sense-style call; the flag is ignored but
+  /// flipped so loops written for sense-reversing barriers keep working.
+  void arrive_and_wait(bool& sense) {
+    arrive_and_wait();
+    sense = !sense;
+  }
+
+  [[nodiscard]] Word phase() const noexcept {
+    return phase_.load(std::memory_order_acquire);
+  }
+
+ private:
+  unsigned parties_;
+  std::atomic<Word> count_{0};
+  std::atomic<Word> phase_{0};
+};
+
+/// Readers–writers coordination in the busy-waiting fetch-and-add style of
+/// Gottlieb–Lubachevsky–Rudolph: readers announce with fetch-and-add and
+/// retreat if a writer holds the lock; a writer takes a flag with
+/// test-and-set (fetch-and-or) and waits for readers to drain.
+class FaaRwLock {
+ public:
+  void read_lock() {
+    unsigned spins = 0;
+    for (;;) {
+      fetch_and_add(readers_, 1);
+      if (writer_.load(std::memory_order_acquire) == 0) return;
+      // A writer is active or arriving: retreat and retry.
+      readers_.fetch_sub(1, std::memory_order_acq_rel);
+      while (writer_.load(std::memory_order_acquire) != 0) {
+        if (++spins > 64) std::this_thread::yield();
+      }
+    }
+  }
+
+  void read_unlock() { readers_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  void write_lock() {
+    unsigned spins = 0;
+    while (test_and_set(writer_)) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+    // Wait for in-flight readers to drain or retreat.
+    while (readers_.load(std::memory_order_acquire) != 0) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+  }
+
+  void write_unlock() { writer_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<Word> readers_{0};
+  std::atomic<Word> writer_{0};
+};
+
+/// Counting semaphore with busy-waiting P/V on a fetch-and-add counter —
+/// Dijkstra's semaphore implemented the replace-add way: P provisionally
+/// decrements and retreats if the result went negative.
+class FaaSemaphore {
+ public:
+  explicit FaaSemaphore(std::int64_t initial) : value_(initial) {}
+
+  void p() {
+    unsigned spins = 0;
+    for (;;) {
+      if (value_.fetch_sub(1, std::memory_order_acq_rel) > 0) return;
+      value_.fetch_add(1, std::memory_order_acq_rel);  // retreat
+      while (value_.load(std::memory_order_acquire) <= 0) {
+        if (++spins > 64) std::this_thread::yield();
+      }
+    }
+  }
+
+  [[nodiscard]] bool try_p() {
+    if (value_.fetch_sub(1, std::memory_order_acq_rel) > 0) return true;
+    value_.fetch_add(1, std::memory_order_acq_rel);
+    return false;
+  }
+
+  void v() { value_.fetch_add(1, std::memory_order_acq_rel); }
+
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_;
+};
+
+}  // namespace krs::runtime

@@ -1,0 +1,65 @@
+// The paper's RMW repertoire on real hardware atomics.
+//
+// On modern CPUs fetch-and-add / and / or / xor are single instructions
+// (the direct legacy of the fetch-and-add line of work this paper sits in);
+// fetch-and-min/max and general fetch-and-θ are compare-exchange loops.
+// These wrappers give the whole §5 catalogue one spelling, so the examples
+// and coordination algorithms read like the paper.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+
+namespace krs::runtime {
+
+using Word = std::uint64_t;
+
+inline Word fetch_and_add(std::atomic<Word>& x, Word a) noexcept {
+  return x.fetch_add(a, std::memory_order_acq_rel);
+}
+
+inline Word fetch_and_or(std::atomic<Word>& x, Word a) noexcept {
+  return x.fetch_or(a, std::memory_order_acq_rel);
+}
+
+inline Word fetch_and_and(std::atomic<Word>& x, Word a) noexcept {
+  return x.fetch_and(a, std::memory_order_acq_rel);
+}
+
+inline Word fetch_and_xor(std::atomic<Word>& x, Word a) noexcept {
+  return x.fetch_xor(a, std::memory_order_acq_rel);
+}
+
+/// test-and-set(X) ≡ fetch-and-OR(X, 1) (§5.2).
+inline bool test_and_set(std::atomic<Word>& x) noexcept {
+  return (fetch_and_or(x, 1) & 1) != 0;
+}
+
+/// swap: Y ← RMW(X, I_Y) (§2).
+inline Word swap(std::atomic<Word>& x, Word v) noexcept {
+  return x.exchange(v, std::memory_order_acq_rel);
+}
+
+/// General fetch-and-θ for any update function, via a CAS loop — the
+/// "semantically atomic" RMW(X, f) of §2 on hardware that only provides
+/// compare-and-swap.
+template <std::invocable<Word> F>
+Word fetch_and_theta(std::atomic<Word>& x, F&& f) noexcept {
+  Word old = x.load(std::memory_order_relaxed);
+  while (!x.compare_exchange_weak(old, f(old), std::memory_order_acq_rel,
+                                  std::memory_order_relaxed)) {
+  }
+  return old;
+}
+
+/// fetch-and-min — "useful for allocation with priorities" (§5.2).
+inline Word fetch_and_min(std::atomic<Word>& x, Word a) noexcept {
+  return fetch_and_theta(x, [a](Word v) { return v < a ? v : a; });
+}
+
+inline Word fetch_and_max(std::atomic<Word>& x, Word a) noexcept {
+  return fetch_and_theta(x, [a](Word v) { return v > a ? v : a; });
+}
+
+}  // namespace krs::runtime

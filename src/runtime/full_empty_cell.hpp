@@ -1,0 +1,132 @@
+// A HEP-style full/empty tagged cell (§5.5) on real threads.
+//
+// The four basic operations map to:
+//   store-if-clear-and-set  → put / try_put   (write an empty cell, fill it)
+//   load-and-clear(if set)  → take / try_take (read a full cell, empty it)
+//   load (if set)           → read            (read a full cell, leave full)
+//   store-and-set           → overwrite       (unconditional write)
+//
+// Busy-waiting follows the paper's model: a failed conditional operation is
+// a negative acknowledgment; the caller retries (with exponential backoff
+// to std::this_thread::yield). The cell state machine uses an extra
+// transient state to make the data transfer atomic with the tag flip.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace krs::runtime {
+
+namespace detail {
+
+inline void backoff(unsigned& spins) noexcept {
+  if (++spins > 64) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace detail
+
+template <typename T>
+class FullEmptyCell {
+ public:
+  FullEmptyCell() = default;
+
+  explicit FullEmptyCell(T initial) : slot_(std::move(initial)) {
+    state_.store(kFull, std::memory_order_release);
+  }
+
+  FullEmptyCell(const FullEmptyCell&) = delete;
+  FullEmptyCell& operator=(const FullEmptyCell&) = delete;
+
+  [[nodiscard]] bool full() const noexcept {
+    return state_.load(std::memory_order_acquire) == kFull;
+  }
+
+  /// store-if-clear-and-set: succeeds only on an empty cell.
+  bool try_put(T v) {
+    std::uint8_t expect = kEmpty;
+    if (!state_.compare_exchange_strong(expect, kBusy,
+                                        std::memory_order_acquire)) {
+      return false;  // negative acknowledgment
+    }
+    slot_ = std::move(v);
+    state_.store(kFull, std::memory_order_release);
+    return true;
+  }
+
+  /// Blocking put: retry until the cell is empty.
+  void put(T v) {
+    unsigned spins = 0;
+    while (!try_put(std::move(v))) detail::backoff(spins);
+  }
+
+  /// load-and-clear (conditional on full): empties the cell.
+  std::optional<T> try_take() {
+    std::uint8_t expect = kFull;
+    if (!state_.compare_exchange_strong(expect, kBusy,
+                                        std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    T v = std::move(slot_);
+    state_.store(kEmpty, std::memory_order_release);
+    return v;
+  }
+
+  T take() {
+    unsigned spins = 0;
+    for (;;) {
+      if (auto v = try_take()) return *std::move(v);
+      detail::backoff(spins);
+    }
+  }
+
+  /// load (conditional on full): copies without emptying.
+  std::optional<T> try_read() {
+    std::uint8_t expect = kFull;
+    if (!state_.compare_exchange_strong(expect, kBusy,
+                                        std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    T v = slot_;
+    state_.store(kFull, std::memory_order_release);
+    return v;
+  }
+
+  T read() {
+    unsigned spins = 0;
+    for (;;) {
+      if (auto v = try_read()) return *std::move(v);
+      detail::backoff(spins);
+    }
+  }
+
+  /// store-and-set: unconditional write; cell ends full.
+  void overwrite(T v) {
+    unsigned spins = 0;
+    for (;;) {
+      std::uint8_t s = state_.load(std::memory_order_relaxed);
+      if (s != kBusy &&
+          state_.compare_exchange_strong(s, kBusy,
+                                         std::memory_order_acquire)) {
+        slot_ = std::move(v);
+        state_.store(kFull, std::memory_order_release);
+        return;
+      }
+      detail::backoff(spins);
+    }
+  }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kFull = 1;
+  static constexpr std::uint8_t kBusy = 2;
+
+  std::atomic<std::uint8_t> state_{kEmpty};
+  T slot_{};
+};
+
+}  // namespace krs::runtime

@@ -1,0 +1,95 @@
+// A group lock in the Gottlieb–Lubachevsky–Rudolph coordination style
+// ([10]): threads of the SAME group may hold the lock concurrently;
+// different groups exclude each other. Readers–writers is the two-group
+// special case (group "read" of unbounded width, group "write" used one at
+// a time); the §5.6 data-level synchronization automaton is the same idea
+// pushed into the memory tag of a single cell.
+//
+// State is one word: the active group id (or none) and the member count,
+// updated with compare-exchange (a combinable fetch-and-add suffices on a
+// machine with wide combining; CAS is the portable spelling).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace krs::runtime {
+
+class GroupLock {
+ public:
+  static constexpr std::uint16_t kMaxGroup = 0xFFFE;
+
+  /// Enter as a member of `group`; blocks while another group is active.
+  void enter(std::uint16_t group) {
+    KRS_EXPECTS(group <= kMaxGroup);
+    const std::uint64_t tag = static_cast<std::uint64_t>(group) + 1;
+    unsigned spins = 0;
+    for (;;) {
+      std::uint64_t s = state_.load(std::memory_order_acquire);
+      const std::uint64_t active = s >> kCountBits;
+      if (active == 0 || active == tag) {
+        const std::uint64_t count = s & kCountMask;
+        const std::uint64_t next = (tag << kCountBits) | (count + 1);
+        if (state_.compare_exchange_weak(s, next, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+        continue;  // contention on our own group: retry immediately
+      }
+      if (++spins > 64) std::this_thread::yield();
+    }
+  }
+
+  [[nodiscard]] bool try_enter(std::uint16_t group) {
+    KRS_EXPECTS(group <= kMaxGroup);
+    const std::uint64_t tag = static_cast<std::uint64_t>(group) + 1;
+    std::uint64_t s = state_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint64_t active = s >> kCountBits;
+      if (active != 0 && active != tag) return false;
+      const std::uint64_t count = s & kCountMask;
+      const std::uint64_t next = (tag << kCountBits) | (count + 1);
+      if (state_.compare_exchange_weak(s, next, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Leave; the last member out frees the lock for any group.
+  void leave() {
+    std::uint64_t s = state_.load(std::memory_order_relaxed);
+    for (;;) {
+      const std::uint64_t count = s & kCountMask;
+      KRS_ASSERT(count > 0);
+      const std::uint64_t next =
+          count == 1 ? 0 : (s & ~kCountMask) | (count - 1);
+      if (state_.compare_exchange_weak(s, next, std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  /// Active group id, if any (diagnostics; racy).
+  [[nodiscard]] std::int32_t active_group() const {
+    const std::uint64_t s = state_.load(std::memory_order_acquire);
+    const std::uint64_t active = s >> kCountBits;
+    return active == 0 ? -1 : static_cast<std::int32_t>(active - 1);
+  }
+
+  [[nodiscard]] std::uint64_t member_count() const {
+    return state_.load(std::memory_order_acquire) & kCountMask;
+  }
+
+ private:
+  static constexpr unsigned kCountBits = 48;
+  static constexpr std::uint64_t kCountMask = (std::uint64_t{1} << kCountBits) - 1;
+
+  std::atomic<std::uint64_t> state_{0};
+};
+
+}  // namespace krs::runtime

@@ -1,0 +1,114 @@
+// The Ultracomputer parallel FIFO queue (Gottlieb–Lubachevsky–Rudolph [10]),
+// modernized: enqueuers and dequeuers claim slots with fetch-and-add on two
+// tickets, and each slot carries a phase tag (the per-cell analogue of a
+// full/empty bit with a round counter) so that a producer waits for its
+// slot to be empty *for its round* and a consumer for full *for its round*.
+// No critical section anywhere: with combining memory the ticket
+// fetch-and-adds are conflict-free, which is precisely why the paper's
+// machine wanted combinable fetch-and-add.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace krs::runtime {
+
+template <typename T>
+class ParallelQueue {
+ public:
+  /// Capacity must be a power of two.
+  explicit ParallelQueue(std::size_t capacity) : cells_(capacity) {
+    KRS_EXPECTS(capacity >= 1 && util::is_pow2(capacity));
+    for (std::size_t i = 0; i < capacity; ++i) {
+      cells_[i].phase.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  ParallelQueue(const ParallelQueue&) = delete;
+  ParallelQueue& operator=(const ParallelQueue&) = delete;
+
+  /// Non-blocking enqueue; false when the queue is full.
+  bool try_enqueue(T v) {
+    std::uint64_t ticket = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[ticket & (cells_.size() - 1)];
+      const std::uint64_t phase = c.phase.load(std::memory_order_acquire);
+      if (phase == ticket) {
+        // Slot empty for this round: claim the ticket.
+        if (tail_.compare_exchange_weak(ticket, ticket + 1,
+                                        std::memory_order_relaxed)) {
+          c.item = std::move(v);
+          c.phase.store(ticket + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (phase < ticket) {
+        return false;  // still occupied by the previous round: full
+      } else {
+        ticket = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Non-blocking dequeue; nullopt when the queue is empty.
+  std::optional<T> try_dequeue() {
+    std::uint64_t ticket = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& c = cells_[ticket & (cells_.size() - 1)];
+      const std::uint64_t phase = c.phase.load(std::memory_order_acquire);
+      if (phase == ticket + 1) {
+        if (head_.compare_exchange_weak(ticket, ticket + 1,
+                                        std::memory_order_relaxed)) {
+          T v = std::move(c.item);
+          c.phase.store(ticket + cells_.size(), std::memory_order_release);
+          return v;
+        }
+      } else if (phase < ticket + 1) {
+        return std::nullopt;  // producer not done yet: empty
+      } else {
+        ticket = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void enqueue(T v) {
+    unsigned spins = 0;
+    while (!try_enqueue(std::move(v))) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+  }
+
+  T dequeue() {
+    unsigned spins = 0;
+    for (;;) {
+      if (auto v = try_dequeue()) return *std::move(v);
+      if (++spins > 64) std::this_thread::yield();
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cells_.size(); }
+
+  /// Approximate size (racy; exact when quiescent).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const auto t = tail_.load(std::memory_order_acquire);
+    const auto h = head_.load(std::memory_order_acquire);
+    return t >= h ? static_cast<std::size_t>(t - h) : 0;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> phase{0};
+    T item{};
+  };
+
+  std::vector<Cell> cells_;
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace krs::runtime

@@ -1,0 +1,50 @@
+// A fetch-and-add ticket lock: the textbook application of the
+// "fetch-and-add hands out distinct tickets" property that combining makes
+// contention-free. Acquire takes one fetch-and-add (combinable — under a
+// combining memory P simultaneous acquirers cost O(log P) network work);
+// release is one store. FIFO-fair by construction, unlike test-and-set
+// spin locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace krs::runtime {
+
+class TicketLock {
+ public:
+  void lock() noexcept {
+    const std::uint64_t my =
+        next_.fetch_add(1, std::memory_order_acq_rel);
+    unsigned spins = 0;
+    while (serving_.load(std::memory_order_acquire) != my) {
+      if (++spins > 64) std::this_thread::yield();
+    }
+  }
+
+  bool try_lock() noexcept {
+    std::uint64_t serving = serving_.load(std::memory_order_acquire);
+    std::uint64_t expected = serving;
+    // Take a ticket only if it would be served immediately.
+    return next_.compare_exchange_strong(expected, serving + 1,
+                                         std::memory_order_acq_rel);
+  }
+
+  void unlock() noexcept {
+    serving_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Number of waiters currently queued (approximate).
+  [[nodiscard]] std::uint64_t queue_length() const noexcept {
+    const auto n = next_.load(std::memory_order_acquire);
+    const auto s = serving_.load(std::memory_order_acquire);
+    return n > s ? n - s : 0;
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> next_{0};
+  alignas(64) std::atomic<std::uint64_t> serving_{0};
+};
+
+}  // namespace krs::runtime

@@ -1,0 +1,88 @@
+// A static combining-tree barrier: arrivals combine pairwise up a binary
+// tree (each node's last arrival propagates), the release fans back down —
+// the software shape of §6's combining tree, specialized to the barrier
+// where the combined "operation" is just a count. Unlike the centralized
+// fetch-and-add barrier, no single cell takes P updates per phase, so the
+// structure scales on machines WITHOUT combining hardware — the software
+// fallback the Ultracomputer line of work contrasts against.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace krs::runtime {
+
+class TreeBarrier {
+ public:
+  /// `parties` threads, identified by slot 0..parties-1.
+  explicit TreeBarrier(unsigned parties) : parties_(parties) {
+    KRS_EXPECTS(parties >= 1);
+    // Internal nodes in heap layout over ceil_pow2(parties) leaves.
+    const auto width = util::ceil_pow2(parties);
+    nodes_.resize(width);
+    for (auto& n : nodes_) n = std::make_unique<Node>();
+  }
+
+  void arrive_and_wait(unsigned slot, bool& sense) {
+    KRS_EXPECTS(slot < parties_);
+    const bool my_sense = sense;
+    // Ascend: the second arrival at each node continues upward; the first
+    // waits for the release wave.
+    unsigned node = (static_cast<unsigned>(nodes_.size()) + slot) / 2;
+    bool climbing = true;
+    while (climbing && node >= 1) {
+      // A node with a single child (odd parties padding) auto-continues.
+      if (!has_sibling(slot, node)) {
+        node /= 2;
+        continue;
+      }
+      if (!nodes_[node]->arrived.exchange(true, std::memory_order_acq_rel)) {
+        climbing = false;  // first at this node: wait here
+        break;
+      }
+      nodes_[node]->arrived.store(false, std::memory_order_relaxed);
+      node /= 2;
+    }
+    if (node < 1 || climbing) {
+      // Reached past the root: this thread triggers the release.
+      release_.store(my_sense, std::memory_order_release);
+    } else {
+      unsigned spins = 0;
+      while (release_.load(std::memory_order_acquire) != my_sense) {
+        if (++spins > 64) std::this_thread::yield();
+      }
+    }
+    sense = !sense;
+  }
+
+ private:
+  struct Node {
+    std::atomic<bool> arrived{false};
+  };
+
+  /// Whether this node actually has two live children for the given
+  /// party count (padding leaves of a non-power-of-two count are absent).
+  [[nodiscard]] bool has_sibling(unsigned /*slot*/, unsigned node) const {
+    // A node combines two subtrees; when the party count is not a power of
+    // two, a right subtree may contain no live leaf — then the node has a
+    // single effective child and arrivals pass through. Find the leftmost
+    // leaf (heap descent by left children) of the right child's subtree.
+    const auto width = static_cast<unsigned>(nodes_.size());
+    unsigned right = 2 * node + 1;
+    while (right < width) right *= 2;
+    const unsigned right_leaf_slot = right - width;
+    return right_leaf_slot < parties_;
+  }
+
+  unsigned parties_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<bool> release_{false};
+};
+
+}  // namespace krs::runtime

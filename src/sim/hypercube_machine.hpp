@@ -1,0 +1,336 @@
+// §7: "the mechanisms described in this paper can be easily adopted for
+// use by direct connection machines, such as the cosmic cube, where the
+// processors themselves act like network switches and the local memories
+// at each node are all viewed as part of a distributed, shared memory."
+//
+// A 2^d-node hypercube: every node hosts a processor, a memory module
+// owning the addresses that hash to it, and a router. Requests travel by
+// e-cube (dimension-order) routing — a unique, deterministic path, so the
+// §4.1 assumptions (non-overtaking, reply retraces the path) hold exactly
+// as in the indirect network. Each router output link carries a combining
+// FIFO with the same youngest-match rule and wait-buffer decombination as
+// the 2×2 switch; the Theorem 4.2 checker applies unchanged.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/combining.hpp"
+#include "core/rmw.hpp"
+#include "core/types.hpp"
+#include "mem/module.hpp"
+#include "net/packet.hpp"
+#include "net/switch.hpp"
+#include "proc/processor.hpp"
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+#include "util/stats.hpp"
+
+namespace krs::sim {
+
+template <core::Rmw M>
+struct HypercubeConfig {
+  unsigned dimensions = 3;  ///< 2^d nodes
+  mem::ModuleConfig mem_cfg{};
+  typename M::value_type initial_value{};
+  unsigned window = 4;
+  std::size_t link_queue_capacity = 4;
+  net::CombinePolicy policy = net::CombinePolicy::kUnlimited;
+  std::size_t wait_buffer_capacity = 64;
+};
+
+struct HypercubeStats {
+  core::Tick cycles = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t combines = 0;
+  std::uint64_t hops = 0;  ///< request link traversals
+  util::LogHistogram latency;
+  double throughput_ops_per_cycle = 0.0;
+};
+
+template <core::Rmw M>
+class HypercubeMachine {
+ public:
+  using rmw_type = M;
+  using Value = typename M::value_type;
+  using Fwd = net::FwdPacket<M>;
+  using Rev = net::RevPacket<M>;
+
+  HypercubeMachine(HypercubeConfig<M> cfg,
+                   std::vector<std::unique_ptr<proc::TrafficSource<M>>> sources)
+      : cfg_(cfg), sources_(std::move(sources)) {
+    KRS_EXPECTS(cfg_.dimensions >= 1 && cfg_.dimensions <= 10);
+    const std::uint32_t n = nodes();
+    KRS_EXPECTS(sources_.size() == n);
+    node_.resize(n);
+    for (std::uint32_t u = 0; u < n; ++u) {
+      node_[u].memory =
+          std::make_unique<mem::MemoryModule<M>>(cfg_.mem_cfg,
+                                                 cfg_.initial_value);
+      node_[u].proc = std::make_unique<proc::Processor<M>>(
+          u, cfg_.window, /*processor_side=*/false, sources_[u].get());
+      node_[u].out_req.resize(cfg_.dimensions);
+      node_[u].in_req.resize(cfg_.dimensions);
+      node_[u].in_rep.resize(cfg_.dimensions);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t nodes() const noexcept {
+    return 1u << cfg_.dimensions;
+  }
+
+  [[nodiscard]] std::uint32_t node_of(core::Addr addr) const noexcept {
+    return static_cast<std::uint32_t>(addr & (nodes() - 1));
+  }
+
+  void tick() {
+    step_replies();
+    step_memory();
+    step_requests();
+    for (auto& nd : node_) nd.proc->tick(now_);
+    ++now_;
+  }
+
+  bool run(core::Tick max_cycles) {
+    while (now_ < max_cycles) {
+      tick();
+      if (drained()) return true;
+    }
+    return drained();
+  }
+
+  [[nodiscard]] bool drained() const {
+    for (const auto& nd : node_) {
+      if (!nd.proc->quiescent() || !nd.memory->idle()) return false;
+      if (!nd.wait_buffer.empty() || !nd.local_rep.empty()) return false;
+      for (const auto& q : nd.out_req) {
+        if (!q.empty()) return false;
+      }
+      for (const auto& q : nd.in_req) {
+        if (!q.empty()) return false;
+      }
+      for (const auto& q : nd.in_rep) {
+        if (!q.empty()) return false;
+      }
+      if (!nd.inject.empty()) return false;
+    }
+    return true;
+  }
+
+  // --- checker interface -----------------------------------------------------
+  [[nodiscard]] std::uint32_t processors() const noexcept { return nodes(); }
+  [[nodiscard]] const mem::MemoryModule<M>& module(std::uint32_t u) const {
+    return *node_[u].memory;
+  }
+  [[nodiscard]] const std::vector<proc::CompletedOp<M>>& completed() const {
+    return completed_;
+  }
+  [[nodiscard]] const std::vector<net::CombineEvent>& combine_log() const {
+    return combine_log_;
+  }
+  [[nodiscard]] Value value_at(core::Addr addr) const {
+    return node_[node_of(addr)].memory->value_at(addr);
+  }
+  [[nodiscard]] core::Tick now() const noexcept { return now_; }
+
+  [[nodiscard]] HypercubeStats stats() const {
+    HypercubeStats s;
+    s.cycles = now_;
+    s.ops_completed = completed_.size();
+    for (const auto& op : completed_) s.latency.add(op.completed - op.issued);
+    s.combines = combines_;
+    s.hops = hops_;
+    s.throughput_ops_per_cycle =
+        now_ > 0
+            ? static_cast<double>(completed_.size()) / static_cast<double>(now_)
+            : 0.0;
+    return s;
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<mem::MemoryModule<M>> memory;
+    std::unique_ptr<proc::Processor<M>> proc;
+    /// Per-dimension outgoing request FIFO (combining happens here) and
+    /// incoming staging (one slot per link per cycle).
+    std::vector<std::deque<Fwd>> out_req;
+    std::vector<std::deque<Fwd>> in_req;
+    std::vector<std::deque<Rev>> in_rep;
+    /// Requests injected by the local processor, pre-routing.
+    std::deque<Fwd> inject;
+    /// Replies destined for the local processor.
+    std::deque<Rev> local_rep;
+    /// Decombination records, keyed by representative id.
+    struct WaitRecord {
+      core::CombineRecord<M> rec;
+      std::vector<std::uint8_t> path;
+    };
+    std::unordered_map<core::ReqId, std::vector<WaitRecord>, core::ReqIdHash>
+        wait_buffer;
+  };
+
+  /// e-cube: the dimension of the lowest differing bit (deterministic,
+  /// unique path — the §4.1 assumptions hold).
+  [[nodiscard]] static unsigned route_dim(std::uint32_t u, std::uint32_t v) {
+    KRS_EXPECTS(u != v);
+    const std::uint32_t diff = u ^ v;
+    return util::log2_floor(diff & (~diff + 1u));
+  }
+
+  // Path header encoding: each hop stores the dimension it arrived on.
+  // The reply leaves node u back along the last recorded dimension.
+
+  void step_replies() {
+    // Replies hop one link per cycle; deliver local ones to the processor.
+    for (std::uint32_t u = 0; u < nodes(); ++u) {
+      Node& nd = node_[u];
+      while (!nd.local_rep.empty()) {
+        Rev rev = std::move(nd.local_rep.front());
+        nd.local_rep.pop_front();
+        KRS_ASSERT(rev.path.empty());
+        nd.proc->deliver(std::move(rev), now_, &completed_);
+      }
+      for (unsigned dim = 0; dim < cfg_.dimensions; ++dim) {
+        if (nd.in_rep[dim].empty()) continue;
+        Rev rev = std::move(nd.in_rep[dim].front());
+        nd.in_rep[dim].pop_front();
+        deliver_reply(u, std::move(rev));
+      }
+    }
+  }
+
+  /// A reply present AT node u (after crossing a link or leaving memory):
+  /// decombine against u's wait buffer, then route onward.
+  void deliver_reply(std::uint32_t u, Rev&& rev) {
+    Node& nd = node_[u];
+    if (auto it = nd.wait_buffer.find(rev.reply.id);
+        it != nd.wait_buffer.end()) {
+      auto recs = std::move(it->second);
+      nd.wait_buffer.erase(it);
+      for (auto& wr : recs) {
+        Rev second;
+        second.reply.id = wr.rec.second;
+        second.reply.value = core::decombine(wr.rec, rev.reply.value);
+        second.reply.completed = rev.reply.completed;
+        second.path = std::move(wr.path);
+        route_reply(u, std::move(second));
+      }
+    }
+    route_reply(u, std::move(rev));
+  }
+
+  void route_reply(std::uint32_t u, Rev&& rev) {
+    Node& nd = node_[u];
+    if (rev.path.empty()) {
+      nd.local_rep.push_back(std::move(rev));
+      return;
+    }
+    const unsigned dim = rev.path.back();
+    rev.path.pop_back();
+    KRS_ASSERT(dim < cfg_.dimensions);
+    // Staged at the neighbor; processed next cycle (one hop per cycle).
+    node_[u ^ (1u << dim)].in_rep[dim].push_back(std::move(rev));
+  }
+
+  void step_memory() {
+    for (std::uint32_t u = 0; u < nodes(); ++u) {
+      Node& nd = node_[u];
+      std::vector<Rev> due;
+      nd.memory->tick(now_, due);
+      for (auto& rev : due) deliver_reply(u, std::move(rev));
+    }
+  }
+
+  void step_requests() {
+    // Two passes so a packet moves one hop per cycle: first every node
+    // routes what arrived LAST cycle (plus local injections), then output
+    // FIFO heads cross their links into next-cycle staging.
+    for (std::uint32_t u = 0; u < nodes(); ++u) {
+      Node& nd = node_[u];
+      for (unsigned dim = 0; dim < cfg_.dimensions; ++dim) {
+        if (nd.in_req[dim].empty()) continue;
+        Fwd pkt = std::move(nd.in_req[dim].front());
+        nd.in_req[dim].pop_front();
+        pkt.path.push_back(static_cast<std::uint8_t>(dim));
+        if (!accept_at_node(u, std::move(pkt))) {
+          // No space: un-stage (retry next cycle). Restore the path mark.
+          Fwd back = std::move(un_staged_);
+          back.path.pop_back();
+          nd.in_req[dim].push_front(std::move(back));
+        }
+      }
+      if (const Fwd* head = nd.proc->peek_outgoing(); head != nullptr) {
+        Fwd pkt = *head;
+        if (accept_at_node(u, std::move(pkt))) nd.proc->pop_outgoing();
+      }
+    }
+    for (std::uint32_t u = 0; u < nodes(); ++u) {
+      Node& nd = node_[u];
+      for (unsigned dim = 0; dim < cfg_.dimensions; ++dim) {
+        if (nd.out_req[dim].empty()) continue;
+        Node& peer = node_[u ^ (1u << dim)];
+        if (!peer.in_req[dim].empty()) continue;  // staging slot busy
+        peer.in_req[dim].push_back(std::move(nd.out_req[dim].front()));
+        nd.out_req[dim].pop_front();
+        ++hops_;
+      }
+    }
+  }
+
+  /// Route a request present at node u into the local memory or the proper
+  /// output FIFO, combining youngest-match. Returns false when the target
+  /// FIFO is full (caller must restore the packet; see un_staged_).
+  bool accept_at_node(std::uint32_t u, Fwd&& pkt) {
+    Node& nd = node_[u];
+    const std::uint32_t dest = node_of(pkt.req.addr);
+    if (dest == u) {
+      if (!nd.memory->can_accept(pkt)) {
+        un_staged_ = std::move(pkt);
+        return false;
+      }
+      nd.memory->accept(std::move(pkt), &combine_log_);
+      return true;
+    }
+    const unsigned dim = route_dim(u, dest);
+    auto& q = nd.out_req[dim];
+    if (cfg_.policy != net::CombinePolicy::kNone &&
+        pkt.kind == net::TxnKind::kRmw) {
+      for (auto it = q.rbegin(); it != q.rend(); ++it) {
+        if (it->kind != net::TxnKind::kRmw || it->req.addr != pkt.req.addr) {
+          continue;
+        }
+        if (nd.wait_buffer.size() >= cfg_.wait_buffer_capacity) break;
+        auto rec = core::try_combine(it->req, pkt.req);
+        if (!rec) break;
+        it->combined = true;
+        nd.wait_buffer[it->req.id].push_back(
+            typename Node::WaitRecord{*rec, std::move(pkt.path)});
+        ++combines_;
+        combine_log_.push_back({rec->representative, rec->second,
+                                pkt.req.addr, false});
+        return true;
+      }
+    }
+    if (q.size() >= cfg_.link_queue_capacity) {
+      un_staged_ = std::move(pkt);
+      return false;
+    }
+    q.push_back(std::move(pkt));
+    return true;
+  }
+
+  HypercubeConfig<M> cfg_;
+  std::vector<std::unique_ptr<proc::TrafficSource<M>>> sources_;
+  std::vector<Node> node_;
+  std::vector<proc::CompletedOp<M>> completed_;
+  std::vector<net::CombineEvent> combine_log_;
+  std::uint64_t combines_ = 0;
+  std::uint64_t hops_ = 0;
+  Fwd un_staged_{};
+  core::Tick now_ = 0;
+};
+
+}  // namespace krs::sim

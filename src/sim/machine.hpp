@@ -1,0 +1,312 @@
+// The simulated multiprocessor (§3–§4): n processors, a k-stage Omega
+// network of combining 2×2 switches, and n independent memory modules with
+// memory-side RMW. Cycle-accurate at packet granularity: one packet per
+// link per direction per cycle, one service per module per cycle.
+//
+// The machine records everything the §4.3 correctness argument needs:
+//  * every combine event (representative, absorbed) in chronological order,
+//  * each module's serial processing order of (possibly combined) requests,
+//  * each completed operation's original mapping and observed reply.
+// The verifier (src/verify) expands the combined messages into the request
+// sequences they represent (Lemma 4.1) and replays them serially.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/combining.hpp"
+#include "core/rmw.hpp"
+#include "core/types.hpp"
+#include "mem/module.hpp"
+#include "net/omega.hpp"
+#include "net/packet.hpp"
+#include "net/switch.hpp"
+#include "proc/processor.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace krs::sim {
+
+using core::Addr;
+using core::ReqId;
+using core::Tick;
+
+template <core::Rmw M>
+struct MachineConfig {
+  unsigned log2_procs = 3;  ///< n = 2^k processors, modules, and stages k
+  net::SwitchConfig switch_cfg{};
+  mem::ModuleConfig mem_cfg{};
+  typename M::value_type initial_value{};
+  unsigned window = 4;             ///< outstanding ops per processor
+  bool processor_side_rmw = false; ///< use the §2 baseline implementation
+};
+
+struct MachineStats {
+  Tick cycles = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t combines = 0;
+  std::uint64_t switch_stall_cycles = 0;
+  /// Request messages (and their bytes) that actually occupied link/queue
+  /// slots, summed over all switches — combining shows up as a reduction
+  /// relative to ops × stages.
+  std::uint64_t request_messages = 0;
+  std::uint64_t request_bytes = 0;
+  util::LogHistogram latency;
+  double throughput_ops_per_cycle = 0.0;
+};
+
+template <core::Rmw M>
+class Machine {
+ public:
+  using rmw_type = M;
+  using Value = typename M::value_type;
+  using Fwd = net::FwdPacket<M>;
+  using Rev = net::RevPacket<M>;
+
+  Machine(MachineConfig<M> cfg,
+          std::vector<std::unique_ptr<proc::TrafficSource<M>>> sources)
+      : cfg_(cfg), topo_(cfg.log2_procs), sources_(std::move(sources)) {
+    const auto n = topo_.ports();
+    KRS_EXPECTS(sources_.size() == n);
+    stages_.resize(topo_.stages());
+    arb_priority_.assign(topo_.stages(),
+                         std::vector<unsigned>(topo_.switches_per_stage(), 0));
+    for (auto& st : stages_) {
+      st.reserve(topo_.switches_per_stage());
+      for (std::uint32_t r = 0; r < topo_.switches_per_stage(); ++r) {
+        st.emplace_back(cfg_.switch_cfg);
+      }
+    }
+    modules_.reserve(n);
+    procs_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      modules_.emplace_back(cfg_.mem_cfg, cfg_.initial_value);
+      procs_.emplace_back(i, cfg_.window, cfg_.processor_side_rmw,
+                          sources_[i].get());
+    }
+  }
+
+  [[nodiscard]] std::uint32_t processors() const noexcept {
+    return topo_.ports();
+  }
+
+  /// Memory module that owns an address (low-order interleaving).
+  [[nodiscard]] std::uint32_t module_of(Addr addr) const noexcept {
+    return static_cast<std::uint32_t>(addr & (topo_.ports() - 1));
+  }
+
+  /// Advance one cycle.
+  void tick() {
+    step_replies_to_processors();
+    step_replies_through_network();
+    step_memory();
+    step_requests_through_network();
+    step_processors();
+    ++now_;
+  }
+
+  /// Run until every processor is quiescent and the machine has drained,
+  /// or `max_cycles` elapse. Returns true iff fully drained.
+  bool run(Tick max_cycles) {
+    while (now_ < max_cycles) {
+      tick();
+      if (drained()) {
+        finalize_stats();
+        return true;
+      }
+    }
+    finalize_stats();
+    return drained();
+  }
+
+  [[nodiscard]] bool drained() const {
+    for (const auto& p : procs_) {
+      if (!p.quiescent()) return false;
+    }
+    for (const auto& st : stages_) {
+      for (const auto& sw : st) {
+        if (!sw.idle()) return false;
+      }
+    }
+    for (const auto& m : modules_) {
+      if (!m.idle()) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+
+  [[nodiscard]] const std::vector<proc::CompletedOp<M>>& completed() const {
+    return completed_;
+  }
+  [[nodiscard]] const std::vector<net::CombineEvent>& combine_log() const {
+    return combine_log_;
+  }
+  [[nodiscard]] const mem::MemoryModule<M>& module(std::uint32_t i) const {
+    return modules_[i];
+  }
+  [[nodiscard]] Value value_at(Addr addr) const {
+    return modules_[module_of(addr)].value_at(addr);
+  }
+
+  [[nodiscard]] MachineStats stats() const {
+    MachineStats s;
+    s.cycles = now_;
+    s.ops_completed = completed_.size();
+    for (const auto& op : completed_) s.latency.add(op.completed - op.issued);
+    for (const auto& st : stages_) {
+      for (const auto& sw : st) {
+        s.combines += sw.stats().combines;
+        s.switch_stall_cycles += sw.stats().stalls;
+        s.request_messages += sw.stats().requests_forwarded;
+        s.request_bytes += sw.stats().request_bytes;
+      }
+    }
+    s.throughput_ops_per_cycle =
+        now_ > 0 ? static_cast<double>(completed_.size()) /
+                       static_cast<double>(now_)
+                 : 0.0;
+    return s;
+  }
+
+  [[nodiscard]] const net::SwitchStats& switch_stats(unsigned stage,
+                                                     std::uint32_t row) const {
+    return stages_[stage][row].stats();
+  }
+
+ private:
+  // --- cycle phases, in intra-cycle order ---------------------------------
+
+  // Phase 1: replies leaving stage 0 reach their processors.
+  void step_replies_to_processors() {
+    auto& stage0 = stages_[0];
+    for (std::uint32_t row = 0; row < stage0.size(); ++row) {
+      for (unsigned port = 0; port < 2; ++port) {
+        if (stage0[row].peek_reply(port) == nullptr) continue;
+        Rev rev = stage0[row].pop_reply(port);
+        const std::uint32_t proc = topo_.upstream_wire(row, port);
+        KRS_ASSERT(rev.path.empty());
+        procs_[proc].deliver(std::move(rev), now_, &completed_);
+      }
+    }
+  }
+
+  // Phase 2: replies hop one stage toward the processors. Processing
+  // stages in increasing order means a reply moved into stage s-1 this
+  // cycle waits there until the next cycle (one hop per cycle).
+  void step_replies_through_network() {
+    for (unsigned s = 1; s < topo_.stages(); ++s) {
+      auto& stage = stages_[s];
+      for (std::uint32_t row = 0; row < stage.size(); ++row) {
+        for (unsigned port = 0; port < 2; ++port) {
+          if (stage[row].peek_reply(port) == nullptr) continue;
+          Rev rev = stage[row].pop_reply(port);
+          const std::uint32_t wire = topo_.upstream_wire(row, port);
+          stages_[s - 1][wire >> 1].accept_reply(std::move(rev));
+        }
+      }
+    }
+  }
+
+  // Phase 3: memory modules pull one request from the last stage, service
+  // one request, and emit due replies into the last stage.
+  void step_memory() {
+    const unsigned last = topo_.stages() - 1;
+    for (std::uint32_t m = 0; m < modules_.size(); ++m) {
+      auto& sw = stages_[last][m >> 1];
+      const unsigned out_port = m & 1;
+      if (const Fwd* head = sw.peek_output(out_port);
+          head != nullptr && modules_[m].can_accept(*head)) {
+        modules_[m].accept(sw.pop_output(out_port), &combine_log_);
+      }
+      std::vector<Rev> due;
+      modules_[m].tick(now_, due);
+      for (auto& rev : due) {
+        stages_[last][m >> 1].accept_reply(std::move(rev));
+      }
+    }
+  }
+
+  // Phase 4: requests hop one stage toward memory. Processing stages from
+  // the memory side first lets a slot freed by the module pull be refilled
+  // within the cycle (classic cut-through pipelining).
+  //
+  // Input-port arbitration must be LOCALLY fair: with fixed priority, a
+  // congested output queue that frees one slot per cycle starves port 1
+  // forever; with globally synchronized alternation (now mod 2) the whole
+  // machine can parity-lock — every period in the system is even (reply
+  // latency, retry backoff), so the freed slot can reappear only on cycles
+  // where the other port holds priority, and under the processor-side lock
+  // protocol the owner's write-unlock then never advances (a measured
+  // livelock, not a hypothetical). The standard fix: per-switch rotating
+  // priority that flips exactly when the favored port wins a transfer.
+  void step_requests_through_network() {
+    for (unsigned s = topo_.stages(); s-- > 0;) {
+      auto& stage = stages_[s];
+      for (std::uint32_t row = 0; row < stage.size(); ++row) {
+        unsigned& pref = arb_priority_[s][row];
+        const unsigned order[2] = {pref, pref ^ 1u};
+        for (unsigned i = 0; i < 2; ++i) {
+          const unsigned port = order[i];
+          const std::uint32_t wire = topo_.upstream_wire(row, port);
+          const bool moved = s == 0 ? pull_from_processor(wire, row, port)
+                                    : pull_from_switch(s, row, port, wire);
+          if (moved && i == 0) pref = order[1];  // favored port won: rotate
+        }
+      }
+    }
+  }
+
+  bool pull_from_processor(std::uint32_t proc, std::uint32_t row,
+                           unsigned in_port) {
+    const Fwd* head = procs_[proc].peek_outgoing();
+    if (head == nullptr) return false;
+    const unsigned out_port = topo_.route_bit(module_of(head->req.addr), 0);
+    Fwd pkt = *head;  // copy; only pop on acceptance
+    if (stages_[0][row].offer_request(std::move(pkt), in_port, out_port,
+                                      &combine_log_)) {
+      procs_[proc].pop_outgoing();
+      return true;
+    }
+    return false;
+  }
+
+  bool pull_from_switch(unsigned s, std::uint32_t row, unsigned in_port,
+                        std::uint32_t wire) {
+    auto& up = stages_[s - 1][wire >> 1];
+    const unsigned up_port = wire & 1;
+    const Fwd* head = up.peek_output(up_port);
+    if (head == nullptr) return false;
+    const unsigned out_port = topo_.route_bit(module_of(head->req.addr), s);
+    Fwd pkt = *head;
+    if (stages_[s][row].offer_request(std::move(pkt), in_port, out_port,
+                                      &combine_log_)) {
+      up.pop_output(up_port);
+      return true;
+    }
+    return false;
+  }
+
+  // Phase 5: processors retire retries and issue new work.
+  void step_processors() {
+    for (auto& p : procs_) p.tick(now_);
+  }
+
+  void finalize_stats() {}
+
+  MachineConfig<M> cfg_;
+  net::OmegaTopology topo_;
+  std::vector<std::unique_ptr<proc::TrafficSource<M>>> sources_;
+  std::vector<std::vector<net::CombiningSwitch<M>>> stages_;
+  std::vector<mem::MemoryModule<M>> modules_;
+  std::vector<proc::Processor<M>> procs_;
+  std::vector<proc::CompletedOp<M>> completed_;
+  std::vector<net::CombineEvent> combine_log_;
+  /// Rotating input-port priority per switch (see
+  /// step_requests_through_network).
+  std::vector<std::vector<unsigned>> arb_priority_;
+  Tick now_ = 0;
+};
+
+}  // namespace krs::sim

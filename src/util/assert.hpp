@@ -1,0 +1,33 @@
+// Lightweight contract-checking macros, in the spirit of the GSL's
+// Expects/Ensures (C++ Core Guidelines I.6/I.8). Violations abort with a
+// source location: simulation code must never continue past a broken
+// invariant, since later results would be silently wrong.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace krs::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace krs::util
+
+#define KRS_EXPECTS(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::krs::util::contract_failure("precondition", #cond, __FILE__, \
+                                          __LINE__))
+
+#define KRS_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::krs::util::contract_failure("postcondition", #cond, __FILE__, \
+                                          __LINE__))
+
+#define KRS_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                        \
+          : ::krs::util::contract_failure("invariant", #cond, __FILE__, \
+                                          __LINE__))

@@ -1,0 +1,40 @@
+// Small bit-manipulation helpers shared by the network simulator and the
+// parallel-prefix machinery.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace krs::util {
+
+/// True iff x is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)); x must be nonzero.
+constexpr unsigned log2_floor(std::uint64_t x) noexcept {
+  KRS_EXPECTS(x != 0);
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)); x must be nonzero.
+constexpr unsigned log2_ceil(std::uint64_t x) noexcept {
+  KRS_EXPECTS(x != 0);
+  return x == 1 ? 0u : log2_floor(x - 1) + 1u;
+}
+
+/// Next power of two >= x (x must be nonzero and representable).
+constexpr std::uint64_t ceil_pow2(std::uint64_t x) noexcept {
+  KRS_EXPECTS(x != 0);
+  return std::uint64_t{1} << log2_ceil(x);
+}
+
+/// Extract bit b of x (bit 0 = least significant).
+constexpr unsigned bit_of(std::uint64_t x, unsigned b) noexcept {
+  return static_cast<unsigned>((x >> b) & 1u);
+}
+
+}  // namespace krs::util

@@ -1,0 +1,88 @@
+// Bounded blocking channel for CSP-style message passing between threads.
+//
+// Section 6 of the paper expresses the asynchronous parallel-prefix tree as
+// CSP processes communicating over synchronous channels (`parent ! val`,
+// `parent ? val`). `Channel<T>` provides the message-passing substrate for
+// that construction (and for other producer/consumer examples). A capacity-1
+// channel gives near-CSP rendezvous semantics (a second send blocks until
+// the first value is received), which is all the tree algorithm needs.
+//
+// Follows C++ Core Guidelines CP.mess: prefer message passing over shared
+// mutable state; values are moved through the channel.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace krs::util {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 1) : capacity_(capacity) {
+    KRS_EXPECTS(capacity >= 1);
+  }
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocking send. Returns false if the channel was closed.
+  bool send(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking receive. Returns std::nullopt once the channel is closed and
+  /// drained.
+  std::optional<T> receive() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_receive() {
+    std::scoped_lock lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Close the channel: senders fail, receivers drain then get nullopt.
+  void close() {
+    std::scoped_lock lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace krs::util

@@ -1,0 +1,129 @@
+#include "util/rational.hpp"
+
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace krs::util {
+
+std::optional<std::int64_t> checked_add(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t out;
+  if (__builtin_add_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::int64_t> checked_sub(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t out;
+  if (__builtin_sub_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::int64_t> checked_mul(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::int64_t> checked_neg(std::int64_t a) noexcept {
+  return checked_sub(0, a);
+}
+
+Rational::Rational(std::int64_t p, std::int64_t q) noexcept
+    : num_(0), den_(1), valid_(false) {
+  if (q == 0) return;
+  // Normalize sign into the numerator. q == INT64_MIN cannot be negated.
+  if (q < 0) {
+    auto np = checked_neg(p);
+    auto nq = checked_neg(q);
+    if (!np || !nq) return;
+    p = *np;
+    q = *nq;
+  }
+  const std::int64_t g = std::gcd(p, q);
+  if (g != 0) {
+    p /= g;
+    q /= g;
+  }
+  num_ = p;
+  den_ = q;
+  valid_ = true;
+}
+
+std::int64_t Rational::as_integer() const noexcept {
+  KRS_EXPECTS(is_integer());
+  return num_;
+}
+
+double Rational::to_double() const noexcept {
+  if (!valid_) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  if (!valid_) return "<invalid>";
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+namespace {
+
+// a/b + c/d with all intermediate products checked. Inputs are normalized.
+Rational add_impl(const Rational& a, const Rational& b, bool negate_b) {
+  if (!a.ok() || !b.ok()) return Rational::invalid();
+  std::int64_t bn = b.num();
+  if (negate_b) {
+    auto n = checked_neg(bn);
+    if (!n) return Rational::invalid();
+    bn = *n;
+  }
+  // Reduce cross terms by gcd of denominators first to widen headroom.
+  const std::int64_t g = std::gcd(a.den(), b.den());
+  const std::int64_t ad = a.den() / g;
+  const std::int64_t bd = b.den() / g;
+  const auto t1 = checked_mul(a.num(), bd);
+  const auto t2 = checked_mul(bn, ad);
+  if (!t1 || !t2) return Rational::invalid();
+  const auto num = checked_add(*t1, *t2);
+  const auto d1 = checked_mul(a.den(), bd);
+  if (!num || !d1) return Rational::invalid();
+  return Rational(*num, *d1);
+}
+
+}  // namespace
+
+Rational operator+(const Rational& a, const Rational& b) noexcept {
+  return add_impl(a, b, /*negate_b=*/false);
+}
+
+Rational operator-(const Rational& a, const Rational& b) noexcept {
+  return add_impl(a, b, /*negate_b=*/true);
+}
+
+Rational operator*(const Rational& a, const Rational& b) noexcept {
+  if (!a.ok() || !b.ok()) return Rational::invalid();
+  // Cross-reduce before multiplying to minimize overflow.
+  const std::int64_t g1 = std::gcd(a.num(), b.den());
+  const std::int64_t g2 = std::gcd(b.num(), a.den());
+  const std::int64_t an = g1 != 0 ? a.num() / g1 : a.num();
+  const std::int64_t bd = g1 != 0 ? b.den() / g1 : b.den();
+  const std::int64_t bn = g2 != 0 ? b.num() / g2 : b.num();
+  const std::int64_t ad = g2 != 0 ? a.den() / g2 : a.den();
+  const auto num = checked_mul(an, bn);
+  const auto den = checked_mul(ad, bd);
+  if (!num || !den) return Rational::invalid();
+  return Rational(*num, *den);
+}
+
+Rational operator/(const Rational& a, const Rational& b) noexcept {
+  if (!a.ok() || !b.ok() || b.num() == 0) return Rational::invalid();
+  return a * Rational(b.den(), b.num());
+}
+
+Rational operator-(const Rational& a) noexcept {
+  if (!a.ok()) return Rational::invalid();
+  const auto n = checked_neg(a.num());
+  if (!n) return Rational::invalid();
+  return Rational(*n, a.den());
+}
+
+}  // namespace krs::util

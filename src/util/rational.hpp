@@ -1,0 +1,79 @@
+// Exact rational arithmetic with overflow detection.
+//
+// Used by the Möbius (linear-fractional) mapping family of §5.4: composing
+// fetch-and-{add,sub,mul,div} requests multiplies 2x2 coefficient matrices,
+// and applying the composed map evaluates (a*x + b) / (c*x + d). Doing this
+// in floating point would mask the numerical-stability caveats the paper
+// discusses, so the reference implementation is exact: 64-bit numerator and
+// denominator, normalized, with every operation checked for overflow.
+//
+// Overflow and division-by-zero are reported via the `ok()` flag rather than
+// exceptions: combining-switch code treats a non-tractable composition as
+// "do not combine", which is a normal (and correct) outcome, not an error.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <string>
+
+namespace krs::util {
+
+/// Checked signed 64-bit helpers. Return std::nullopt on overflow.
+std::optional<std::int64_t> checked_add(std::int64_t a, std::int64_t b) noexcept;
+std::optional<std::int64_t> checked_sub(std::int64_t a, std::int64_t b) noexcept;
+std::optional<std::int64_t> checked_mul(std::int64_t a, std::int64_t b) noexcept;
+std::optional<std::int64_t> checked_neg(std::int64_t a) noexcept;
+
+/// An exact rational p/q with q > 0, gcd(p, q) == 1; or the distinguished
+/// "invalid" value produced by overflow or division by zero.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() noexcept : num_(0), den_(1), valid_(true) {}
+
+  /// Integer value.
+  explicit Rational(std::int64_t n) noexcept : num_(n), den_(1), valid_(true) {}
+
+  /// p/q, normalized. q == 0 produces the invalid value.
+  Rational(std::int64_t p, std::int64_t q) noexcept;
+
+  static Rational invalid() noexcept {
+    Rational r;
+    r.valid_ = false;
+    return r;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return valid_; }
+  [[nodiscard]] std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] std::int64_t den() const noexcept { return den_; }
+
+  /// True iff the value is a valid integer.
+  [[nodiscard]] bool is_integer() const noexcept { return valid_ && den_ == 1; }
+
+  /// The integer value; precondition: is_integer().
+  [[nodiscard]] std::int64_t as_integer() const noexcept;
+
+  [[nodiscard]] double to_double() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  friend Rational operator+(const Rational& a, const Rational& b) noexcept;
+  friend Rational operator-(const Rational& a, const Rational& b) noexcept;
+  friend Rational operator*(const Rational& a, const Rational& b) noexcept;
+  friend Rational operator/(const Rational& a, const Rational& b) noexcept;
+  friend Rational operator-(const Rational& a) noexcept;
+
+  /// Equality: invalid values compare unequal to everything (including other
+  /// invalid values), like NaN.
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.valid_ && b.valid_ && a.num_ == b.num_ && a.den_ == b.den_;
+  }
+
+ private:
+  std::int64_t num_;
+  std::int64_t den_;
+  bool valid_;
+};
+
+}  // namespace krs::util

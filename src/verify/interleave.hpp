@@ -1,0 +1,86 @@
+// Exhaustive interleaving explorer for the paper's small litmus programs.
+//
+// Three memory models are implemented:
+//
+//  * kSequentialConsistency — condition (M1): memory behaves as one FIFO
+//    server over an interleaving of the per-processor instruction streams.
+//
+//  * kPerLocationFifo — condition (M2): only same-processor accesses to the
+//    SAME location keep their order; accesses by one processor to distinct
+//    locations may be reordered (subject to data dependencies through local
+//    variables, which processors always respect, and to explicit fences —
+//    the RP3 `fence` instruction of §3.2).
+//
+//  * kPerLocationFifoEarlyLoad — (M2) plus the *incorrect* optimization of
+//    §5.1: a load may be satisfied directly from another processor's
+//    not-yet-performed store to the same location (as if a combining switch
+//    returned the store's value before the store reached memory).
+//
+// explore() enumerates every completed execution and returns the set of
+// observable outcomes (final memory + final locals). The tests reproduce:
+//   - Collier's example (§3.2): M2 admits a=1,b=0, which M1 forbids; adding
+//     fences restores the M1 outcome set.
+//   - The §5.1 counterexample: early-load satisfaction admits b=2 ∧ A=1,
+//     which no correct (M2) execution produces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace krs::verify {
+
+using core::Word;
+
+/// local := mem[var]
+struct ILoad {
+  std::string var;
+  std::string local;
+};
+
+/// mem[var] := value
+struct IStoreConst {
+  std::string var;
+  Word value;
+};
+
+/// mem[var] := local + imm
+struct IStoreLocal {
+  std::string var;
+  std::string local;
+  Word imm = 0;
+};
+
+/// Wait for all earlier operations of this processor to perform (RP3 fence).
+struct IFence {};
+
+using Instr = std::variant<ILoad, IStoreConst, IStoreLocal, IFence>;
+
+struct LitmusProgram {
+  std::vector<std::vector<Instr>> procs;
+  std::map<std::string, Word> initial;
+};
+
+/// One observable outcome: final shared memory and all locals, the latter
+/// keyed "P<i>.<name>".
+using Outcome = std::map<std::string, Word>;
+
+enum class MemModel {
+  kSequentialConsistency,
+  kPerLocationFifo,
+  kPerLocationFifoEarlyLoad,
+};
+
+/// All outcomes reachable under the given model.
+std::set<Outcome> explore(const LitmusProgram& prog, MemModel model);
+
+/// Convenience: is `outcome` (a subset of keys) matched by any reachable
+/// outcome? All keys in `pattern` must match exactly.
+bool reachable(const std::set<Outcome>& outcomes, const Outcome& pattern);
+
+}  // namespace krs::verify

@@ -1,0 +1,89 @@
+// A small library of named litmus programs over the interleaving explorer,
+// extending the paper's two examples (§3.2, §5.1) with the classical
+// shapes used to characterize weak memory models. Under condition (M2) —
+// per-processor per-LOCATION ordering only — the same outcomes appear as
+// on real relaxed machines that reorder independent accesses, and fences
+// restore sequential consistency, exactly as §3.2 prescribes for the RP3.
+#pragma once
+
+#include "verify/interleave.hpp"
+
+namespace krs::verify::litmus {
+
+/// Message passing: P0 writes data then flag; P1 reads flag then data.
+/// Under M1 flag=1 ⇒ data=1. Under M2 either side may reorder, so
+/// flag=1 ∧ data=0 becomes observable (without fences).
+inline LitmusProgram message_passing(bool fences) {
+  LitmusProgram p;
+  if (fences) {
+    p.procs = {
+        {IStoreConst{"data", 1}, IFence{}, IStoreConst{"flag", 1}},
+        {ILoad{"flag", "f"}, IFence{}, ILoad{"data", "d"}},
+    };
+  } else {
+    p.procs = {
+        {IStoreConst{"data", 1}, IStoreConst{"flag", 1}},
+        {ILoad{"flag", "f"}, ILoad{"data", "d"}},
+    };
+  }
+  p.initial = {{"data", 0}, {"flag", 0}};
+  return p;
+}
+
+/// Store buffering: P0: X←1; r0←Y.  P1: Y←1; r1←X.
+/// Under M1, r0=0 ∧ r1=0 is impossible; under M2 it is observable.
+inline LitmusProgram store_buffering(bool fences) {
+  LitmusProgram p;
+  if (fences) {
+    p.procs = {
+        {IStoreConst{"X", 1}, IFence{}, ILoad{"Y", "r0"}},
+        {IStoreConst{"Y", 1}, IFence{}, ILoad{"X", "r1"}},
+    };
+  } else {
+    p.procs = {
+        {IStoreConst{"X", 1}, ILoad{"Y", "r0"}},
+        {IStoreConst{"Y", 1}, ILoad{"X", "r1"}},
+    };
+  }
+  p.initial = {{"X", 0}, {"Y", 0}};
+  return p;
+}
+
+/// Coherence (CoRR): two reads of ONE location by one processor must not
+/// see values going backwards — (M2.3) forbids it even without fences,
+/// because same-location program order is always preserved.
+inline LitmusProgram coherence_rr() {
+  LitmusProgram p;
+  p.procs = {
+      {ILoad{"X", "a"}, ILoad{"X", "b"}},
+      {IStoreConst{"X", 1}},
+  };
+  p.initial = {{"X", 0}};
+  return p;
+}
+
+/// Independent reads of independent writes (IRIW): two writers to distinct
+/// locations, two readers disagreeing on the order. Forbidden under M1
+/// (there is one interleaving); observable under M2.
+inline LitmusProgram iriw(bool fences) {
+  LitmusProgram p;
+  if (fences) {
+    p.procs = {
+        {IStoreConst{"X", 1}},
+        {IStoreConst{"Y", 1}},
+        {ILoad{"X", "a"}, IFence{}, ILoad{"Y", "b"}},
+        {ILoad{"Y", "c"}, IFence{}, ILoad{"X", "d"}},
+    };
+  } else {
+    p.procs = {
+        {IStoreConst{"X", 1}},
+        {IStoreConst{"Y", 1}},
+        {ILoad{"X", "a"}, ILoad{"Y", "b"}},
+        {ILoad{"Y", "c"}, ILoad{"X", "d"}},
+    };
+  }
+  p.initial = {{"X", 0}, {"Y", 0}};
+  return p;
+}
+
+}  // namespace krs::verify::litmus

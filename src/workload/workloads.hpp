@@ -1,0 +1,176 @@
+// Workload generators (traffic sources) for the simulated machine.
+//
+// The central experiment workload is the hot-spot model of Pfister & Norton
+// [20], which the paper's introduction uses to motivate combining: each
+// request goes to one fixed "hot" address with probability h and to a
+// uniformly random address otherwise. Even small h congests a non-combining
+// network because the tree of switches feeding the hot module saturates.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "core/rmw.hpp"
+#include "core/types.hpp"
+#include "proc/processor.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace krs::workload {
+
+using core::Addr;
+using core::Tick;
+
+/// Produces `op_factory(rng)` operations at hot/uniform addresses, one per
+/// call, `total` in all; optionally throttled to an issue probability per
+/// cycle (open-loop rate control).
+template <core::Rmw M>
+class HotSpotSource final : public proc::TrafficSource<M> {
+ public:
+  struct Params {
+    std::uint64_t total = 1000;       ///< operations to issue
+    double hot_fraction = 0.0;        ///< probability of targeting hot_addr
+    Addr hot_addr = 0;
+    Addr addr_space = 1 << 16;        ///< uniform addresses in [0, addr_space)
+    double issue_probability = 1.0;   ///< per-cycle chance a ready op issues
+  };
+
+  HotSpotSource(Params p, std::function<M(util::Xoshiro256&)> op_factory,
+                std::uint64_t seed)
+      : p_(p), op_factory_(std::move(op_factory)), rng_(seed) {
+    KRS_EXPECTS(p_.addr_space >= 1);
+  }
+
+  std::optional<std::pair<Addr, M>> next(Tick, unsigned) override {
+    if (issued_ >= p_.total) return std::nullopt;
+    if (p_.issue_probability < 1.0 && !rng_.chance(p_.issue_probability)) {
+      return std::nullopt;
+    }
+    ++issued_;
+    const Addr addr = rng_.chance(p_.hot_fraction)
+                          ? p_.hot_addr
+                          : rng_.below(p_.addr_space);
+    return std::make_pair(addr, op_factory_(rng_));
+  }
+
+  [[nodiscard]] bool finished() const override { return issued_ >= p_.total; }
+
+ private:
+  Params p_;
+  std::function<M(util::Xoshiro256&)> op_factory_;
+  util::Xoshiro256 rng_;
+  std::uint64_t issued_ = 0;
+};
+
+/// Every operation goes to the same address — the pure hot-spot used for
+/// the Figure-1 demonstration and the combining-degree experiments.
+template <core::Rmw M>
+class SingleAddressSource final : public proc::TrafficSource<M> {
+ public:
+  SingleAddressSource(Addr addr, std::uint64_t total,
+                      std::function<M(util::Xoshiro256&)> op_factory,
+                      std::uint64_t seed)
+      : addr_(addr), total_(total), op_factory_(std::move(op_factory)),
+        rng_(seed) {}
+
+  std::optional<std::pair<Addr, M>> next(Tick, unsigned) override {
+    if (issued_ >= total_) return std::nullopt;
+    ++issued_;
+    return std::make_pair(addr_, op_factory_(rng_));
+  }
+
+  [[nodiscard]] bool finished() const override { return issued_ >= total_; }
+
+ private:
+  Addr addr_;
+  std::uint64_t total_;
+  std::function<M(util::Xoshiro256&)> op_factory_;
+  util::Xoshiro256 rng_;
+  std::uint64_t issued_ = 0;
+};
+
+/// An explicit script of (issue-at-or-after tick, addr, op) triples, in
+/// order. Used by directed tests. An item marked `fence_before` models the
+/// RP3 fence instruction (§3.2): it is withheld until every earlier access
+/// of this processor has completed.
+template <core::Rmw M>
+class ScriptedSource final : public proc::TrafficSource<M> {
+ public:
+  struct Item {
+    Tick not_before = 0;
+    Addr addr = 0;
+    M f{};
+    bool fence_before = false;
+  };
+
+  explicit ScriptedSource(std::deque<Item> items) : items_(std::move(items)) {}
+
+  std::optional<std::pair<Addr, M>> next(Tick now, unsigned outstanding) override {
+    if (items_.empty() || items_.front().not_before > now) return std::nullopt;
+    if (items_.front().fence_before && outstanding > 0) return std::nullopt;
+    Item it = std::move(items_.front());
+    items_.pop_front();
+    return std::make_pair(it.addr, std::move(it.f));
+  }
+
+  [[nodiscard]] bool finished() const override { return items_.empty(); }
+
+ private:
+  std::deque<Item> items_;
+};
+
+/// Closed-loop source for guarded families (full/empty, data-level sync)
+/// under the §5.5 BUSY-WAITING model: each scripted operation is reissued
+/// (after a fixed backoff) until its guard succeeds, then the source moves
+/// to the next operation. Compare with ModuleConfig::
+/// queue_failed_conditionals, where the memory parks the request instead
+/// and no retry traffic exists.
+template <core::Rmw M>
+  requires requires(const M& f, const typename M::value_type& v) {
+    { f.succeeded(v) } -> std::convertible_to<bool>;
+  }
+class RetryingSource final : public proc::TrafficSource<M> {
+ public:
+  struct Item {
+    Addr addr = 0;
+    M f{};
+  };
+
+  RetryingSource(std::deque<Item> items, Tick backoff = 4)
+      : items_(std::move(items)), backoff_(backoff) {}
+
+  std::optional<std::pair<Addr, M>> next(Tick now, unsigned) override {
+    if (items_.empty() || !ready_ || now < not_before_) return std::nullopt;
+    ready_ = false;
+    return std::make_pair(items_.front().addr, items_.front().f);
+  }
+
+  void on_complete(core::ReqId, const typename M::value_type& old_value,
+                   Tick now) override {
+    ++attempts_;
+    if (items_.front().f.succeeded(old_value)) {
+      items_.pop_front();
+    } else {
+      not_before_ = now + backoff_;  // busy-wait: try again later
+    }
+    ready_ = true;
+  }
+
+  [[nodiscard]] bool finished() const override { return items_.empty(); }
+
+  /// Total operations issued, including failed attempts — the §5.5
+  /// network-traffic cost of busy waiting.
+  [[nodiscard]] std::uint64_t attempts() const noexcept { return attempts_; }
+
+ private:
+  std::deque<Item> items_;
+  Tick backoff_;
+  Tick not_before_ = 0;
+  bool ready_ = true;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace krs::workload

@@ -1,0 +1,141 @@
+// §5.4 (affine subcase) — x → ax + b over Z/2^w: combining fetch-and-add /
+// fetch-and-multiply, exactness of wrapping composition, and the guard-bit
+// overflow-detection technique.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/affine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace krs::core;
+
+TEST(Affine, ComposeMatchesSequentialApplication) {
+  krs::util::Xoshiro256 rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const Affine f(rng.next(), rng.next());
+    const Affine g(rng.next(), rng.next());
+    const Word x = rng.next();
+    EXPECT_EQ(compose(f, g).apply(x), g.apply(f.apply(x)));
+  }
+}
+
+TEST(Affine, Associativity) {
+  krs::util::Xoshiro256 rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    const Affine a(rng.next(), rng.next());
+    const Affine b(rng.next(), rng.next());
+    const Affine c(rng.next(), rng.next());
+    EXPECT_EQ(compose(compose(a, b), c), compose(a, compose(b, c)));
+  }
+}
+
+TEST(Affine, IdentityAndConstructors) {
+  EXPECT_EQ(Affine::identity().apply(99), 99u);
+  EXPECT_EQ(Affine::fetch_add(5).apply(10), 15u);
+  EXPECT_EQ(Affine::fetch_mul(5).apply(10), 50u);
+  EXPECT_EQ(Affine::store(5).apply(10), 5u);
+  const Affine f(3, 4);
+  EXPECT_EQ(compose(Affine::identity(), f), f);
+  EXPECT_EQ(compose(f, Affine::identity()), f);
+}
+
+TEST(Affine, FetchAddsComposeToSum) {
+  EXPECT_EQ(compose(Affine::fetch_add(10), Affine::fetch_add(32)),
+            Affine::fetch_add(42));
+}
+
+TEST(Affine, StoreAbsorbsOnTheLeft) {
+  // f ∘ I_v = I_v and I_v ∘ f = I_{f(v)} (§5.1 generalization).
+  const Affine f(3, 4);
+  EXPECT_EQ(compose(f, Affine::store(7)), Affine::store(7));
+  EXPECT_EQ(compose(Affine::store(7), f), Affine::store(f.apply(7)));
+}
+
+// Mixed chains of adds, multiplies, and stores: combined == serial, exactly,
+// including wraparound (Z/2^64 is a ring — associativity is exact).
+TEST(Affine, ChainEqualsSerialEvenWithWraparound) {
+  krs::util::Xoshiro256 rng(41);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(12));
+    Affine combined = Affine::identity();
+    Word serial = rng.next();
+    const Word x0 = serial;
+    for (int i = 0; i < n; ++i) {
+      Affine f = Affine::identity();
+      switch (rng.below(3)) {
+        case 0:
+          f = Affine::fetch_add(rng.next());
+          break;
+        case 1:
+          f = Affine::fetch_mul(rng.next());
+          break;
+        default:
+          f = Affine::store(rng.next());
+          break;
+      }
+      combined = compose(combined, f);
+      serial = f.apply(serial);
+    }
+    EXPECT_EQ(combined.apply(x0), serial);
+  }
+}
+
+// §5.4 guard bits: simulate a 16-bit programmer-visible range evaluated
+// with wider (32-bit) intermediates. If the wide result of the combined
+// evaluation stays within the guarded range, the serial execution would not
+// have overflowed either, and the results agree.
+TEST(Affine, GuardBitsDetectOverflowConservatively) {
+  using A16 = AffineMap<std::uint16_t>;
+  using A32 = AffineMap<std::uint32_t>;
+  krs::util::Xoshiro256 rng(43);
+  int in_range_cases = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(6));
+    std::vector<std::uint16_t> addends;
+    for (int i = 0; i < n; ++i)
+      addends.push_back(static_cast<std::uint16_t>(rng.below(1 << 13)));
+    const auto x0 = static_cast<std::uint16_t>(rng.below(1 << 13));
+
+    // Serial execution in the 16-bit range with exact overflow tracking.
+    std::uint32_t exact = x0;
+    bool serial_overflowed = false;
+    for (auto a : addends) {
+      exact += a;
+      if (exact > 0xffffu) serial_overflowed = true;
+    }
+
+    // Combined execution with guard bits (32-bit intermediates).
+    A32 combined = A32::identity();
+    for (auto a : addends) combined = compose(combined, A32::fetch_add(a));
+    const std::uint32_t wide = combined.apply(x0);
+
+    if (wide <= 0xffffu) {
+      // In guarded range ⇒ no serial overflow, and values agree exactly.
+      EXPECT_FALSE(serial_overflowed);
+      A16 combined16 = A16::identity();
+      for (auto a : addends) combined16 = compose(combined16, A16::fetch_add(a));
+      EXPECT_EQ(combined16.apply(x0), static_cast<std::uint16_t>(wide));
+      ++in_range_cases;
+    } else {
+      // Out of guarded range ⇒ serial execution overflowed too (sums of
+      // nonnegative addends are monotone, so detection is exact here).
+      EXPECT_TRUE(serial_overflowed);
+    }
+  }
+  EXPECT_GT(in_range_cases, 100);  // the test exercises both branches
+}
+
+TEST(Affine, ComposeCostIsTwoMulsOneAdd) {
+  // Structural check of the coefficient algebra the paper quotes: composing
+  // (a1,b1) then (a2,b2) yields (a2*a1, a2*b1 + b2).
+  const Affine f(3, 4), g(5, 6);
+  const Affine fg = compose(f, g);
+  EXPECT_EQ(fg.a(), 5u * 3u);
+  EXPECT_EQ(fg.b(), 5u * 4u + 6u);
+}
+
+}  // namespace

@@ -1,0 +1,205 @@
+// §5.3 — Boolean operations: the 4×4 composition table, closure of the
+// bit-vector form, and the reduction of all 16 binary Boolean fetch-and-θ
+// operations to bitwise unary mappings.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/bool_unary.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace krs::core;
+
+constexpr std::array<BoolFn, 4> kAll = {BoolFn::kLoad, BoolFn::kClear,
+                                        BoolFn::kSet, BoolFn::kComp};
+
+// The paper's printed table, row = first, column = second, in the order
+// load, clear, set, comp.
+constexpr BoolFn L = BoolFn::kLoad, C = BoolFn::kClear, S = BoolFn::kSet,
+                 X = BoolFn::kComp;
+constexpr BoolFn kPaperTable[4][4] = {
+    /* load  */ {L, C, S, X},
+    /* clear */ {C, C, S, S},
+    /* set   */ {S, C, S, C},
+    /* comp  */ {X, C, S, L},
+};
+
+TEST(BoolFnTable, MatchesPaper) {
+  for (auto f : kAll) {
+    for (auto g : kAll) {
+      EXPECT_EQ(compose_bool_fn(f, g),
+                kPaperTable[static_cast<int>(f)][static_cast<int>(g)])
+          << to_cstring(f) << " then " << to_cstring(g);
+    }
+  }
+}
+
+TEST(BoolFnTable, SemanticallyCorrect) {
+  for (auto f : kAll) {
+    for (auto g : kAll) {
+      const BoolFn fg = compose_bool_fn(f, g);
+      for (bool x : {false, true}) {
+        EXPECT_EQ(apply_bool_fn(fg, x), apply_bool_fn(g, apply_bool_fn(f, x)));
+      }
+    }
+  }
+}
+
+TEST(BoolVec, BroadcastAgreesWithSingleBit) {
+  for (auto f : kAll) {
+    const BoolVec v = BoolVec::broadcast(f);
+    for (unsigned i : {0u, 1u, 63u}) EXPECT_EQ(v.fn_at(i), f);
+    for (Word x : {Word{0}, Word{0xdeadbeefULL}, ~Word{0}}) {
+      for (unsigned i = 0; i < 64; ++i) {
+        const bool bit = (x >> i) & 1;
+        EXPECT_EQ((v.apply(x) >> i) & 1, apply_bool_fn(f, bit) ? 1u : 0u);
+      }
+    }
+  }
+}
+
+TEST(BoolVec, ComposeMatchesSequentialApplication) {
+  krs::util::Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const BoolVec f(rng.next(), rng.next());
+    const BoolVec g(rng.next(), rng.next());
+    const Word x = rng.next();
+    EXPECT_EQ(compose(f, g).apply(x), g.apply(f.apply(x)));
+  }
+}
+
+TEST(BoolVec, Associativity) {
+  krs::util::Xoshiro256 rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const BoolVec a(rng.next(), rng.next());
+    const BoolVec b(rng.next(), rng.next());
+    const BoolVec c(rng.next(), rng.next());
+    EXPECT_EQ(compose(compose(a, b), c), compose(a, compose(b, c)));
+  }
+}
+
+TEST(BoolVec, IdentityLaws) {
+  krs::util::Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const BoolVec f(rng.next(), rng.next());
+    EXPECT_EQ(compose(BoolVec::identity(), f), f);
+    EXPECT_EQ(compose(f, BoolVec::identity()), f);
+  }
+}
+
+TEST(BoolVec, EncodingIsTwoWords) {
+  EXPECT_EQ(BoolVec::identity().encoded_size_bytes(), 2 * sizeof(Word));
+}
+
+TEST(BoolVec, PerBitComposeMatchesSingleBitTable) {
+  // Composition of bit-vector mappings decomposes bitwise into the 4×4
+  // table — the bit-vector family is the product of 64 copies of the
+  // single-bit semigroup.
+  krs::util::Xoshiro256 rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const BoolVec f(rng.next(), rng.next());
+    const BoolVec g(rng.next(), rng.next());
+    const BoolVec fg = compose(f, g);
+    for (unsigned b = 0; b < 64; ++b) {
+      EXPECT_EQ(fg.fn_at(b), compose_bool_fn(f.fn_at(b), g.fn_at(b)));
+    }
+  }
+}
+
+// All 16 binary Boolean ops: θ(x, a) with fixed a is a unary function per
+// bit; fetch_and_binary must agree with direct evaluation.
+TEST(BoolVec, AllSixteenBinaryOpsReduce) {
+  krs::util::Xoshiro256 rng(9);
+  for (unsigned code = 0; code < 16; ++code) {
+    const std::array<bool, 4> tt = {
+        (code & 1) != 0, (code & 2) != 0, (code & 4) != 0, (code & 8) != 0};
+    for (int trial = 0; trial < 50; ++trial) {
+      const Word a = rng.next();
+      const Word x = rng.next();
+      const BoolVec m = BoolVec::fetch_and_binary(tt, a);
+      Word expect = 0;
+      for (unsigned b = 0; b < 64; ++b) {
+        const bool xb = (x >> b) & 1, ab = (a >> b) & 1;
+        if (tt[2 * (xb ? 1 : 0) + (ab ? 1 : 0)]) expect |= Word{1} << b;
+      }
+      EXPECT_EQ(m.apply(x), expect) << "truth table code " << code;
+    }
+  }
+}
+
+TEST(BoolVec, NamedOpsExamplesFromPaper) {
+  // fetch-and-AND(X, a) is a load where a is 1 and test-and-clear where 0.
+  const Word a = 0x00ff00ff00ff00ffULL;
+  const BoolVec andop = BoolVec::fetch_and_binary(kTtAnd, a);
+  for (unsigned b = 0; b < 64; ++b) {
+    EXPECT_EQ(andop.fn_at(b),
+              ((a >> b) & 1) ? BoolFn::kLoad : BoolFn::kClear);
+  }
+  // fetch-and-OR(X, a): set where a is 1, load where 0 (test-and-set on
+  // the selected bits — multiple locking).
+  const BoolVec orop = BoolVec::fetch_and_binary(kTtOr, a);
+  for (unsigned b = 0; b < 64; ++b) {
+    EXPECT_EQ(orop.fn_at(b), ((a >> b) & 1) ? BoolFn::kSet : BoolFn::kLoad);
+  }
+  // fetch-and-XOR(X, a): complement where a is 1.
+  const BoolVec xorop = BoolVec::fetch_and_binary(kTtXor, a);
+  for (unsigned b = 0; b < 64; ++b) {
+    EXPECT_EQ(xorop.fn_at(b), ((a >> b) & 1) ? BoolFn::kComp : BoolFn::kLoad);
+  }
+}
+
+// §5.1: byte/half-word (masked) stores combine as bitwise unary mappings.
+TEST(BoolVec, MaskedStoreSemantics) {
+  const Word x = 0x1122334455667788ULL;
+  // Store 0xAB into byte 2 (bits 16..23).
+  const BoolVec st = BoolVec::masked_store(Word{0xAB} << 16, Word{0xFF} << 16);
+  EXPECT_EQ(st.apply(x), (x & ~(Word{0xFF} << 16)) | (Word{0xAB} << 16));
+  EXPECT_EQ(st.apply(x), 0x1122334455AB7788ULL);
+}
+
+TEST(BoolVec, MaskedStoresCombine) {
+  krs::util::Xoshiro256 rng(12);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Two stores to (possibly overlapping) byte subsets; the later write
+    // wins on the overlap, exactly as two serial partial stores would.
+    const Word v1 = rng.next(), v2 = rng.next();
+    const Word m1 = rng.next(), m2 = rng.next();
+    const BoolVec s1 = BoolVec::masked_store(v1, m1);
+    const BoolVec s2 = BoolVec::masked_store(v2, m2);
+    const BoolVec both = compose(s1, s2);
+    const Word x = rng.next();
+    EXPECT_EQ(both.apply(x), s2.apply(s1.apply(x)));
+    // Disjoint masks: the combined mapping is the union store.
+    const Word dj2 = m2 & ~m1;
+    const BoolVec u = compose(BoolVec::masked_store(v1, m1),
+                              BoolVec::masked_store(v2, dj2));
+    EXPECT_EQ(u, BoolVec::masked_store((v1 & m1) | (v2 & dj2), m1 | dj2));
+  }
+}
+
+TEST(BoolVec, MaskedStoreFullMaskIsStore) {
+  const BoolVec st = BoolVec::masked_store(42, ~Word{0});
+  for (Word x : {Word{0}, Word{123}, ~Word{0}}) EXPECT_EQ(st.apply(x), 42u);
+  // Empty mask is a no-op (identity).
+  EXPECT_EQ(BoolVec::masked_store(42, 0), BoolVec::identity());
+}
+
+TEST(BoolVec, ChainEqualsSerial) {
+  krs::util::Xoshiro256 rng(10);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(10));
+    BoolVec combined = BoolVec::identity();
+    Word serial = rng.next();
+    const Word x0 = serial;
+    for (int i = 0; i < n; ++i) {
+      const BoolVec f(rng.next(), rng.next());
+      combined = compose(combined, f);
+      serial = f.apply(serial);
+    }
+    EXPECT_EQ(combined.apply(x0), serial);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,190 @@
+// §4.2/§4.3 — the combining mechanism itself, independent of any network:
+// try_combine/decombine, k-way combining, combining of already-combined
+// requests, and a randomized message-level statement of Lemma 4.1 (replies
+// and final memory value equal those of some serial execution).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/any_rmw.hpp"
+#include "core/combining.hpp"
+#include "core/fetch_theta.hpp"
+#include "core/load_store_swap.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace krs::core;
+
+TEST(Combining, PairwiseFigure1Scenario) {
+  // Figure 1: requests ⟨id1, addr, f⟩ and ⟨id2, addr, g⟩ combine; memory
+  // holds @addr; replies are @addr and f(@addr); memory ends g(f(@addr)).
+  Request<FetchAdd> first{{1, 0}, 100, FetchAdd(5)};
+  const Request<FetchAdd> second{{2, 0}, 100, FetchAdd(7)};
+  const auto rec = try_combine(first, second);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(first.f, FetchAdd(12));  // forwarded f∘g
+  EXPECT_EQ(rec->representative, (ReqId{1, 0}));
+  EXPECT_EQ(rec->second, (ReqId{2, 0}));
+
+  const Word at_addr = 1000;
+  // Memory executes the combined request.
+  const Word memory_after = first.f.apply(at_addr);
+  const Word reply_first = at_addr;
+  const Word reply_second = decombine(*rec, at_addr);
+  EXPECT_EQ(reply_first, 1000u);
+  EXPECT_EQ(reply_second, 1005u);  // f(@addr)
+  EXPECT_EQ(memory_after, 1012u);  // g(f(@addr))
+}
+
+TEST(Combining, AddressMismatchDeclines) {
+  Request<FetchAdd> first{{1, 0}, 100, FetchAdd(5)};
+  const Request<FetchAdd> second{{2, 0}, 101, FetchAdd(7)};
+  EXPECT_FALSE(try_combine(first, second).has_value());
+  EXPECT_EQ(first.f, FetchAdd(5));  // untouched
+}
+
+TEST(Combining, CrossFamilyDeclines) {
+  Request<AnyRmw> first{{1, 0}, 100, AnyRmw(FetchAdd(5))};
+  const Request<AnyRmw> second{{2, 0}, 100, AnyRmw(LssOp::store(7))};
+  EXPECT_FALSE(try_combine(first, second).has_value());
+}
+
+TEST(Combining, SameFamilyThroughAnyRmw) {
+  Request<AnyRmw> first{{1, 0}, 100, AnyRmw(FetchAdd(5))};
+  const Request<AnyRmw> second{{2, 0}, 100, AnyRmw(FetchAdd(7))};
+  const auto rec = try_combine(first, second);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(first.f, AnyRmw(FetchAdd(12)));
+  EXPECT_EQ(decombine(*rec, Word{50}), 55u);
+}
+
+// Three requests combining at one switch (k-way): records chain, and the
+// decombined replies reproduce serial order id1, id2, id3.
+TEST(Combining, KWayCombiningAtOneSwitch) {
+  Request<FetchAdd> q{{1, 0}, 7, FetchAdd(10)};
+  const Request<FetchAdd> r2{{2, 0}, 7, FetchAdd(20)};
+  const Request<FetchAdd> r3{{3, 0}, 7, FetchAdd(30)};
+  const auto rec2 = try_combine(q, r2);
+  ASSERT_TRUE(rec2);
+  const auto rec3 = try_combine(q, r3);
+  ASSERT_TRUE(rec3);
+  EXPECT_EQ(q.f, FetchAdd(60));
+  const Word v0 = 100;
+  EXPECT_EQ(decombine(*rec2, v0), 110u);  // after id1
+  EXPECT_EQ(decombine(*rec3, v0), 130u);  // after id1, id2
+  EXPECT_EQ(q.f.apply(v0), 160u);
+}
+
+// The inductive case of Lemma 4.1: combining two already-combined requests.
+// B represents (b1, b2), C represents (c1, c2); A = B⊕C must produce the
+// replies of the serial order b1 b2 c1 c2.
+TEST(Combining, CombiningCombinedRequests) {
+  Request<FetchAdd> b{{1, 0}, 7, FetchAdd(1)};
+  const Request<FetchAdd> b2{{2, 0}, 7, FetchAdd(2)};
+  const auto rec_b = try_combine(b, b2);
+  ASSERT_TRUE(rec_b);
+
+  Request<FetchAdd> c{{3, 0}, 7, FetchAdd(4)};
+  const Request<FetchAdd> c2{{4, 0}, 7, FetchAdd(8)};
+  const auto rec_c = try_combine(c, c2);
+  ASSERT_TRUE(rec_c);
+
+  // B and C meet at a later switch.
+  const auto rec_a = try_combine(b, c);
+  ASSERT_TRUE(rec_a);
+  EXPECT_EQ(b.f, FetchAdd(15));
+
+  const Word v0 = 0;
+  // Memory returns v0 to the representative (B's id).
+  const Word reply_b1 = v0;
+  const Word reply_b2 = decombine(*rec_b, reply_b1);
+  const Word reply_c = decombine(*rec_a, v0);     // value entering C = g_B(v0)
+  const Word reply_c1 = reply_c;
+  const Word reply_c2 = decombine(*rec_c, reply_c1);
+  EXPECT_EQ(reply_b1, 0u);
+  EXPECT_EQ(reply_b2, 1u);
+  EXPECT_EQ(reply_c1, 3u);
+  EXPECT_EQ(reply_c2, 7u);
+  EXPECT_EQ(b.f.apply(v0), 15u);
+}
+
+// Randomized Lemma 4.1: build a random binary combining tree over n
+// requests, decombine a reply from the (single) root, and check every
+// request's reply and the final memory value against serial execution in
+// the tree's left-to-right leaf order.
+template <Rmw M>
+struct TreeNode {
+  Request<M> req;                       // current (possibly combined) message
+  std::vector<CombineRecord<M>> recs;   // records in combine order
+  std::vector<int> children;            // absorbed node indices, in order
+};
+
+TEST(Combining, RandomCombineTreesSatisfyLemma41) {
+  krs::util::Xoshiro256 rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 2 + static_cast<int>(rng.below(14));
+    std::vector<TreeNode<FetchAdd>> nodes;
+    std::vector<Word> addend(n);
+    std::vector<int> alive;
+    for (int i = 0; i < n; ++i) {
+      addend[i] = rng.below(1000);
+      nodes.push_back({{{static_cast<std::uint32_t>(i), 0}, 7,
+                        FetchAdd(addend[i])},
+                       {},
+                       {}});
+      alive.push_back(i);
+    }
+    // Randomly merge until one message remains (arbitrary combine shape).
+    while (alive.size() > 1) {
+      const auto i = rng.below(alive.size());
+      auto j = rng.below(alive.size() - 1);
+      if (j >= i) ++j;
+      const int rep = alive[i], child = alive[j];
+      const auto rec = try_combine(nodes[rep].req, nodes[child].req);
+      ASSERT_TRUE(rec);
+      nodes[rep].recs.push_back(*rec);
+      nodes[rep].children.push_back(child);
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+    const int root = alive[0];
+
+    // Serial order: DFS expansion (own request, then children in combine
+    // order, recursively) — the representation order of Lemma 4.1.
+    std::vector<int> order;
+    const std::function<void(int)> expand = [&](int idx) {
+      order.push_back(idx);
+      for (int c : nodes[idx].children) expand(c);
+    };
+    expand(root);
+    ASSERT_EQ(order.size(), static_cast<size_t>(n));
+
+    // Memory executes the root request on v0.
+    const Word v0 = rng.below(10000);
+    const Word mem_after = nodes[root].req.f.apply(v0);
+
+    // Decombine all replies by walking the tree.
+    std::map<int, Word> reply;
+    const std::function<void(int, Word)> deliver = [&](int idx, Word val) {
+      reply[idx] = val;
+      for (size_t k = 0; k < nodes[idx].recs.size(); ++k) {
+        deliver(nodes[idx].children[k],
+                decombine(nodes[idx].recs[k], val));
+      }
+    };
+    deliver(root, v0);
+
+    // Serial execution in expansion order must match.
+    Word cur = v0;
+    for (int idx : order) {
+      EXPECT_EQ(reply[idx], cur);
+      cur += addend[idx];
+    }
+    EXPECT_EQ(mem_after, cur);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+// §5.6 — data-level synchronization: guarded operations over a tagged-cell
+// automaton, closure of per-state tables under composition, the |S| bound on
+// distinct store values, and the isomorphism with the full/empty family.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/dls.hpp"
+#include "core/full_empty.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace krs::core;
+
+using Op2 = DlsOp<2>;
+using Op4 = DlsOp<4>;
+
+TEST(Dls, IdentitySemantics) {
+  const Op4 id = Op4::identity();
+  for (unsigned s = 0; s < 4; ++s) {
+    const DlsCell c{99, static_cast<std::uint8_t>(s)};
+    EXPECT_EQ(id.apply(c), c);
+  }
+}
+
+TEST(Dls, GuardedStoreAppliesOnlyInGuard) {
+  // Store 7 allowed only in state 0, moving to state 1.
+  const Op2 put = Op2::guarded_store(7, 0b01, {1, 0});
+  EXPECT_EQ(put.apply({0, 0}), (DlsCell{7, 1}));
+  EXPECT_EQ(put.apply({5, 1}), (DlsCell{5, 1}));  // fails: unchanged
+  EXPECT_TRUE(put.succeeded({0, 0}));
+  EXPECT_FALSE(put.succeeded({5, 1}));
+}
+
+TEST(Dls, GuardedLoadMovesState) {
+  const Op2 get = Op2::guarded_load(0b10, {0, 0});
+  EXPECT_EQ(get.apply({7, 1}), (DlsCell{7, 0}));
+  EXPECT_EQ(get.apply({7, 0}), (DlsCell{7, 0}));  // fails: unchanged
+  EXPECT_TRUE(get.succeeded({7, 1}));
+  EXPECT_FALSE(get.succeeded({7, 0}));
+}
+
+Op4 random_op(krs::util::Xoshiro256& rng) {
+  const auto guard = static_cast<std::uint16_t>(rng.below(16));
+  std::array<std::uint8_t, 4> next{};
+  for (auto& n : next) n = static_cast<std::uint8_t>(rng.below(4));
+  if (rng.chance(0.5)) return Op4::guarded_store(rng.below(100), guard, next);
+  return Op4::guarded_load(guard, next);
+}
+
+TEST(Dls, ComposeMatchesSequentialApplication) {
+  krs::util::Xoshiro256 rng(71);
+  for (int i = 0; i < 2000; ++i) {
+    const Op4 f = random_op(rng), g = random_op(rng);
+    const DlsCell c{rng.below(100), static_cast<std::uint8_t>(rng.below(4))};
+    EXPECT_EQ(compose(f, g).apply(c), g.apply(f.apply(c)));
+  }
+}
+
+TEST(Dls, Associativity) {
+  krs::util::Xoshiro256 rng(73);
+  for (int i = 0; i < 1000; ++i) {
+    const Op4 a = random_op(rng), b = random_op(rng), c = random_op(rng);
+    EXPECT_EQ(compose(compose(a, b), c), compose(a, compose(b, c)));
+  }
+}
+
+TEST(Dls, IdentityLaws) {
+  krs::util::Xoshiro256 rng(79);
+  for (int i = 0; i < 200; ++i) {
+    const Op4 f = random_op(rng);
+    EXPECT_EQ(compose(Op4::identity(), f), f);
+    EXPECT_EQ(compose(f, Op4::identity()), f);
+  }
+}
+
+// §5.6's bound: a combined operation never carries more than |S| distinct
+// store values, and the bound is attained by the store-if-state=s family.
+TEST(Dls, StoreValueBoundHolds) {
+  krs::util::Xoshiro256 rng(83);
+  for (int trial = 0; trial < 500; ++trial) {
+    Op4 combined = Op4::identity();
+    const int n = 1 + static_cast<int>(rng.below(10));
+    for (int i = 0; i < n; ++i) combined = compose(combined, random_op(rng));
+    EXPECT_LE(combined.distinct_store_values(), 4u);
+  }
+}
+
+TEST(Dls, StoreValueBoundAttained) {
+  // store-if-state=s of a distinct value, for each s, composed together:
+  // the combined table stores a different value per state.
+  Op4 combined = Op4::identity();
+  for (unsigned s = 0; s < 4; ++s) {
+    combined = compose(
+        combined, Op4::guarded_store(100 + s, static_cast<std::uint16_t>(1u << s),
+                                     {0, 1, 2, 3}));
+  }
+  EXPECT_EQ(combined.distinct_store_values(), 4u);
+  for (unsigned s = 0; s < 4; ++s) {
+    EXPECT_EQ(combined.apply({0, static_cast<std::uint8_t>(s)}).value,
+              100 + s);
+  }
+}
+
+// The full/empty family is the 2-state special case: map each FEOp to a
+// DlsOp<2> (state 0 = empty, 1 = full) and check the embedding is a
+// semigroup homomorphism.
+Op2 embed(const FEOp& f) {
+  // Build the per-state table directly from FEOp::apply on both branches.
+  const FEWord e0 = f.apply({0xABCD, false});
+  const FEWord e1 = f.apply({0xABCD, true});
+  Op2 out = Op2::identity();
+  // Reconstruct via guarded ops is awkward; instead compose from primitive
+  // guarded forms equivalent to the branch behavior.
+  const bool store0 = e0.value != 0xABCD;
+  const bool store1 = e1.value != 0xABCD;
+  // Use two single-state guarded ops: one for state 0, one for state 1.
+  const Op2 on0 = store0
+                      ? Op2::guarded_store(e0.value, 0b01,
+                                           {static_cast<std::uint8_t>(e0.full),
+                                            0})
+                      : Op2::guarded_load(0b01,
+                                          {static_cast<std::uint8_t>(e0.full),
+                                           0});
+  const Op2 on1 = store1
+                      ? Op2::guarded_store(e1.value, 0b10,
+                                           {0,
+                                            static_cast<std::uint8_t>(e1.full)})
+                      : Op2::guarded_load(0b10,
+                                          {0,
+                                           static_cast<std::uint8_t>(e1.full)});
+  out = compose(on0, on1);
+  return out;
+}
+
+DlsCell to_cell(const FEWord& w) {
+  return DlsCell{w.value, static_cast<std::uint8_t>(w.full ? 1 : 0)};
+}
+
+TEST(Dls, FullEmptyEmbedding) {
+  const std::vector<FEOp> ops = {FEOp::load(),
+                                 FEOp::load_and_clear(),
+                                 FEOp::store_and_set(3),
+                                 FEOp::store_if_clear_and_set(5),
+                                 FEOp::store_and_clear(7),
+                                 FEOp::store_if_clear_and_clear(9)};
+  const std::vector<FEWord> cells = {{1, false}, {1, true}, {9, false}};
+  for (const auto& f : ops) {
+    const Op2 df = embed(f);
+    for (const auto& c : cells) {
+      EXPECT_EQ(df.apply(to_cell(c)), to_cell(f.apply(c))) << f.to_string();
+    }
+    // Homomorphism: embed(f∘g) behaves like embed(f)∘embed(g).
+    for (const auto& g : ops) {
+      const Op2 lhs = embed(compose(f, g));
+      const Op2 rhs = compose(embed(f), embed(g));
+      for (const auto& c : cells) {
+        EXPECT_EQ(lhs.apply(to_cell(c)), rhs.apply(to_cell(c)));
+      }
+    }
+  }
+}
+
+// A 3-state path expression: open → (read)* → close, i.e. the regular
+// protocol open (read)* close on a shared object (§5.6's path-expression
+// application). State 0 = closed, 1 = open.
+TEST(Dls, PathExpressionProtocol) {
+  using Op = DlsOp<2>;
+  const Op open = Op::guarded_load(0b01, {1, 0});   // allowed when closed
+  const Op read = Op::guarded_load(0b10, {0, 1});   // allowed when open
+  const Op close = Op::guarded_load(0b10, {0, 0});  // allowed when open
+  DlsCell obj{0, 0};
+  // Legal sequence: open read read close.
+  for (const auto* op : {&open, &read, &read, &close}) {
+    EXPECT_TRUE(op->succeeded(obj));
+    obj = op->apply(obj);
+  }
+  EXPECT_EQ(obj.state, 0);
+  // Illegal: read while closed fails and leaves the object unchanged.
+  EXPECT_FALSE(read.succeeded(obj));
+  EXPECT_EQ(read.apply(obj), obj);
+  // Combining a full legal session into one request leaves state 0 and
+  // succeeds from closed.
+  Op session = Op::identity();
+  for (const auto* op : {&open, &read, &close}) session = compose(session, *op);
+  EXPECT_EQ(session.apply({5, 0}), (DlsCell{5, 0}));
+}
+
+TEST(Dls, ChainEqualsSerial) {
+  krs::util::Xoshiro256 rng(89);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(12));
+    Op4 combined = Op4::identity();
+    DlsCell cell{rng.below(100), static_cast<std::uint8_t>(rng.below(4))};
+    const DlsCell c0 = cell;
+    for (int i = 0; i < n; ++i) {
+      const Op4 f = random_op(rng);
+      combined = compose(combined, f);
+      cell = f.apply(cell);
+    }
+    EXPECT_EQ(combined.apply(c0), cell);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Wire encodings: round trips, canonical form, size bounds (the literal
+// |φ(f)| = O(w) tractability requirement), and rejection of malformed
+// bytes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/encoding.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace krs::core;
+
+TEST(Encoding, LssRoundTrip) {
+  for (const auto& op :
+       {LssOp::load(), LssOp::store(0), LssOp::store(~Word{0}),
+        LssOp::swap(12345)}) {
+    const Bytes b = encode(op);
+    const auto back = decode_lss(b);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+    EXPECT_EQ(b.size(), op.encoded_size_bytes());
+  }
+}
+
+TEST(Encoding, FetchThetaRoundTrip) {
+  krs::util::Xoshiro256 rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const FetchAdd op(rng.next());
+    const auto back = decode_fetch_theta<PlusOp>(encode(op));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+  }
+  const FetchMin m(7);
+  EXPECT_EQ(decode_fetch_theta<MinOp>(encode(m)), m);
+}
+
+TEST(Encoding, BoolVecRoundTrip) {
+  krs::util::Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const BoolVec op(rng.next(), rng.next());
+    const auto back = decode_boolvec(encode(op));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+    EXPECT_EQ(encode(op).size(), op.encoded_size_bytes());
+  }
+}
+
+TEST(Encoding, AffineRoundTrip) {
+  krs::util::Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Affine op(rng.next(), rng.next());
+    const auto back = decode_affine(encode(op));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(Encoding, MoebiusRoundTripIsCanonical) {
+  // The decoder re-normalizes, so scalar-multiple encodings of the same
+  // function decode to equal objects.
+  const Moebius op(3, 1, 0, 2);
+  const auto back = decode_moebius(encode(op));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, op);
+  // Canonical: encode ∘ decode ∘ encode is a fixpoint.
+  EXPECT_EQ(encode(*back), encode(op));
+}
+
+TEST(Encoding, FeRoundTrip) {
+  for (const auto& op :
+       {FEOp::load(), FEOp::load_and_clear(), FEOp::store_and_set(1),
+        FEOp::store_if_clear_and_set(2), FEOp::store_and_clear(3),
+        FEOp::store_if_clear_and_clear(4)}) {
+    const auto back = decode_fe(encode(op));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+    EXPECT_EQ(encode(op).size(), op.encoded_size_bytes());
+  }
+}
+
+TEST(Encoding, SizesAreConstantNumberOfWords) {
+  // |φ(f)| = O(w): every family fits in at most 4 words + a tag.
+  krs::util::Xoshiro256 rng(4);
+  EXPECT_LE(encode(LssOp::swap(rng.next())).size(), 9u);
+  EXPECT_LE(encode(FetchAdd(rng.next())).size(), 8u);
+  EXPECT_LE(encode(BoolVec(rng.next(), rng.next())).size(), 16u);
+  EXPECT_LE(encode(Affine(rng.next(), rng.next())).size(), 16u);
+  EXPECT_LE(encode(Moebius(3, 1, 2, 5)).size(), 32u);
+  EXPECT_LE(encode(FEOp::store_and_set(rng.next())).size(), 9u);
+}
+
+TEST(Encoding, ComposeCommutesWithCoding) {
+  // decode(φ(f)) ∘ decode(φ(g)) == decode(φ(f∘g)) — condition (2) of
+  // tractability: composition can be done on the wire representation.
+  krs::util::Xoshiro256 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Affine f(rng.next(), rng.next()), g(rng.next(), rng.next());
+    const auto fd = decode_affine(encode(f));
+    const auto gd = decode_affine(encode(g));
+    ASSERT_TRUE(fd && gd);
+    EXPECT_EQ(encode(compose(*fd, *gd)), encode(compose(f, g)));
+  }
+}
+
+TEST(Encoding, MalformedBytesRejected) {
+  EXPECT_FALSE(decode_lss({}).has_value());
+  const Bytes bad_tag = {99};
+  EXPECT_FALSE(decode_lss(bad_tag).has_value());
+  const Bytes truncated = {static_cast<std::uint8_t>(LssKind::kStore), 1, 2};
+  EXPECT_FALSE(decode_lss(truncated).has_value());
+  Bytes trailing = encode(LssOp::load());
+  trailing.push_back(0);
+  EXPECT_FALSE(decode_lss(trailing).has_value());
+  const Bytes short_word = {1, 2, 3};
+  EXPECT_FALSE(decode_boolvec(short_word).has_value());
+  // Möbius with (c, d) = (0, 0) is not a function.
+  Bytes zero_cd;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) zero_cd.push_back(i == 0 && j == 0 ? 1 : 0);
+  }
+  EXPECT_FALSE(decode_moebius(zero_cd).has_value());
+  const Bytes bad_fe = {42};
+  EXPECT_FALSE(decode_fe(bad_fe).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,228 @@
+// One uniform law suite applied to EVERY mapping family through the Rmw
+// concept — the semigroup/identity/encoding obligations that make a family
+// usable by the combining machinery, checked once, generically:
+//
+//   L1  compose(f, g).apply(x) == g.apply(f.apply(x))        (soundness)
+//   L2  compose is associative                               (semigroup)
+//   L3  identity() is a two-sided identity up to behavior    (monoid-ish)
+//   L4  try_compose, when it succeeds, agrees with compose
+//   L5  encoded_size_bytes is bounded by a constant
+//   L6  equality is consistent with behavior on sampled points
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/any_rmw.hpp"
+#include "core/dls.hpp"
+#include "core/full_empty.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace krs::core;
+using krs::util::Xoshiro256;
+
+/// Per-family generator glue for the typed suite.
+template <typename M>
+struct Gen;
+
+template <>
+struct Gen<LssOp> {
+  static LssOp op(Xoshiro256& r) {
+    switch (r.below(3)) {
+      case 0:
+        return LssOp::load();
+      case 1:
+        return LssOp::store(r.below(1000));
+      default:
+        return LssOp::swap(r.below(1000));
+    }
+  }
+  static Word point(Xoshiro256& r) { return r.next(); }
+  static constexpr std::size_t kMaxEncoding = 9;
+};
+
+template <>
+struct Gen<FetchAdd> {
+  static FetchAdd op(Xoshiro256& r) { return FetchAdd(r.next()); }
+  static Word point(Xoshiro256& r) { return r.next(); }
+  static constexpr std::size_t kMaxEncoding = 8;
+};
+
+template <>
+struct Gen<FetchMin> {
+  static FetchMin op(Xoshiro256& r) { return FetchMin(r.next()); }
+  static Word point(Xoshiro256& r) { return r.next(); }
+  static constexpr std::size_t kMaxEncoding = 8;
+};
+
+template <>
+struct Gen<BoolVec> {
+  static BoolVec op(Xoshiro256& r) { return BoolVec(r.next(), r.next()); }
+  static Word point(Xoshiro256& r) { return r.next(); }
+  static constexpr std::size_t kMaxEncoding = 16;
+};
+
+template <>
+struct Gen<Affine> {
+  static Affine op(Xoshiro256& r) { return Affine(r.next(), r.next()); }
+  static Word point(Xoshiro256& r) { return r.next(); }
+  static constexpr std::size_t kMaxEncoding = 16;
+};
+
+template <>
+struct Gen<FEOp> {
+  static FEOp op(Xoshiro256& r) {
+    switch (r.below(6)) {
+      case 0:
+        return FEOp::load();
+      case 1:
+        return FEOp::load_and_clear();
+      case 2:
+        return FEOp::store_and_set(r.below(100));
+      case 3:
+        return FEOp::store_if_clear_and_set(r.below(100));
+      case 4:
+        return FEOp::store_and_clear(r.below(100));
+      default:
+        return FEOp::store_if_clear_and_clear(r.below(100));
+    }
+  }
+  static FEWord point(Xoshiro256& r) {
+    return FEWord{r.below(1000), r.chance(0.5)};
+  }
+  static constexpr std::size_t kMaxEncoding = 9;
+};
+
+template <>
+struct Gen<DlsOp<4>> {
+  static DlsOp<4> op(Xoshiro256& r) {
+    const auto guard = static_cast<std::uint16_t>(r.below(16));
+    std::array<std::uint8_t, 4> next{};
+    for (auto& s : next) s = static_cast<std::uint8_t>(r.below(4));
+    if (r.chance(0.5)) return DlsOp<4>::guarded_store(r.below(100), guard, next);
+    return DlsOp<4>::guarded_load(guard, next);
+  }
+  static DlsCell point(Xoshiro256& r) {
+    return DlsCell{r.below(1000), static_cast<std::uint8_t>(r.below(4))};
+  }
+  static constexpr std::size_t kMaxEncoding = 4 + 4 * 8;
+};
+
+template <>
+struct Gen<AnyRmw> {
+  static AnyRmw op(Xoshiro256& r) {
+    switch (r.below(4)) {
+      case 0:
+        return AnyRmw(Gen<LssOp>::op(r));
+      case 1:
+        return AnyRmw(Gen<FetchAdd>::op(r));
+      case 2:
+        return AnyRmw(Gen<BoolVec>::op(r));
+      default:
+        return AnyRmw(Gen<Affine>::op(r));
+    }
+  }
+  static Word point(Xoshiro256& r) { return r.next(); }
+  static constexpr std::size_t kMaxEncoding = 17;
+};
+
+template <typename M>
+class FamilyLaws : public ::testing::Test {};
+
+using Families = ::testing::Types<LssOp, FetchAdd, FetchMin, BoolVec, Affine,
+                                  FEOp, DlsOp<4>, AnyRmw>;
+TYPED_TEST_SUITE(FamilyLaws, Families);
+
+TYPED_TEST(FamilyLaws, L1ComposeIsSequentialApplication) {
+  Xoshiro256 r(101);
+  for (int i = 0; i < 400; ++i) {
+    const auto f = Gen<TypeParam>::op(r);
+    const auto g = Gen<TypeParam>::op(r);
+    const auto fg = try_compose(f, g);
+    if (!fg) continue;  // declining is always allowed
+    const auto x = Gen<TypeParam>::point(r);
+    EXPECT_EQ(fg->apply(x), g.apply(f.apply(x)));
+  }
+}
+
+TYPED_TEST(FamilyLaws, L2Associativity) {
+  Xoshiro256 r(102);
+  for (int i = 0; i < 300; ++i) {
+    const auto a = Gen<TypeParam>::op(r);
+    const auto b = Gen<TypeParam>::op(r);
+    const auto c = Gen<TypeParam>::op(r);
+    const auto ab = try_compose(a, b);
+    const auto bc = try_compose(b, c);
+    if (!ab || !bc) continue;
+    const auto lhs = try_compose(*ab, c);
+    const auto rhs = try_compose(a, *bc);
+    if (!lhs || !rhs) continue;
+    // Behavioral equality on sampled points (kind upgrades make
+    // representational equality too strict for LSS).
+    for (int k = 0; k < 8; ++k) {
+      const auto x = Gen<TypeParam>::point(r);
+      EXPECT_EQ(lhs->apply(x), rhs->apply(x));
+    }
+  }
+}
+
+TYPED_TEST(FamilyLaws, L3IdentityBehaves) {
+  Xoshiro256 r(103);
+  const auto id = TypeParam::identity();
+  for (int i = 0; i < 200; ++i) {
+    const auto x = Gen<TypeParam>::point(r);
+    EXPECT_EQ(id.apply(x), x);
+    const auto f = Gen<TypeParam>::op(r);
+    if (const auto idf = try_compose(id, f)) {
+      EXPECT_EQ(idf->apply(x), f.apply(x));
+    }
+    if (const auto fid = try_compose(f, id)) {
+      EXPECT_EQ(fid->apply(x), f.apply(x));
+    }
+  }
+}
+
+TYPED_TEST(FamilyLaws, L4TryComposeAgreesWithCompose) {
+  Xoshiro256 r(104);
+  for (int i = 0; i < 200; ++i) {
+    const auto f = Gen<TypeParam>::op(r);
+    const auto g = Gen<TypeParam>::op(r);
+    const auto t = try_compose(f, g);
+    if (!t) continue;
+    const auto c = compose(f, g);
+    for (int k = 0; k < 4; ++k) {
+      const auto x = Gen<TypeParam>::point(r);
+      EXPECT_EQ(t->apply(x), c.apply(x));
+    }
+  }
+}
+
+TYPED_TEST(FamilyLaws, L5EncodingBounded) {
+  Xoshiro256 r(105);
+  for (int i = 0; i < 200; ++i) {
+    const auto f = Gen<TypeParam>::op(r);
+    EXPECT_LE(f.encoded_size_bytes(), Gen<TypeParam>::kMaxEncoding);
+    // Composition must not blow up the encoding (closure of the bound).
+    const auto g = Gen<TypeParam>::op(r);
+    if (const auto fg = try_compose(f, g)) {
+      EXPECT_LE(fg->encoded_size_bytes(), Gen<TypeParam>::kMaxEncoding);
+    }
+  }
+}
+
+TYPED_TEST(FamilyLaws, L6EqualityImpliesBehavioralEquality) {
+  Xoshiro256 r(106);
+  for (int i = 0; i < 300; ++i) {
+    const auto f = Gen<TypeParam>::op(r);
+    const auto g = Gen<TypeParam>::op(r);
+    if (f == g) {
+      for (int k = 0; k < 4; ++k) {
+        const auto x = Gen<TypeParam>::point(r);
+        EXPECT_EQ(f.apply(x), g.apply(x));
+      }
+    }
+  }
+}
+
+}  // namespace

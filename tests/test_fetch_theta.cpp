@@ -1,0 +1,132 @@
+// §5.2 — associative fetch-and-θ families: semigroup laws, the combining
+// identity θ_a ∘ θ_b = θ_{aθb}, and the test-and-set reduction.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/fetch_theta.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace krs::core;
+
+template <typename Op>
+class FetchThetaLaws : public ::testing::Test {};
+
+using OpTypes =
+    ::testing::Types<PlusOp, BitOrOp, BitAndOp, BitXorOp, MinOp, MaxOp>;
+TYPED_TEST_SUITE(FetchThetaLaws, OpTypes);
+
+TYPED_TEST(FetchThetaLaws, ComposeMatchesSequentialApplication) {
+  using M = FetchTheta<TypeParam>;
+  krs::util::Xoshiro256 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const M f(rng.next()), g(rng.next());
+    const Word x = rng.next();
+    EXPECT_EQ(compose(f, g).apply(x), g.apply(f.apply(x)));
+  }
+}
+
+TYPED_TEST(FetchThetaLaws, Associativity) {
+  using M = FetchTheta<TypeParam>;
+  krs::util::Xoshiro256 rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const M a(rng.next()), b(rng.next()), c(rng.next());
+    EXPECT_EQ(compose(compose(a, b), c), compose(a, compose(b, c)));
+  }
+}
+
+TYPED_TEST(FetchThetaLaws, IdentityElementIsIdentityMapping) {
+  using M = FetchTheta<TypeParam>;
+  krs::util::Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const Word x = rng.next();
+    EXPECT_EQ(M::identity().apply(x), x);
+    const M f(rng.next());
+    EXPECT_EQ(compose(M::identity(), f), f);
+    EXPECT_EQ(compose(f, M::identity()), f);
+  }
+}
+
+TYPED_TEST(FetchThetaLaws, EncodingIsOneWord) {
+  using M = FetchTheta<TypeParam>;
+  EXPECT_EQ(M(Word{5}).encoded_size_bytes(), sizeof(Word));
+}
+
+TEST(FetchAddSemantics, CombinedOperandIsSum) {
+  const FetchAdd f(10), g(32);
+  EXPECT_EQ(compose(f, g).operand(), 42u);
+  EXPECT_EQ(compose(f, g).apply(100), 142u);
+}
+
+TEST(FetchAddSemantics, WrapsModulo2to64) {
+  const FetchAdd f(~Word{0});  // -1
+  EXPECT_EQ(f.apply(0), ~Word{0});
+  EXPECT_EQ(compose(f, FetchAdd(1)).apply(7), 7u);  // -1 then +1 = identity
+}
+
+TEST(FetchMinSemantics, CombinedOperandIsMin) {
+  // fetch-and-min is useful for allocation with priorities (§5.2): the
+  // combined request carries the strongest priority.
+  EXPECT_EQ(compose(FetchMin(9), FetchMin(4)).operand(), 4u);
+  EXPECT_EQ(compose(FetchMin(4), FetchMin(9)).operand(), 4u);
+  EXPECT_EQ(FetchMin(4).apply(2), 2u);
+  EXPECT_EQ(FetchMin(4).apply(6), 4u);
+}
+
+TEST(TestAndSet, IsFetchOrOne) {
+  const auto tas = test_and_set();
+  EXPECT_EQ(tas.apply(0), 1u);
+  EXPECT_EQ(tas.apply(1), 1u);
+  // Combining many concurrent test-and-sets yields a single request whose
+  // reply lets exactly one winner observe the old 0.
+  auto combined = tas;
+  for (int i = 0; i < 10; ++i) combined = compose(combined, test_and_set());
+  EXPECT_EQ(combined, test_and_set());
+}
+
+// Serial-vs-combined equivalence over random chains: the essence of
+// Lemma 4.1 at the algebra level, for every op family.
+TYPED_TEST(FetchThetaLaws, ChainEqualsSerial) {
+  using M = FetchTheta<TypeParam>;
+  krs::util::Xoshiro256 rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(16));
+    std::vector<M> ops;
+    for (int i = 0; i < n; ++i) ops.emplace_back(rng.next());
+    M combined = M::identity();
+    for (const auto& op : ops) combined = compose(combined, op);
+    Word serial = rng.next();
+    const Word x0 = serial;
+    for (const auto& op : ops) serial = op.apply(serial);
+    EXPECT_EQ(combined.apply(x0), serial);
+  }
+}
+
+// The intermediate replies of a combined chain match serial execution:
+// replies are x, f1(x), f2(f1(x)), ... — parallel prefix (§6).
+TEST(FetchAddSemantics, PrefixRepliesMatchSerial) {
+  krs::util::Xoshiro256 rng(29);
+  std::vector<FetchAdd> ops;
+  for (int i = 0; i < 32; ++i) ops.emplace_back(rng.below(100));
+  const Word x0 = 1000;
+  // Serial replies.
+  std::vector<Word> serial;
+  Word cur = x0;
+  for (const auto& op : ops) {
+    serial.push_back(cur);
+    cur = op.apply(cur);
+  }
+  // Prefix-composed replies: reply_i = (f1∘...∘f_{i-1})(x0).
+  FetchAdd prefix = FetchAdd::identity();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(prefix.apply(x0), serial[i]);
+    prefix = compose(prefix, ops[i]);
+  }
+  EXPECT_EQ(prefix.apply(x0), cur);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// §5.5 — full/empty bits: semantics of the six operations, closure under
+// composition, the paper's explicit composition identities, success
+// detection from replies, and traffic accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/full_empty.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace krs::core;
+
+std::vector<FEOp> all_ops() {
+  return {FEOp::load(),
+          FEOp::load_and_clear(),
+          FEOp::store_and_set(3),
+          FEOp::store_if_clear_and_set(5),
+          FEOp::store_and_clear(7),
+          FEOp::store_if_clear_and_clear(9)};
+}
+
+std::vector<FEWord> all_cells() {
+  return {{0, false}, {0, true}, {42, false}, {42, true}};
+}
+
+TEST(FullEmpty, BasicSemantics) {
+  const FEWord empty{10, false}, full{10, true};
+  EXPECT_EQ(FEOp::load().apply(full), full);
+  EXPECT_EQ(FEOp::load_and_clear().apply(full), (FEWord{10, false}));
+  EXPECT_EQ(FEOp::store_and_set(1).apply(empty), (FEWord{1, true}));
+  // Conditional store succeeds on empty...
+  EXPECT_EQ(FEOp::store_if_clear_and_set(1).apply(empty), (FEWord{1, true}));
+  // ...and leaves a full cell unchanged except the (already set) bit.
+  EXPECT_EQ(FEOp::store_if_clear_and_set(1).apply(full), (FEWord{10, true}));
+  EXPECT_EQ(FEOp::store_and_clear(1).apply(full), (FEWord{1, false}));
+  EXPECT_EQ(FEOp::store_if_clear_and_clear(1).apply(empty),
+            (FEWord{1, false}));
+  EXPECT_EQ(FEOp::store_if_clear_and_clear(1).apply(full),
+            (FEWord{10, false}));
+}
+
+TEST(FullEmpty, SuccessDetectionFromOldState) {
+  const FEWord empty{10, false}, full{10, true};
+  // Reads succeed when full.
+  EXPECT_TRUE(FEOp::load_and_clear().succeeded(full));
+  EXPECT_FALSE(FEOp::load_and_clear().succeeded(empty));
+  // Conditional writes succeed when empty.
+  EXPECT_TRUE(FEOp::store_if_clear_and_set(1).succeeded(empty));
+  EXPECT_FALSE(FEOp::store_if_clear_and_set(1).succeeded(full));
+  // Unconditional ops always succeed.
+  EXPECT_TRUE(FEOp::store_and_set(1).succeeded(full));
+}
+
+// Closure: composing any two of the six forms yields one of the six forms,
+// with semantics equal to sequential application. (compose() classifies
+// into the six forms by construction; equality of behavior is the check.)
+TEST(FullEmpty, ClosedUnderCompositionAndCorrect) {
+  for (const auto& f : all_ops()) {
+    for (const auto& g : all_ops()) {
+      const FEOp fg = compose(f, g);
+      for (const auto& c : all_cells()) {
+        EXPECT_EQ(fg.apply(c), g.apply(f.apply(c)))
+            << f.to_string() << " then " << g.to_string();
+      }
+    }
+  }
+}
+
+TEST(FullEmpty, PaperCompositionIdentities) {
+  // "store-and-clear implements a store-and-set followed by a
+  // load-and-clear."
+  EXPECT_EQ(compose(FEOp::store_and_set(4), FEOp::load_and_clear()),
+            FEOp::store_and_clear(4));
+  // "store-if-clear-and-clear implements a store-if-clear-and-set followed
+  // by a load-and-clear."
+  EXPECT_EQ(compose(FEOp::store_if_clear_and_set(4), FEOp::load_and_clear()),
+            FEOp::store_if_clear_and_clear(4));
+}
+
+TEST(FullEmpty, Associativity) {
+  for (const auto& a : all_ops())
+    for (const auto& b : all_ops())
+      for (const auto& c : all_ops())
+        EXPECT_EQ(compose(compose(a, b), c), compose(a, compose(b, c)));
+}
+
+TEST(FullEmpty, IdentityLaws) {
+  for (const auto& f : all_ops()) {
+    EXPECT_EQ(compose(FEOp::identity(), f), f);
+    EXPECT_EQ(compose(f, FEOp::identity()), f);
+  }
+}
+
+// Producer/consumer pairing (§5.5 queueing discussion): a successful
+// store-if-clear-and-set followed by a load-and-clear nets out to
+// store-if-clear-and-clear — flag returns to empty, value handed through.
+TEST(FullEmpty, ProducerConsumerHandoff) {
+  const FEWord empty{0, false};
+  const FEOp put = FEOp::store_if_clear_and_set(33);
+  const FEOp get = FEOp::load_and_clear();
+  const FEOp net = compose(put, get);
+  EXPECT_EQ(net, FEOp::store_if_clear_and_clear(33));
+  // The consumer's decombined reply is put.apply(old cell) = (33, full):
+  // it sees the produced value and a full bit ⇒ success.
+  const FEWord consumer_reply = put.apply(empty);
+  EXPECT_EQ(consumer_reply.value, 33u);
+  EXPECT_TRUE(get.succeeded(consumer_reply));
+  // Memory ends empty: ready for the next round.
+  EXPECT_FALSE(net.apply(empty).full);
+}
+
+TEST(FullEmpty, ChainEqualsSerial) {
+  krs::util::Xoshiro256 rng(61);
+  const auto ops = all_ops();
+  for (int trial = 0; trial < 500; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(10));
+    FEOp combined = FEOp::identity();
+    FEWord cell{rng.below(100), rng.chance(0.5)};
+    const FEWord c0 = cell;
+    for (int i = 0; i < n; ++i) {
+      const FEOp& f = ops[rng.below(ops.size())];
+      combined = compose(combined, f);
+      cell = f.apply(cell);
+    }
+    EXPECT_EQ(combined.apply(c0), cell);
+  }
+}
+
+// Decombined replies along a chain equal the serial intermediate values —
+// in particular every constituent can determine its own success/failure.
+TEST(FullEmpty, RepliesAndSuccessAlongChain) {
+  krs::util::Xoshiro256 rng(67);
+  const auto ops = all_ops();
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(8));
+    std::vector<FEOp> chain;
+    for (int i = 0; i < n; ++i) chain.push_back(ops[rng.below(ops.size())]);
+    FEWord cell{rng.below(100), rng.chance(0.5)};
+    // Serial execution recording each op's observed old cell.
+    std::vector<FEWord> old_cells;
+    for (const auto& f : chain) {
+      old_cells.push_back(cell);
+      cell = f.apply(cell);
+    }
+    // Combined execution: reply_i = (f1∘…∘f_{i-1})(initial).
+    FEOp prefix = FEOp::identity();
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(prefix.apply(old_cells[0]), old_cells[i]);
+      EXPECT_EQ(chain[i].succeeded(prefix.apply(old_cells[0])),
+                chain[i].succeeded(old_cells[i]));
+      prefix = compose(prefix, chain[i]);
+    }
+  }
+}
+
+TEST(FullEmpty, TrafficAccounting) {
+  // Replies carry data only for (embedded) loads; store requests carry one
+  // value; combined conditional stores still carry one value.
+  EXPECT_TRUE(FEOp::load().reply_needs_data());
+  EXPECT_FALSE(FEOp::store_and_set(1).reply_needs_data());
+  EXPECT_EQ(FEOp::store_and_set(1).encoded_size_bytes(), 1 + sizeof(Word));
+  EXPECT_EQ(FEOp::load().encoded_size_bytes(), 1u);
+  // put-then-get combines to a single-value request even though it embeds a
+  // read: the consumer's value is decombined locally at the switch.
+  const FEOp net = compose(FEOp::store_if_clear_and_set(3),
+                           FEOp::load_and_clear());
+  EXPECT_EQ(net.encoded_size_bytes(), 1 + sizeof(Word));
+}
+
+// Exhaustive closure enumeration: the set of behaviors reachable by
+// composing the six forms (over a few distinct store values) is exactly the
+// set of six-form behaviors — no seventh shape appears.
+TEST(FullEmpty, ExhaustiveClosureEnumeration) {
+  std::set<std::string> shapes;
+  const auto ops = all_ops();
+  for (const auto& f : ops) {
+    for (const auto& g : ops) {
+      for (const auto& h : ops) {
+        shapes.insert(to_cstring(compose(compose(f, g), h).kind()));
+      }
+    }
+  }
+  EXPECT_LE(shapes.size(), 6u);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// §7's direct-connection machine: the hypercube where processors act as
+// switches and node memories form a distributed shared memory. Correctness
+// via the Theorem 4.2 checker; combining at intermediate nodes collapses
+// hot-spot trees just as in the indirect network.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/fetch_theta.hpp"
+#include "core/load_store_swap.hpp"
+#include "sim/hypercube_machine.hpp"
+#include "verify/memory_checker.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace krs;
+using core::FetchAdd;
+using core::LssOp;
+using sim::HypercubeConfig;
+using sim::HypercubeMachine;
+
+template <core::Rmw M>
+using SourceVec = std::vector<std::unique_ptr<proc::TrafficSource<M>>>;
+
+TEST(Hypercube, SingleRequestRoundTrip) {
+  HypercubeConfig<FetchAdd> cfg;
+  cfg.dimensions = 3;
+  SourceVec<FetchAdd> src;
+  for (std::uint32_t u = 0; u < 8; ++u) {
+    std::deque<workload::ScriptedSource<FetchAdd>::Item> items;
+    // Node 0 targets an address owned by node 7 (three hops away).
+    if (u == 0) items.push_back({0, 7, FetchAdd(5)});
+    src.push_back(
+        std::make_unique<workload::ScriptedSource<FetchAdd>>(std::move(items)));
+  }
+  HypercubeMachine<FetchAdd> m(cfg, std::move(src));
+  ASSERT_TRUE(m.run(1000));
+  ASSERT_EQ(m.completed().size(), 1u);
+  EXPECT_EQ(m.completed()[0].reply, 0u);
+  EXPECT_EQ(m.value_at(7), 5u);
+  EXPECT_EQ(m.stats().hops, 3u);  // Hamming distance 0 → 7
+  EXPECT_TRUE(verify::check_machine(m, 0).ok);
+}
+
+TEST(Hypercube, LocalAccessTakesNoLinks) {
+  HypercubeConfig<FetchAdd> cfg;
+  cfg.dimensions = 3;
+  SourceVec<FetchAdd> src;
+  for (std::uint32_t u = 0; u < 8; ++u) {
+    std::deque<workload::ScriptedSource<FetchAdd>::Item> items;
+    if (u == 5) items.push_back({0, 5, FetchAdd(9)});  // addr 5 lives on node 5
+    src.push_back(
+        std::make_unique<workload::ScriptedSource<FetchAdd>>(std::move(items)));
+  }
+  HypercubeMachine<FetchAdd> m(cfg, std::move(src));
+  ASSERT_TRUE(m.run(1000));
+  EXPECT_EQ(m.stats().hops, 0u);
+  EXPECT_EQ(m.value_at(5), 9u);
+  EXPECT_TRUE(verify::check_machine(m, 0).ok);
+}
+
+TEST(Hypercube, HotSpotTicketsAreDistinct) {
+  HypercubeConfig<FetchAdd> cfg;
+  cfg.dimensions = 4;
+  SourceVec<FetchAdd> src;
+  for (std::uint32_t u = 0; u < 16; ++u) {
+    src.push_back(std::make_unique<workload::SingleAddressSource<FetchAdd>>(
+        3, 32, [](util::Xoshiro256&) { return FetchAdd(1); }, 70 + u));
+  }
+  HypercubeMachine<FetchAdd> m(cfg, std::move(src));
+  ASSERT_TRUE(m.run(1000000));
+  std::set<core::Word> replies;
+  for (const auto& op : m.completed()) replies.insert(op.reply);
+  EXPECT_EQ(replies.size(), 512u);
+  EXPECT_EQ(m.value_at(3), 512u);
+  EXPECT_GT(m.stats().combines, 0u);
+  EXPECT_TRUE(verify::check_machine(m, 0).ok);
+}
+
+TEST(Hypercube, CombiningBeatsNoCombiningOnHotSpot) {
+  auto run_with = [](net::CombinePolicy policy) {
+    HypercubeConfig<FetchAdd> cfg;
+    cfg.dimensions = 4;
+    cfg.policy = policy;
+    SourceVec<FetchAdd> src;
+    for (std::uint32_t u = 0; u < 16; ++u) {
+      src.push_back(std::make_unique<workload::SingleAddressSource<FetchAdd>>(
+          3, 48, [](util::Xoshiro256&) { return FetchAdd(1); }, u));
+    }
+    HypercubeMachine<FetchAdd> m(cfg, std::move(src));
+    EXPECT_TRUE(m.run(1000000));
+    EXPECT_TRUE(verify::check_machine(m, 0).ok);
+    return m.stats();
+  };
+  const auto comb = run_with(net::CombinePolicy::kUnlimited);
+  const auto base = run_with(net::CombinePolicy::kNone);
+  EXPECT_LT(comb.cycles, base.cycles);
+  // Combining also cuts link traffic (absorbed requests stop traveling).
+  EXPECT_LT(comb.hops, base.hops);
+}
+
+class HypercubeSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypercubeSeeds, RandomLssTrafficVerifies) {
+  HypercubeConfig<LssOp> cfg;
+  cfg.dimensions = 3;
+  SourceVec<LssOp> src;
+  for (std::uint32_t u = 0; u < 8; ++u) {
+    workload::HotSpotSource<LssOp>::Params params;
+    params.total = 40;
+    params.hot_fraction = 0.4;
+    params.hot_addr = 6;
+    params.addr_space = 128;
+    src.push_back(std::make_unique<workload::HotSpotSource<LssOp>>(
+        params,
+        [](util::Xoshiro256& r) {
+          switch (r.below(3)) {
+            case 0:
+              return LssOp::load();
+            case 1:
+              return LssOp::store(r.below(100));
+            default:
+              return LssOp::swap(r.below(100));
+          }
+        },
+        1234 + GetParam() * 17 + u));
+  }
+  HypercubeMachine<LssOp> m(cfg, std::move(src));
+  ASSERT_TRUE(m.run(2000000));
+  ASSERT_EQ(m.completed().size(), 320u);
+  const auto res = verify::check_machine(m, 0);
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypercubeSeeds,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Hypercube, ConservationLaw) {
+  HypercubeConfig<FetchAdd> cfg;
+  cfg.dimensions = 3;
+  SourceVec<FetchAdd> src;
+  for (std::uint32_t u = 0; u < 8; ++u) {
+    workload::HotSpotSource<FetchAdd>::Params params;
+    params.total = 50;
+    params.hot_fraction = 0.6;
+    params.addr_space = 64;
+    src.push_back(std::make_unique<workload::HotSpotSource<FetchAdd>>(
+        params, [](util::Xoshiro256& r) { return FetchAdd(r.below(9)); },
+        99 + u));
+  }
+  HypercubeMachine<FetchAdd> m(cfg, std::move(src));
+  ASSERT_TRUE(m.run(1000000));
+  std::uint64_t services = 0;
+  for (std::uint32_t u = 0; u < 8; ++u) services += m.module(u).stats().rmw_ops;
+  EXPECT_EQ(m.completed().size(), m.stats().combines + services);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// §5.1 — loads, stores, swaps: combining tables, semigroup laws, and the
+// semantics of the order-reversal optimization.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/load_store_swap.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using krs::core::compose_reversible;
+using krs::core::LssKind;
+using krs::core::LssOp;
+using krs::core::Word;
+
+std::vector<LssOp> sample_ops() {
+  return {LssOp::load(), LssOp::store(3), LssOp::store(7), LssOp::swap(11),
+          LssOp::swap(13)};
+}
+
+// compose(f, g) must satisfy the defining equation of "f then g".
+TEST(Lss, ComposeMatchesSequentialApplication) {
+  for (const auto& f : sample_ops()) {
+    for (const auto& g : sample_ops()) {
+      const LssOp fg = compose(f, g);
+      for (Word x : {Word{0}, Word{1}, Word{42}, ~Word{0}}) {
+        EXPECT_EQ(fg.apply(x), g.apply(f.apply(x)))
+            << f.to_string() << " ∘ " << g.to_string();
+      }
+    }
+  }
+}
+
+TEST(Lss, ComposeIsAssociative) {
+  const auto ops = sample_ops();
+  for (const auto& a : ops)
+    for (const auto& b : ops)
+      for (const auto& c : ops)
+        EXPECT_EQ(compose(compose(a, b), c), compose(a, compose(b, c)));
+}
+
+TEST(Lss, IdentityLaws) {
+  // Composition with the identity (a load) preserves the *mapping*. The
+  // kind may legitimately change: a load followed by a store is forwarded
+  // as a swap (the old value must still be fetched to answer the load), and
+  // a store followed by a load stays a store (the load is answered locally).
+  for (const auto& f : sample_ops()) {
+    const LssOp idf = compose(LssOp::identity(), f);
+    const LssOp fid = compose(f, LssOp::identity());
+    for (Word x : {Word{0}, Word{5}, Word{77}}) {
+      EXPECT_EQ(idf.apply(x), f.apply(x));
+      EXPECT_EQ(fid.apply(x), f.apply(x));
+    }
+  }
+  // Pure loads compose to a load exactly.
+  EXPECT_EQ(compose(LssOp::identity(), LssOp::identity()), LssOp::load());
+}
+
+// The exact 3×3 table printed in §5.1 (order-preserving).
+TEST(Lss, PaperTableOrderPreserving) {
+  const Word v1 = 3, v2 = 7;
+  // Row: first request; column: second request.
+  // load/load = load
+  EXPECT_EQ(compose(LssOp::load(), LssOp::load()).kind(), LssKind::kLoad);
+  // load/store = swap (of the stored value)
+  EXPECT_EQ(compose(LssOp::load(), LssOp::store(v2)),
+            LssOp::swap(v2));
+  // load/swap = swap
+  EXPECT_EQ(compose(LssOp::load(), LssOp::swap(v2)), LssOp::swap(v2));
+  // store/load = store
+  EXPECT_EQ(compose(LssOp::store(v1), LssOp::load()), LssOp::store(v1));
+  // store/store = store (second value)
+  EXPECT_EQ(compose(LssOp::store(v1), LssOp::store(v2)), LssOp::store(v2));
+  // store/swap = store (second value; swap's reply is v1, known locally)
+  EXPECT_EQ(compose(LssOp::store(v1), LssOp::swap(v2)), LssOp::store(v2));
+  // swap/load = swap
+  EXPECT_EQ(compose(LssOp::swap(v1), LssOp::load()), LssOp::swap(v1));
+  // swap/store = swap (second value)
+  EXPECT_EQ(compose(LssOp::swap(v1), LssOp::store(v2)), LssOp::swap(v2));
+  // swap/swap = swap (second value)
+  EXPECT_EQ(compose(LssOp::swap(v1), LssOp::swap(v2)), LssOp::swap(v2));
+}
+
+// The reversed-order table: whenever the second request is a store, reverse
+// so the forwarded request is a plain store (no reply data).
+TEST(Lss, PaperTableReversed) {
+  const Word v1 = 3, v2 = 7;
+  // load/store = store* (forwarded store of the SECOND value: the store
+  // happens first, then the load reads it — memory ends with v2).
+  auto r = compose_reversible(LssOp::load(), LssOp::store(v2));
+  EXPECT_TRUE(r.reversed);
+  EXPECT_EQ(r.forwarded, LssOp::store(v2));
+  // swap/store = store* (store v2 first, swap overwrites with v1 — memory
+  // ends with the swap's value).
+  r = compose_reversible(LssOp::swap(v1), LssOp::store(v2));
+  EXPECT_TRUE(r.reversed);
+  EXPECT_EQ(r.forwarded, LssOp::store(v1));
+  // store/store stays a store without reversal.
+  r = compose_reversible(LssOp::store(v1), LssOp::store(v2));
+  EXPECT_FALSE(r.reversed);
+  EXPECT_EQ(r.forwarded, LssOp::store(v2));
+  // Entries without a second store match the order-preserving table.
+  for (const auto& f : {LssOp::load(), LssOp::store(v1), LssOp::swap(v1)}) {
+    for (const auto& g : {LssOp::load(), LssOp::swap(v2)}) {
+      r = compose_reversible(f, g);
+      EXPECT_FALSE(r.reversed);
+      EXPECT_EQ(r.forwarded, compose(f, g));
+    }
+  }
+}
+
+// Reversed combination is semantically the serial execution g-then-f:
+// the final memory value must equal f.apply(g.apply(x)).
+TEST(Lss, ReversedCombinationMatchesSwappedSerialOrder) {
+  const Word x0 = 100;
+  for (const auto& f : {LssOp::load(), LssOp::swap(Word{5})}) {
+    const LssOp g = LssOp::store(9);
+    const auto r = compose_reversible(f, g);
+    ASSERT_TRUE(r.reversed);
+    EXPECT_EQ(r.forwarded.apply(x0), f.apply(g.apply(x0)));
+  }
+}
+
+// Traffic properties: a combined request's reply needs data only when a
+// load or swap is embedded; with reversal, a second store never forces a
+// data-carrying reply.
+TEST(Lss, ReplyDataAccounting) {
+  EXPECT_FALSE(LssOp::store(1).reply_needs_data());
+  EXPECT_TRUE(LssOp::load().reply_needs_data());
+  EXPECT_TRUE(LssOp::swap(2).reply_needs_data());
+  // Order-preserving: load+store must fetch (forwarded as swap)...
+  EXPECT_TRUE(compose(LssOp::load(), LssOp::store(1)).reply_needs_data());
+  // ...but with reversal it does not.
+  EXPECT_FALSE(compose_reversible(LssOp::load(), LssOp::store(1))
+                   .forwarded.reply_needs_data());
+}
+
+TEST(Lss, EncodedSizes) {
+  EXPECT_EQ(LssOp::load().encoded_size_bytes(), 1u);
+  EXPECT_EQ(LssOp::store(1).encoded_size_bytes(), 1u + sizeof(Word));
+  EXPECT_EQ(LssOp::swap(1).encoded_size_bytes(), 1u + sizeof(Word));
+}
+
+// Property sweep: random chains of k ops composed left-to-right behave like
+// serial application (the unit-level core of Lemma 4.1(3)).
+class LssChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(LssChain, ComposedChainEqualsSerialExecution) {
+  krs::util::Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(8));
+    std::vector<LssOp> ops;
+    ops.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      switch (rng.below(3)) {
+        case 0:
+          ops.push_back(LssOp::load());
+          break;
+        case 1:
+          ops.push_back(LssOp::store(rng.below(1000)));
+          break;
+        default:
+          ops.push_back(LssOp::swap(rng.below(1000)));
+          break;
+      }
+    }
+    LssOp combined = ops[0];
+    Word serial = rng.below(1000);
+    const Word x0 = serial;
+    for (int i = 1; i < n; ++i) combined = compose(combined, ops[i]);
+    for (const auto& op : ops) serial = op.apply(serial);
+    EXPECT_EQ(combined.apply(x0), serial);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LssChain, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace

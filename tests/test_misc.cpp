@@ -1,0 +1,128 @@
+// Odds and ends: string renderings (used by examples and debug output),
+// identifier ordering, histogram buckets, stats fields, and small API
+// surfaces not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include "core/any_rmw.hpp"
+#include "core/dls.hpp"
+#include "core/full_empty.hpp"
+#include "core/moebius.hpp"
+#include "core/types.hpp"
+#include "net/switch.hpp"
+#include "util/rational.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace krs;
+using namespace krs::core;
+
+TEST(Strings, OpRenderings) {
+  EXPECT_EQ(LssOp::load().to_string(), "load");
+  EXPECT_EQ(LssOp::store(7).to_string(), "store(7)");
+  EXPECT_EQ(LssOp::swap(9).to_string(), "swap(9)");
+  EXPECT_EQ(FetchAdd(5).to_string(), "fetch-and-add(5)");
+  EXPECT_EQ(FetchMin(5).to_string(), "fetch-and-min(5)");
+  EXPECT_EQ(Affine(3, 4).to_string(), "3*x+4");
+  EXPECT_EQ(FEOp::store_if_clear_and_set(2).to_string(),
+            "store-if-clear-and-set(2)");
+  EXPECT_EQ(FEOp::load().to_string(), "load");
+  EXPECT_NE(BoolVec::identity().to_string().find("boolvec"),
+            std::string::npos);
+  EXPECT_EQ(Moebius::fetch_rdiv(5).to_string(), "(0x+5)/(1x+0)");
+  EXPECT_EQ(AnyRmw(FetchAdd(3)).to_string(), "fetch-and-add(3)");
+  EXPECT_EQ(to_string(FEWord{4, true}), "(4,full)");
+  EXPECT_EQ(to_string(FEWord{4, false}), "(4,empty)");
+  EXPECT_EQ(to_string(DlsCell{4, 2}), "(4,s2)");
+}
+
+TEST(Strings, DlsRendering) {
+  const auto op = DlsOp<2>::guarded_store(9, 0b01, {1, 0});
+  const auto s = op.to_string();
+  EXPECT_NE(s.find("dls{"), std::string::npos);
+  EXPECT_NE(s.find("9"), std::string::npos);
+}
+
+TEST(ReqIds, OrderingAndHashing) {
+  const ReqId a{1, 5}, b{1, 6}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(to_string(a), "P1#5");
+  ReqIdHash h;
+  EXPECT_NE(h(a), h(b));  // not guaranteed in general, but true for these
+  EXPECT_EQ(h(a), h(ReqId{1, 5}));
+}
+
+TEST(Histogram, BucketBoundaries) {
+  util::LogHistogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  EXPECT_EQ(h.bucket(0), 2u);  // {0, 1}
+  EXPECT_EQ(h.bucket(1), 2u);  // [2, 4)
+  EXPECT_EQ(h.bucket(2), 1u);  // [4, 8)
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  util::LogHistogram h;
+  EXPECT_EQ(h.quantile_bound(0.99), 0u);
+}
+
+TEST(Rational, ToDoubleAndNaN) {
+  EXPECT_DOUBLE_EQ(util::Rational(1, 2).to_double(), 0.5);
+  EXPECT_TRUE(std::isnan(util::Rational::invalid().to_double()));
+  EXPECT_EQ(util::Rational::invalid().to_string(), "<invalid>");
+}
+
+TEST(SwitchStats, QueueDepthTracked) {
+  net::CombiningSwitch<FetchAdd> sw({net::CombinePolicy::kNone, 4, 64});
+  std::vector<net::CombineEvent> ev;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    net::FwdPacket<FetchAdd> p;
+    p.req = Request<FetchAdd>{{i, 0}, i, FetchAdd(1)};  // distinct addrs
+    sw.offer_request(std::move(p), 0, 0, &ev);
+  }
+  EXPECT_EQ(sw.stats().max_queue_depth, 3u);
+}
+
+TEST(BoolFn, Names) {
+  EXPECT_STREQ(to_cstring(BoolFn::kLoad), "load");
+  EXPECT_STREQ(to_cstring(BoolFn::kClear), "clear");
+  EXPECT_STREQ(to_cstring(BoolFn::kSet), "set");
+  EXPECT_STREQ(to_cstring(BoolFn::kComp), "comp");
+}
+
+TEST(FeKind, Names) {
+  EXPECT_STREQ(to_cstring(FEKind::kStoreIfClearClear),
+               "store-if-clear-and-clear");
+  EXPECT_STREQ(to_cstring(FEKind::kLoadClear), "load-and-clear");
+}
+
+TEST(Lss, ReplyNeedsDataMatrix) {
+  // The §5.1 traffic claim at the flag level: with order-preserving
+  // combination, only store+store avoids fetching data; with reversal,
+  // any second store does.
+  using K = LssKind;
+  const auto needs = [](LssOp f, LssOp g) {
+    return compose(f, g).reply_needs_data();
+  };
+  EXPECT_FALSE(needs(LssOp::store(1), LssOp::store(2)));
+  EXPECT_FALSE(needs(LssOp::store(1), LssOp::load()));
+  EXPECT_FALSE(needs(LssOp::store(1), LssOp::swap(2)));
+  EXPECT_TRUE(needs(LssOp::load(), LssOp::load()));
+  EXPECT_TRUE(needs(LssOp::load(), LssOp::store(2)));
+  EXPECT_TRUE(needs(LssOp::swap(1), LssOp::swap(2)));
+  (void)static_cast<int>(K::kLoad);
+}
+
+TEST(AnyRmw, DefaultIsIdentityLoad) {
+  const AnyRmw d;
+  EXPECT_TRUE(d.holds<LssOp>());
+  EXPECT_EQ(d.apply(42), 42u);
+}
+
+}  // namespace

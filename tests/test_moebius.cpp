@@ -1,0 +1,166 @@
+// §5.4 — Möbius transformations: matrix representation, composition as
+// matrix product, all six fetch-and-ψ constructors, overflow-declining
+// combination, and division-by-zero handling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/moebius.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using krs::core::Moebius;
+using krs::util::Rational;
+
+Rational R(std::int64_t n, std::int64_t d = 1) { return Rational(n, d); }
+
+TEST(Moebius, ConstructorsEvaluate) {
+  EXPECT_EQ(Moebius::identity().apply(R(7)), R(7));
+  EXPECT_EQ(Moebius::fetch_add(5).apply(R(7)), R(12));
+  EXPECT_EQ(Moebius::fetch_sub(5).apply(R(7)), R(2));
+  EXPECT_EQ(Moebius::fetch_mul(5).apply(R(7)), R(35));
+  EXPECT_EQ(Moebius::fetch_div(5).apply(R(7)), R(7, 5));
+  EXPECT_EQ(Moebius::fetch_rsub(5).apply(R(7)), R(-2));
+  EXPECT_EQ(Moebius::fetch_rdiv(5).apply(R(7)), R(5, 7));
+  EXPECT_EQ(Moebius::store(5).apply(R(7)), R(5));
+}
+
+TEST(Moebius, ComposeMatchesSequentialApplication) {
+  krs::util::Xoshiro256 rng(47);
+  auto rnd_small = [&]() {
+    return static_cast<std::int64_t>(rng.below(41)) - 20;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t a = rnd_small(), b = rnd_small();
+    std::int64_t c = rnd_small(), d = rnd_small();
+    if (c == 0 && d == 0) d = 1;
+    const std::int64_t e = rnd_small(), f2 = rnd_small();
+    std::int64_t g2 = rnd_small(), h = rnd_small();
+    if (g2 == 0 && h == 0) h = 1;
+    const Moebius f(a, b, c, d), g(e, f2, g2, h);
+    const Rational x = R(rnd_small(), 1 + static_cast<std::int64_t>(rng.below(5)));
+    const auto fg = try_compose(f, g);
+    if (!fg) continue;  // degenerate product: switch declines — always legal
+    const Rational lhs = fg->apply(x);
+    const Rational rhs = g.apply(f.apply(x));
+    // Wherever the serial execution is defined, the combined execution is
+    // defined and agrees. (The converse fails by design: the composed map
+    // analytically continues through intermediate poles — the numerical
+    // caveat §5.4 warns about for division.)
+    if (rhs.ok()) {
+      EXPECT_TRUE(lhs.ok());
+      EXPECT_EQ(lhs, rhs) << f.to_string() << " ∘ " << g.to_string() << " at "
+                          << x.to_string();
+    }
+  }
+}
+
+TEST(Moebius, Associativity) {
+  krs::util::Xoshiro256 rng(53);
+  auto rnd = [&]() { return static_cast<std::int64_t>(rng.below(21)) - 10; };
+  for (int i = 0; i < 1000; ++i) {
+    auto mk = [&]() {
+      std::int64_t a = rnd(), b = rnd(), c = rnd(), d = rnd();
+      if (c == 0 && d == 0) d = 1;
+      return Moebius(a, b, c, d);
+    };
+    const Moebius a = mk(), b = mk(), c = mk();
+    const auto ab = try_compose(a, b);
+    const auto bc = try_compose(b, c);
+    if (!ab || !bc) continue;  // degenerate product: decline is legal
+    const auto lhs = try_compose(*ab, c);
+    const auto rhs = try_compose(a, *bc);
+    if (!lhs || !rhs) continue;
+    EXPECT_EQ(*lhs, *rhs);
+  }
+}
+
+TEST(Moebius, MatrixProductOrientation) {
+  // compose(f, g) ("f then g") must have matrix M(g)·M(f).
+  const Moebius f(1, 2, 3, 4), g(5, 6, 7, 8);
+  const Moebius fg = compose(f, g);
+  // M(g)·M(f) = |5 6| |1 2| = |5+18 10+24| = |23 34|
+  //             |7 8| |3 4|   |7+24 14+32|   |31 46|
+  EXPECT_EQ(fg, Moebius(23, 34, 31, 46));
+}
+
+TEST(Moebius, ProjectiveNormalization) {
+  // Scalar multiples denote the same function and compare equal.
+  EXPECT_EQ(Moebius(2, 4, 6, 8), Moebius(1, 2, 3, 4));
+  EXPECT_EQ(Moebius(-1, -2, -3, -4), Moebius(1, 2, 3, 4));
+}
+
+TEST(Moebius, DivisionByZeroYieldsInvalid) {
+  // x → 1/x at x = 0.
+  EXPECT_FALSE(Moebius::fetch_rdiv(1).apply(R(0)).ok());
+  // Singularity at x = -d/c.
+  const Moebius m(1, 0, 1, 2);  // x/(x+2)
+  EXPECT_FALSE(m.apply(R(-2)).ok());
+  EXPECT_TRUE(m.apply(R(-1)).ok());
+}
+
+TEST(Moebius, OverflowDeclinesCombination) {
+  const std::int64_t big = std::int64_t{1} << 40;
+  const Moebius f = Moebius::fetch_mul(big);
+  const Moebius g = Moebius::fetch_mul(big);
+  // big * big overflows after normalization cannot save it.
+  EXPECT_FALSE(try_compose(f, g).has_value());
+  // Small compositions still succeed.
+  EXPECT_TRUE(try_compose(Moebius::fetch_mul(2), Moebius::fetch_mul(3))
+                  .has_value());
+}
+
+TEST(Moebius, GcdNormalizationExtendsRange) {
+  // mul(2^40) then div(2^40) normalizes back to the identity instead of
+  // overflowing.
+  const std::int64_t big = std::int64_t{1} << 40;
+  const auto r = try_compose(Moebius::fetch_mul(big), Moebius::fetch_div(big));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, Moebius::identity());
+}
+
+TEST(Moebius, ChainEqualsSerialArithmetic) {
+  // Mixed fetch-and-ψ chains: the combined Möbius map equals the serial
+  // execution of x := x ψ c assignments (§5.4's headline claim).
+  krs::util::Xoshiro256 rng(59);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(8));
+    Rational x = R(1 + static_cast<std::int64_t>(rng.below(50)));
+    const Rational x0 = x;
+    Moebius combined = Moebius::identity();
+    bool ok = true;
+    for (int i = 0; i < n && ok; ++i) {
+      const auto k = 1 + static_cast<std::int64_t>(rng.below(9));
+      Moebius f = Moebius::identity();
+      switch (rng.below(6)) {
+        case 0: f = Moebius::fetch_add(k); break;
+        case 1: f = Moebius::fetch_sub(k); break;
+        case 2: f = Moebius::fetch_mul(k); break;
+        case 3: f = Moebius::fetch_div(k); break;
+        case 4: f = Moebius::fetch_rsub(k); break;
+        default: f = Moebius::fetch_rdiv(k); break;
+      }
+      const auto c = try_compose(combined, f);
+      if (!c) {
+        ok = false;  // switch would decline; nothing to check
+        break;
+      }
+      combined = *c;
+      x = f.apply(x);
+      if (!x.ok()) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      EXPECT_EQ(combined.apply(x0), x);
+    }
+  }
+}
+
+TEST(Moebius, EncodedSizeIsFourWords) {
+  EXPECT_EQ(Moebius::identity().encoded_size_bytes(), 4 * sizeof(std::int64_t));
+}
+
+}  // namespace

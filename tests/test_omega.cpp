@@ -1,0 +1,89 @@
+// Omega topology: routing correctness (§4.1's unique-path assumptions),
+// shuffle/unshuffle inverses, and path reconstruction.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "net/omega.hpp"
+
+namespace {
+
+using krs::net::OmegaTopology;
+
+TEST(Omega, ShuffleUnshuffleAreInverse) {
+  for (unsigned k = 1; k <= 6; ++k) {
+    const OmegaTopology t(k);
+    for (std::uint32_t w = 0; w < t.ports(); ++w) {
+      EXPECT_EQ(t.unshuffle(t.shuffle(w)), w);
+      EXPECT_EQ(t.shuffle(t.unshuffle(w)), w);
+    }
+  }
+}
+
+TEST(Omega, EveryPairRoutesToDestination) {
+  // route() KRS_ENSURES the final wire equals dst; this sweep exercises it
+  // for every (src, dst) pair at several sizes.
+  for (unsigned k = 1; k <= 6; ++k) {
+    const OmegaTopology t(k);
+    for (std::uint32_t s = 0; s < t.ports(); ++s) {
+      for (std::uint32_t d = 0; d < t.ports(); ++d) {
+        std::vector<OmegaTopology::Hop> hops;
+        t.route(s, d, std::back_inserter(hops));
+        EXPECT_EQ(hops.size(), t.stages());
+      }
+    }
+  }
+}
+
+TEST(Omega, UniquePathProperty) {
+  // Requests from distinct sources to one destination converge: the set of
+  // (stage, row) pairs touched forms a tree rooted at the destination —
+  // at the last stage everyone is at the same switch.
+  const OmegaTopology t(4);
+  const std::uint32_t dst = 11;
+  std::set<std::uint32_t> last_rows;
+  for (std::uint32_t s = 0; s < t.ports(); ++s) {
+    std::vector<OmegaTopology::Hop> hops;
+    t.route(s, dst, std::back_inserter(hops));
+    last_rows.insert(hops.back().row);
+    EXPECT_EQ(hops.back().out_port, dst & 1u);
+  }
+  EXPECT_EQ(last_rows.size(), 1u);
+  EXPECT_EQ(*last_rows.begin(), dst >> 1);
+}
+
+TEST(Omega, ConvergenceIsBinaryTree) {
+  // Counting distinct switches per stage on the way to one destination:
+  // stage s is reached by 2^(k-1-s) distinct switches (a complete binary
+  // tree of combining opportunities, the virtual tree of §6).
+  const unsigned k = 5;
+  const OmegaTopology t(k);
+  const std::uint32_t dst = 19;
+  std::vector<std::set<std::uint32_t>> rows(k);
+  for (std::uint32_t s = 0; s < t.ports(); ++s) {
+    std::vector<OmegaTopology::Hop> hops;
+    t.route(s, dst, std::back_inserter(hops));
+    for (unsigned st = 0; st < k; ++st) rows[st].insert(hops[st].row);
+  }
+  for (unsigned st = 0; st < k; ++st) {
+    EXPECT_EQ(rows[st].size(), 1u << (k - 1 - st)) << "stage " << st;
+  }
+}
+
+TEST(Omega, UpstreamWireInvertsStageInput) {
+  const OmegaTopology t(4);
+  for (std::uint32_t wire = 0; wire < t.ports(); ++wire) {
+    const auto in = t.stage_input(wire);
+    EXPECT_EQ(t.upstream_wire(in.row, in.port), wire);
+  }
+}
+
+TEST(Omega, StagesAndCounts) {
+  const OmegaTopology t(3);
+  EXPECT_EQ(t.stages(), 3u);
+  EXPECT_EQ(t.ports(), 8u);
+  EXPECT_EQ(t.switches_per_stage(), 4u);
+}
+
+}  // namespace

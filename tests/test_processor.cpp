@@ -1,0 +1,145 @@
+// The processor model in isolation: issue windows, completion accounting,
+// the processor-side read-lock/compute/write-unlock state machine, and
+// nack-driven retries — driven by hand, no network.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/fetch_theta.hpp"
+#include "proc/processor.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace krs;
+using core::FetchAdd;
+using core::ReqId;
+using core::Tick;
+
+using Src = workload::ScriptedSource<FetchAdd>;
+using Proc = proc::Processor<FetchAdd>;
+using Done = std::vector<proc::CompletedOp<FetchAdd>>;
+
+std::deque<Src::Item> three_ops() {
+  return {{0, 10, FetchAdd(1)}, {0, 11, FetchAdd(2)}, {0, 12, FetchAdd(3)}};
+}
+
+net::RevPacket<FetchAdd> reply(ReqId id, core::Word v, bool nack = false) {
+  net::RevPacket<FetchAdd> r;
+  r.reply = core::Reply<FetchAdd>{id, v, 0};
+  r.nack = nack;
+  return r;
+}
+
+TEST(Processor, WindowLimitsOutstanding) {
+  Src src(three_ops());
+  Proc p(0, /*window=*/2, false, &src);
+  p.tick(0);
+  p.tick(0);
+  p.tick(0);  // third blocked by window
+  EXPECT_EQ(p.outstanding(), 2u);
+  ASSERT_NE(p.peek_outgoing(), nullptr);
+  EXPECT_EQ(p.peek_outgoing()->req.id, (ReqId{0, 0}));
+  p.pop_outgoing();
+  p.pop_outgoing();
+  EXPECT_EQ(p.peek_outgoing(), nullptr);  // both in flight, none staged
+
+  Done done;
+  p.deliver(reply({0, 0}, 100), 5, &done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].reply, 100u);
+  EXPECT_EQ(done[0].completed, 5u);
+  EXPECT_EQ(p.outstanding(), 1u);
+  p.tick(6);  // window slot free: third op issues
+  EXPECT_EQ(p.outstanding(), 2u);
+  ASSERT_NE(p.peek_outgoing(), nullptr);
+  EXPECT_EQ(p.peek_outgoing()->req.addr, 12u);
+}
+
+TEST(Processor, QuiescentOnlyWhenFullyDrained) {
+  Src src({{0, 10, FetchAdd(1)}});
+  Proc p(3, 4, false, &src);
+  EXPECT_FALSE(p.quiescent());  // source not finished
+  p.tick(0);
+  p.pop_outgoing();
+  EXPECT_FALSE(p.quiescent());  // outstanding
+  Done done;
+  p.deliver(reply({3, 0}, 0), 1, &done);
+  EXPECT_TRUE(p.quiescent());
+}
+
+TEST(Processor, ProcessorSideTwoPhase) {
+  Src src({{0, 10, FetchAdd(5)}});
+  Proc p(1, 1, /*processor_side=*/true, &src);
+  p.tick(0);
+  ASSERT_NE(p.peek_outgoing(), nullptr);
+  EXPECT_EQ(p.peek_outgoing()->kind, net::TxnKind::kReadLock);
+  p.pop_outgoing();
+
+  // Lock granted with old value 100: the processor computes 105 locally
+  // and issues the write-unlock.
+  Done done;
+  p.deliver(reply({1, 0}, 100), 2, &done);
+  EXPECT_TRUE(done.empty());  // not complete yet
+  ASSERT_NE(p.peek_outgoing(), nullptr);
+  EXPECT_EQ(p.peek_outgoing()->kind, net::TxnKind::kWriteUnlock);
+  EXPECT_EQ(p.peek_outgoing()->store_value, 105u);
+  p.pop_outgoing();
+
+  // Unlock acknowledged: the logical RMW completes with the OLD value.
+  p.deliver(reply({1, 0}, 100), 4, &done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].reply, 100u);
+  EXPECT_TRUE(p.quiescent());
+}
+
+TEST(Processor, NackRetriesReadLockAfterBackoff) {
+  Src src({{0, 10, FetchAdd(5)}});
+  Proc p(2, 1, true, &src);
+  p.tick(0);
+  p.pop_outgoing();
+
+  Done done;
+  p.deliver(reply({2, 0}, 0, /*nack=*/true), 3, &done);
+  EXPECT_TRUE(done.empty());
+  EXPECT_EQ(p.peek_outgoing(), nullptr);  // backing off
+  p.tick(4);
+  EXPECT_EQ(p.peek_outgoing(), nullptr);  // still backing off
+  for (Tick t = 5; t <= 20 && p.peek_outgoing() == nullptr; ++t) p.tick(t);
+  ASSERT_NE(p.peek_outgoing(), nullptr);  // retried
+  EXPECT_EQ(p.peek_outgoing()->kind, net::TxnKind::kReadLock);
+  p.pop_outgoing();
+  // This time the lock is granted; finish the protocol.
+  p.deliver(reply({2, 0}, 7), 21, &done);
+  p.pop_outgoing();
+  p.deliver(reply({2, 0}, 7), 23, &done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].reply, 7u);
+}
+
+TEST(Processor, SequenceNumbersAreMonotone) {
+  Src src(three_ops());
+  Proc p(0, 3, false, &src);
+  for (Tick t = 0; t < 3; ++t) p.tick(t);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ASSERT_NE(p.peek_outgoing(), nullptr);
+    EXPECT_EQ(p.peek_outgoing()->req.id, (ReqId{0, i}));
+    p.pop_outgoing();
+  }
+}
+
+TEST(Processor, CompletedOpCarriesIssueMetadata) {
+  Src src({{0, 42, FetchAdd(9)}});
+  Proc p(5, 1, false, &src);
+  p.tick(17);
+  p.pop_outgoing();
+  Done done;
+  p.deliver(reply({5, 0}, 3), 40, &done);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].addr, 42u);
+  EXPECT_EQ(done[0].f, FetchAdd(9));
+  EXPECT_EQ(done[0].issued, 17u);
+  EXPECT_EQ(done[0].completed, 40u);
+}
+
+}  // namespace

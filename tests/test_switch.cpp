@@ -1,0 +1,280 @@
+// The combining switch in isolation: queueing, combining policies, wait
+// buffer bounds, decombination fan-out, and path bookkeeping.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fetch_theta.hpp"
+#include "core/load_store_swap.hpp"
+#include "net/switch.hpp"
+
+namespace {
+
+using namespace krs::core;
+using namespace krs::net;
+
+template <Rmw M>
+FwdPacket<M> make_req(std::uint32_t proc, std::uint32_t seq, Addr addr, M f) {
+  FwdPacket<M> p;
+  p.req = Request<M>{{proc, seq}, addr, f, 0};
+  return p;
+}
+
+TEST(Switch, ForwardsWithoutCombiningWhenDisabled) {
+  SwitchConfig cfg;
+  cfg.policy = CombinePolicy::kNone;
+  CombiningSwitch<FetchAdd> sw(cfg);
+  std::vector<CombineEvent> ev;
+  EXPECT_TRUE(sw.offer_request(make_req(0, 0, 5, FetchAdd(1)), 0, 0, &ev));
+  EXPECT_TRUE(sw.offer_request(make_req(1, 0, 5, FetchAdd(2)), 1, 0, &ev));
+  EXPECT_TRUE(ev.empty());
+  EXPECT_EQ(sw.stats().combines, 0u);
+  // Both packets occupy queue slots.
+  EXPECT_EQ(sw.pop_output(0).req.id, (ReqId{0, 0}));
+  EXPECT_EQ(sw.pop_output(0).req.id, (ReqId{1, 0}));
+}
+
+TEST(Switch, CombinesSameAddressSameOutput) {
+  CombiningSwitch<FetchAdd> sw({CombinePolicy::kUnlimited, 4, 64});
+  std::vector<CombineEvent> ev;
+  EXPECT_TRUE(sw.offer_request(make_req(0, 0, 5, FetchAdd(1)), 0, 0, &ev));
+  EXPECT_TRUE(sw.offer_request(make_req(1, 0, 5, FetchAdd(2)), 1, 0, &ev));
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].representative, (ReqId{0, 0}));
+  EXPECT_EQ(ev[0].absorbed, (ReqId{1, 0}));
+  // Only the representative remains, carrying the composed mapping.
+  const auto pkt = sw.pop_output(0);
+  EXPECT_EQ(pkt.req.f, FetchAdd(3));
+  EXPECT_EQ(sw.peek_output(0), nullptr);
+  EXPECT_EQ(sw.wait_buffer_size(), 1u);
+}
+
+TEST(Switch, DifferentAddressesDoNotCombine) {
+  CombiningSwitch<FetchAdd> sw;
+  std::vector<CombineEvent> ev;
+  sw.offer_request(make_req(0, 0, 4, FetchAdd(1)), 0, 0, &ev);
+  sw.offer_request(make_req(1, 0, 6, FetchAdd(2)), 1, 0, &ev);
+  EXPECT_TRUE(ev.empty());
+}
+
+TEST(Switch, DifferentOutputPortsDoNotCombine) {
+  CombiningSwitch<FetchAdd> sw;
+  std::vector<CombineEvent> ev;
+  sw.offer_request(make_req(0, 0, 5, FetchAdd(1)), 0, 0, &ev);
+  sw.offer_request(make_req(1, 0, 5, FetchAdd(2)), 1, 1, &ev);
+  EXPECT_TRUE(ev.empty());
+}
+
+TEST(Switch, QueueCapacityStalls) {
+  CombiningSwitch<FetchAdd> sw({CombinePolicy::kUnlimited, 2, 64});
+  std::vector<CombineEvent> ev;
+  EXPECT_TRUE(sw.offer_request(make_req(0, 0, 1, FetchAdd(1)), 0, 0, &ev));
+  EXPECT_TRUE(sw.offer_request(make_req(1, 0, 2, FetchAdd(1)), 1, 0, &ev));
+  // Third distinct address: queue full, stall.
+  EXPECT_FALSE(sw.offer_request(make_req(2, 0, 3, FetchAdd(1)), 0, 0, &ev));
+  EXPECT_EQ(sw.stats().stalls, 1u);
+  // Same address as a queued one: combining needs no space and succeeds.
+  EXPECT_TRUE(sw.offer_request(make_req(3, 0, 2, FetchAdd(5)), 0, 0, &ev));
+  EXPECT_EQ(sw.stats().combines, 1u);
+}
+
+TEST(Switch, PairwisePolicyCombinesOnce) {
+  CombiningSwitch<FetchAdd> sw({CombinePolicy::kPairwise, 4, 64});
+  std::vector<CombineEvent> ev;
+  sw.offer_request(make_req(0, 0, 5, FetchAdd(1)), 0, 0, &ev);
+  EXPECT_TRUE(sw.offer_request(make_req(1, 0, 5, FetchAdd(2)), 1, 0, &ev));
+  EXPECT_EQ(ev.size(), 1u);
+  // Third to the same address: representative already combined once; the
+  // arrival is enqueued as a fresh message instead.
+  EXPECT_TRUE(sw.offer_request(make_req(2, 0, 5, FetchAdd(4)), 0, 0, &ev));
+  EXPECT_EQ(ev.size(), 1u);
+  EXPECT_EQ(sw.stats().combine_declined_policy, 1u);
+  // ...and a fourth can combine with the fresh third message.
+  EXPECT_TRUE(sw.offer_request(make_req(3, 0, 5, FetchAdd(8)), 1, 0, &ev));
+  EXPECT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[1].representative, (ReqId{2, 0}));
+}
+
+TEST(Switch, WaitBufferCapacityDeclines) {
+  CombiningSwitch<FetchAdd> sw({CombinePolicy::kUnlimited, 8, 1});
+  std::vector<CombineEvent> ev;
+  sw.offer_request(make_req(0, 0, 5, FetchAdd(1)), 0, 0, &ev);
+  EXPECT_TRUE(sw.offer_request(make_req(1, 0, 5, FetchAdd(2)), 1, 0, &ev));
+  EXPECT_EQ(ev.size(), 1u);
+  // Wait buffer full: next same-address arrival is enqueued, not combined.
+  EXPECT_TRUE(sw.offer_request(make_req(2, 0, 5, FetchAdd(4)), 0, 0, &ev));
+  EXPECT_EQ(ev.size(), 1u);
+  EXPECT_EQ(sw.stats().combine_declined_waitbuf, 1u);
+}
+
+TEST(Switch, ReplyDecombinationFansOut) {
+  CombiningSwitch<FetchAdd> sw;
+  std::vector<CombineEvent> ev;
+  // P0 from input 0, P1 and P2 from input 1, all to addr 5, k-way combined.
+  sw.offer_request(make_req(0, 0, 5, FetchAdd(1)), 0, 0, &ev);
+  sw.offer_request(make_req(1, 0, 5, FetchAdd(2)), 1, 0, &ev);
+  sw.offer_request(make_req(2, 0, 5, FetchAdd(4)), 1, 0, &ev);
+  ASSERT_EQ(ev.size(), 2u);
+  auto fwd = sw.pop_output(0);
+  EXPECT_EQ(fwd.req.f, FetchAdd(7));
+
+  // Memory returns 100 to the representative.
+  RevPacket<FetchAdd> rev;
+  rev.reply = Reply<FetchAdd>{fwd.req.id, 100, 0};
+  rev.path = fwd.path;  // one hop: input port 0
+  sw.accept_reply(std::move(rev));
+
+  // P0's reply (100) leaves via input port 0; P1 (101) and P2 (103) via 1.
+  ASSERT_NE(sw.peek_reply(0), nullptr);
+  EXPECT_EQ(sw.pop_reply(0).reply.value, 100u);
+  std::vector<std::pair<std::uint32_t, Word>> others;
+  while (sw.peek_reply(1) != nullptr) {
+    auto r = sw.pop_reply(1);
+    others.emplace_back(r.reply.id.proc, r.reply.value);
+  }
+  ASSERT_EQ(others.size(), 2u);
+  // Serial order: P0 (+1) then P1 (+2) then P2 (+4).
+  for (const auto& [p, v] : others) {
+    if (p == 1) {
+      EXPECT_EQ(v, 101u);
+    }
+    if (p == 2) {
+      EXPECT_EQ(v, 103u);
+    }
+  }
+  EXPECT_EQ(sw.wait_buffer_size(), 0u);
+  EXPECT_TRUE(sw.idle());
+}
+
+TEST(Switch, PathAccumulatesInputPorts) {
+  CombiningSwitch<LssOp> sw;
+  std::vector<CombineEvent> ev;
+  auto pkt = make_req(0, 0, 9, LssOp::swap(7));
+  pkt.path = {1};  // arrived via port 1 at an earlier switch
+  sw.offer_request(std::move(pkt), 0, 1, &ev);
+  const auto out = sw.pop_output(1);
+  ASSERT_EQ(out.path.size(), 2u);
+  EXPECT_EQ(out.path[0], 1);
+  EXPECT_EQ(out.path[1], 0);
+}
+
+TEST(Switch, CombinesOnlyWithYoungestSameAddressEntry) {
+  // M2.3 safety rule: an arrival joins the YOUNGEST queued request for its
+  // address, never an older one. Exhaust the oldest entry's pairwise budget
+  // first so a later arrival has both an old (full) and a young (free)
+  // candidate.
+  CombiningSwitch<FetchAdd> sw({CombinePolicy::kPairwise, 8, 64});
+  std::vector<CombineEvent> ev;
+  sw.offer_request(make_req(0, 0, 5, FetchAdd(1)), 0, 0, &ev);  // oldest @5
+  sw.offer_request(make_req(4, 0, 5, FetchAdd(1)), 1, 0, &ev);  // combines→P0
+  ASSERT_EQ(ev.size(), 1u);
+  sw.offer_request(make_req(1, 0, 7, FetchAdd(1)), 1, 0, &ev);  // other addr
+  sw.offer_request(make_req(2, 0, 5, FetchAdd(1)), 0, 0, &ev);  // youngest @5
+  ASSERT_EQ(ev.size(), 1u);  // P2 enqueued (P0's pairwise budget spent)
+  EXPECT_EQ(sw.stats().combine_declined_policy, 1u);
+  ev.clear();
+  sw.offer_request(make_req(3, 0, 5, FetchAdd(1)), 1, 0, &ev);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].representative, (ReqId{2, 0}));
+}
+
+// --- §5.1 order reversal in the switch ----------------------------------------
+
+SwitchConfig reversal_cfg() {
+  SwitchConfig cfg;
+  cfg.allow_order_reversal = true;
+  return cfg;
+}
+
+TEST(Switch, ReversedLoadStoreForwardsAsStore) {
+  CombiningSwitch<LssOp> sw(reversal_cfg());
+  std::vector<CombineEvent> ev;
+  sw.offer_request(make_req(0, 0, 5, LssOp::load()), 0, 0, &ev);
+  sw.offer_request(make_req(1, 0, 5, LssOp::store(42)), 1, 0, &ev);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_TRUE(ev[0].reversed);
+  auto fwd = sw.pop_output(0);
+  // Forwarded as a plain store: no data word needs to return.
+  EXPECT_EQ(fwd.req.f, LssOp::store(42));
+  EXPECT_FALSE(fwd.req.f.reply_needs_data());
+  EXPECT_EQ(sw.stats().reversed_combines, 1u);
+
+  // Memory held 7; the store executes first, then the load reads 42.
+  RevPacket<LssOp> rev;
+  rev.reply = Reply<LssOp>{fwd.req.id, 7, 0};
+  rev.path = fwd.path;
+  sw.accept_reply(std::move(rev));
+  EXPECT_EQ(sw.pop_reply(0).reply.value, 42u);  // the load's reply
+  EXPECT_EQ(sw.pop_reply(1).reply.value, 7u);   // the store's (unused) ack
+}
+
+TEST(Switch, ReversedSwapStoreKeepsSwapValue) {
+  CombiningSwitch<LssOp> sw(reversal_cfg());
+  std::vector<CombineEvent> ev;
+  sw.offer_request(make_req(0, 0, 5, LssOp::swap(9)), 0, 0, &ev);
+  sw.offer_request(make_req(1, 0, 5, LssOp::store(42)), 1, 0, &ev);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_TRUE(ev[0].reversed);
+  auto fwd = sw.pop_output(0);
+  // store 42, then swap 9: memory ends with 9, forwarded as store(9).
+  EXPECT_EQ(fwd.req.f, LssOp::store(9));
+  RevPacket<LssOp> rev;
+  rev.reply = Reply<LssOp>{fwd.req.id, 7, 0};
+  rev.path = fwd.path;
+  sw.accept_reply(std::move(rev));
+  EXPECT_EQ(sw.pop_reply(0).reply.value, 42u);  // swap returns stored value
+}
+
+TEST(Switch, NoReversalForSameProcessor) {
+  CombiningSwitch<LssOp> sw(reversal_cfg());
+  std::vector<CombineEvent> ev;
+  sw.offer_request(make_req(0, 0, 5, LssOp::load()), 0, 0, &ev);
+  sw.offer_request(make_req(0, 1, 5, LssOp::store(42)), 1, 0, &ev);
+  ASSERT_EQ(ev.size(), 1u);
+  // Combined, but in program order (load then store → swap).
+  EXPECT_FALSE(ev[0].reversed);
+  EXPECT_EQ(sw.pop_output(0).req.f, LssOp::swap(42));
+}
+
+TEST(Switch, NoReversalForCombinedMessages) {
+  CombiningSwitch<LssOp> sw(reversal_cfg());
+  std::vector<CombineEvent> ev;
+  // Two loads combine first — the queued message is no longer an original.
+  sw.offer_request(make_req(0, 0, 5, LssOp::load()), 0, 0, &ev);
+  sw.offer_request(make_req(1, 0, 5, LssOp::load()), 1, 0, &ev);
+  ASSERT_EQ(ev.size(), 1u);
+  sw.offer_request(make_req(2, 0, 5, LssOp::store(42)), 0, 0, &ev);
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_FALSE(ev[1].reversed);  // normal combine instead
+  EXPECT_EQ(sw.pop_output(0).req.f, LssOp::swap(42));
+}
+
+TEST(Switch, ReversalOffByDefault) {
+  CombiningSwitch<LssOp> sw;  // default config
+  std::vector<CombineEvent> ev;
+  sw.offer_request(make_req(0, 0, 5, LssOp::load()), 0, 0, &ev);
+  sw.offer_request(make_req(1, 0, 5, LssOp::store(42)), 1, 0, &ev);
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_FALSE(ev[0].reversed);
+  EXPECT_EQ(sw.stats().reversed_combines, 0u);
+}
+
+TEST(Switch, MixedLssCombining) {
+  // A load and a store to one address combine into a swap (§5.1 table),
+  // and decombination answers the load with the old memory value.
+  CombiningSwitch<LssOp> sw;
+  std::vector<CombineEvent> ev;
+  sw.offer_request(make_req(0, 0, 5, LssOp::load()), 0, 0, &ev);
+  sw.offer_request(make_req(1, 0, 5, LssOp::store(42)), 1, 0, &ev);
+  ASSERT_EQ(ev.size(), 1u);
+  auto fwd = sw.pop_output(0);
+  EXPECT_EQ(fwd.req.f, LssOp::swap(42));
+  RevPacket<LssOp> rev;
+  rev.reply = Reply<LssOp>{fwd.req.id, 7, 0};
+  rev.path = fwd.path;
+  sw.accept_reply(std::move(rev));
+  EXPECT_EQ(sw.pop_reply(0).reply.value, 7u);   // the load's answer
+  EXPECT_EQ(sw.pop_reply(1).reply.value, 7u);   // store ack (value unused)
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+// The workload generators themselves: issue counts, hot-spot mixture,
+// rate throttling, script/fence semantics, and the busy-wait retry source.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/fetch_theta.hpp"
+#include "core/full_empty.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace krs;
+using core::FetchAdd;
+using core::FEOp;
+using core::FEWord;
+
+TEST(HotSpotSource, IssuesExactlyTotal) {
+  workload::HotSpotSource<FetchAdd>::Params p;
+  p.total = 57;
+  p.addr_space = 100;
+  workload::HotSpotSource<FetchAdd> src(
+      p, [](util::Xoshiro256&) { return FetchAdd(1); }, 1);
+  std::uint64_t n = 0;
+  while (auto op = src.next(n, 0)) ++n;
+  EXPECT_EQ(n, 57u);
+  EXPECT_TRUE(src.finished());
+}
+
+TEST(HotSpotSource, HotFractionApproximatelyRespected) {
+  workload::HotSpotSource<FetchAdd>::Params p;
+  p.total = 20000;
+  p.hot_fraction = 0.25;
+  p.hot_addr = 42;
+  p.addr_space = 1 << 20;  // uniform hits on 42 are negligible
+  workload::HotSpotSource<FetchAdd> src(
+      p, [](util::Xoshiro256&) { return FetchAdd(1); }, 2);
+  std::uint64_t hot = 0, total = 0;
+  while (auto op = src.next(total, 0)) {
+    if (op->first == 42) ++hot;
+    ++total;
+  }
+  const double frac = static_cast<double>(hot) / static_cast<double>(total);
+  EXPECT_NEAR(frac, 0.25, 0.02);
+}
+
+TEST(HotSpotSource, IssueProbabilityThrottles) {
+  workload::HotSpotSource<FetchAdd>::Params p;
+  p.total = 1000;
+  p.issue_probability = 0.5;
+  workload::HotSpotSource<FetchAdd> src(
+      p, [](util::Xoshiro256&) { return FetchAdd(1); }, 3);
+  std::uint64_t attempts = 0, issued = 0;
+  while (!src.finished()) {
+    ++attempts;
+    if (src.next(attempts, 0)) ++issued;
+    ASSERT_LT(attempts, 100000u);
+  }
+  EXPECT_EQ(issued, 1000u);
+  // Roughly twice as many polls as issues.
+  EXPECT_GT(attempts, 1700u);
+  EXPECT_LT(attempts, 2400u);
+}
+
+TEST(SingleAddressSource, AllToOneAddress) {
+  workload::SingleAddressSource<FetchAdd> src(
+      7, 10, [](util::Xoshiro256&) { return FetchAdd(2); }, 4);
+  for (int i = 0; i < 10; ++i) {
+    const auto op = src.next(0, 0);
+    ASSERT_TRUE(op.has_value());
+    EXPECT_EQ(op->first, 7u);
+    EXPECT_EQ(op->second, FetchAdd(2));
+  }
+  EXPECT_FALSE(src.next(0, 0).has_value());
+  EXPECT_TRUE(src.finished());
+}
+
+TEST(ScriptedSource, RespectsNotBefore) {
+  std::deque<workload::ScriptedSource<FetchAdd>::Item> items;
+  items.push_back({5, 1, FetchAdd(1)});
+  workload::ScriptedSource<FetchAdd> src(std::move(items));
+  EXPECT_FALSE(src.next(0, 0).has_value());
+  EXPECT_FALSE(src.next(4, 0).has_value());
+  EXPECT_TRUE(src.next(5, 0).has_value());
+  EXPECT_TRUE(src.finished());
+}
+
+TEST(ScriptedSource, FenceWaitsForDrain) {
+  std::deque<workload::ScriptedSource<FetchAdd>::Item> items;
+  items.push_back({0, 1, FetchAdd(1), /*fence_before=*/true});
+  workload::ScriptedSource<FetchAdd> src(std::move(items));
+  EXPECT_FALSE(src.next(0, /*outstanding=*/3).has_value());
+  EXPECT_FALSE(src.next(1, 1).has_value());
+  EXPECT_TRUE(src.next(2, 0).has_value());
+}
+
+TEST(RetryingSource, RepeatsUntilGuardSucceeds) {
+  std::deque<workload::RetryingSource<FEOp>::Item> items;
+  items.push_back({9, FEOp::load_and_clear()});  // succeeds when full
+  workload::RetryingSource<FEOp> src(std::move(items), /*backoff=*/2);
+
+  auto op = src.next(0, 0);
+  ASSERT_TRUE(op.has_value());
+  // Reply: cell was empty — failure. The source backs off, then retries.
+  src.on_complete({0, 0}, FEWord{0, false}, 0);
+  EXPECT_FALSE(src.next(1, 0).has_value());  // still backing off
+  op = src.next(2, 0);
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(op->second, FEOp::load_and_clear());
+  // Reply: cell full — success; the source is done.
+  src.on_complete({0, 1}, FEWord{42, true}, 2);
+  EXPECT_TRUE(src.finished());
+  EXPECT_EQ(src.attempts(), 2u);
+}
+
+TEST(RetryingSource, OneOutstandingAtATime) {
+  std::deque<workload::RetryingSource<FEOp>::Item> items;
+  items.push_back({9, FEOp::store_if_clear_and_set(1)});
+  items.push_back({9, FEOp::store_if_clear_and_set(2)});
+  workload::RetryingSource<FEOp> src(std::move(items), 1);
+  ASSERT_TRUE(src.next(0, 0).has_value());
+  // No second op until the first completes.
+  EXPECT_FALSE(src.next(1, 1).has_value());
+  src.on_complete({0, 0}, FEWord{0, false}, 1);  // success (was empty)
+  const auto op = src.next(2, 0);
+  ASSERT_TRUE(op.has_value());
+  EXPECT_EQ(op->second, FEOp::store_if_clear_and_set(2));
+}
+
+}  // namespace
