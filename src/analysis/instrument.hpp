@@ -1,0 +1,169 @@
+// Zero-cost-when-disabled instrumentation hooks for the runtime layer.
+//
+// Every primitive in src/runtime takes an instrumentation policy as a
+// defaulted template parameter:
+//
+//   template <typename Instrument = krs::analysis::DefaultInstrument>
+//   class BasicTicketLock { ... Instrument::acquire(this); ... };
+//
+// Two policies are provided:
+//
+//  * NoInstrument      — every hook is an empty constexpr-friendly inline
+//                        function; the compiler erases the calls entirely,
+//                        so uninstrumented builds pay nothing (checked by
+//                        static_assert(sizeof) identities in the tests).
+//  * GlobalInstrument  — hooks forward to the process-global RaceDetector
+//                        installed with ScopedDetector, tagging events with
+//                        a per-thread id that is registered on demand.
+//
+// DefaultInstrument is NoInstrument unless KRS_ANALYSIS_ENABLED is defined
+// (the -DKRS_ANALYSIS=ON CMake option defines it globally), so existing
+// call sites compile unchanged and behave identically.
+//
+// Thread identity: GlobalInstrument maps std::this_thread onto a detector
+// Tid lazily, caching (detector uid, tid) in TLS. A thread first seen by
+// the detector gets a *root* registration — no happens-before edge from
+// its creator. Tests that need the fork edge (e.g. main initializes data,
+// workers then use it) create threads through ForkHandle / adopt(), which
+// routes the edge through RaceDetector::fork.
+#pragma once
+
+#include <atomic>
+
+#include "analysis/race_detector.hpp"
+
+namespace krs::analysis {
+
+namespace detail {
+
+inline std::atomic<RaceDetector*>& global_slot() noexcept {
+  static std::atomic<RaceDetector*> slot{nullptr};
+  return slot;
+}
+
+struct TlsBinding {
+  std::uint64_t detector_uid = 0;
+  Tid tid = 0;
+};
+
+inline TlsBinding& tls_binding() noexcept {
+  thread_local TlsBinding b;
+  return b;
+}
+
+}  // namespace detail
+
+/// The detector currently receiving instrumentation events (nullptr: none).
+inline RaceDetector* global_detector() noexcept {
+  return detail::global_slot().load(std::memory_order_acquire);
+}
+
+/// Install `d` as the global detector for this scope. Not reentrant: one
+/// detector at a time (tests run them serially).
+class ScopedDetector {
+ public:
+  explicit ScopedDetector(RaceDetector& d) {
+    detail::global_slot().store(&d, std::memory_order_release);
+  }
+  ~ScopedDetector() {
+    detail::global_slot().store(nullptr, std::memory_order_release);
+  }
+  ScopedDetector(const ScopedDetector&) = delete;
+  ScopedDetector& operator=(const ScopedDetector&) = delete;
+};
+
+/// This thread's id under detector `d`, registering a root thread on first
+/// use. The cache is keyed by the detector's uid, so a new detector at a
+/// recycled address does not inherit stale ids.
+inline Tid self_tid(RaceDetector& d) {
+  auto& b = detail::tls_binding();
+  if (b.detector_uid != d.uid()) {
+    b = {d.uid(), d.new_thread()};
+  }
+  return b.tid;
+}
+
+/// A fork edge prepared in the parent and adopted in the child:
+///
+///   ForkHandle h;                       // parent: snapshots parent clock
+///   std::jthread t([h] { h.adopt(); ...worker... });
+///   ...
+///   h.join();                           // parent: after t joined
+class ForkHandle {
+ public:
+  ForkHandle() {
+    if (RaceDetector* d = global_detector()) {
+      detector_uid_ = d->uid();
+      parent_ = self_tid(*d);
+      child_ = d->fork(parent_);
+    }
+  }
+
+  /// Called on the child thread: bind its TLS id to the forked Tid.
+  void adopt() const {
+    RaceDetector* d = global_detector();
+    if (d == nullptr || d->uid() != detector_uid_) return;
+    detail::tls_binding() = {detector_uid_, child_};
+  }
+
+  /// Called on the parent after joining the child thread.
+  void join() const {
+    RaceDetector* d = global_detector();
+    if (d == nullptr || d->uid() != detector_uid_) return;
+    d->join(parent_, child_);
+  }
+
+  [[nodiscard]] Tid child_tid() const noexcept { return child_; }
+
+ private:
+  std::uint64_t detector_uid_ = 0;
+  Tid parent_ = 0;
+  Tid child_ = 0;
+};
+
+// ---- free hooks (no-ops when no detector is installed) ---------------------
+
+inline void hb_acquire(const void* sync) {
+  if (RaceDetector* d = global_detector()) d->on_acquire(self_tid(*d), sync);
+}
+
+inline void hb_release(const void* sync) {
+  if (RaceDetector* d = global_detector()) d->on_release(self_tid(*d), sync);
+}
+
+inline void shadow_read(const void* addr, AccessSite site = {}) {
+  if (RaceDetector* d = global_detector()) d->on_read(self_tid(*d), addr, site);
+}
+
+inline void shadow_write(const void* addr, AccessSite site = {}) {
+  if (RaceDetector* d = global_detector()) {
+    d->on_write(self_tid(*d), addr, site);
+  }
+}
+
+// ---- the two policies ------------------------------------------------------
+
+/// Disabled instrumentation: empty inline hooks the optimizer erases.
+struct NoInstrument {
+  static constexpr bool enabled = false;
+  static constexpr void acquire(const void*) noexcept {}
+  static constexpr void release(const void*) noexcept {}
+};
+
+/// Instrumentation wired to the global detector. `acquire(s)`/`release(s)`
+/// are the happens-before edges a primitive publishes: release at every
+/// point that hands state to a successor, acquire at every point that
+/// receives it.
+struct GlobalInstrument {
+  static constexpr bool enabled = true;
+  static void acquire(const void* sync) { hb_acquire(sync); }
+  static void release(const void* sync) { hb_release(sync); }
+};
+
+#ifdef KRS_ANALYSIS_ENABLED
+using DefaultInstrument = GlobalInstrument;
+#else
+using DefaultInstrument = NoInstrument;
+#endif
+
+}  // namespace krs::analysis

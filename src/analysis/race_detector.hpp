@@ -1,0 +1,298 @@
+// A FastTrack-style happens-before race detector (Flanagan & Freund, PLDI
+// 2009; the dynamic half of the Helgrind/TSan lineage) for the real-thread
+// runtime layer.
+//
+// The detector consumes an event stream —
+//   on_read / on_write          data accesses to shadowed addresses,
+//   on_acquire / on_release     synchronization on an opaque sync object
+//                               (a lock, a barrier, a full/empty cell),
+//   fork / join                 thread creation and termination edges —
+// and maintains the happens-before order with vector clocks. Per shadowed
+// address it keeps the last write as an *epoch* c@t and the reads as an
+// epoch that inflates to a full vector clock only when reads are genuinely
+// concurrent (the FastTrack adaptive representation): the common same-
+// thread / ordered case is O(1), the read-share case O(threads).
+//
+// Two accesses to the same address race iff at least one is a write and
+// neither happens-before the other. A detected race is *reported* (with
+// both access sites) and then the shadow state is updated as if the access
+// were ordered, so one bug yields one report, not a cascade.
+//
+// The detector is a passive library: nothing in the runtime calls it unless
+// instrumentation is switched on (analysis/instrument.hpp), and the
+// deterministic explorer (verify/race_explorer.hpp) drives it with explicit
+// thread ids, making verdicts reproducible without real concurrency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/vector_clock.hpp"
+#include "util/assert.hpp"
+
+namespace krs::analysis {
+
+/// Source label for an access, carried into race reports. Use KRS_SITE to
+/// capture file:line automatically.
+struct AccessSite {
+  const char* label = "?";
+};
+
+#define KRS_SITE_STRINGIZE2(x) #x
+#define KRS_SITE_STRINGIZE(x) KRS_SITE_STRINGIZE2(x)
+#define KRS_SITE \
+  ::krs::analysis::AccessSite { __FILE__ ":" KRS_SITE_STRINGIZE(__LINE__) }
+
+/// One recorded access, as it appears in a race report.
+struct Access {
+  Tid tid = 0;
+  ClockVal clock = 0;
+  bool is_write = false;
+  AccessSite site{};
+};
+
+struct RaceReport {
+  std::uintptr_t addr = 0;
+  Access prior;    ///< the access already in the shadow state
+  Access current;  ///< the access that exposed the race
+
+  [[nodiscard]] std::string to_string() const {
+    const auto acc = [](const Access& a) {
+      return std::string(a.is_write ? "write" : "read") + " by T" +
+             std::to_string(a.tid) + " at " + a.site.label + " (clock " +
+             std::to_string(a.clock) + ")";
+    };
+    return "data race on 0x" + [this] {
+      char buf[20];
+      std::snprintf(buf, sizeof buf, "%llx",
+                    static_cast<unsigned long long>(addr));
+      return std::string(buf);
+    }() + ": " + acc(prior) + " is concurrent with " + acc(current);
+  }
+};
+
+struct DetectorStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t epoch_fast_path = 0;  ///< same-epoch accesses: O(1), no check
+  std::uint64_t read_inflations = 0;  ///< exclusive→shared read promotions
+  std::uint64_t acquires = 0;
+  std::uint64_t releases = 0;
+};
+
+class RaceDetector {
+ public:
+  explicit RaceDetector(std::size_t max_reports = 64)
+      : max_reports_(max_reports) {}
+
+  RaceDetector(const RaceDetector&) = delete;
+  RaceDetector& operator=(const RaceDetector&) = delete;
+
+  /// Register a thread with no happens-before history (a root thread).
+  Tid new_thread() {
+    std::scoped_lock lk(m_);
+    return make_thread_locked(VectorClock{});
+  }
+
+  /// Register a thread forked by `parent`: everything the parent did so
+  /// far happens-before everything the child will do.
+  Tid fork(Tid parent) {
+    std::scoped_lock lk(m_);
+    KRS_EXPECTS(parent < threads_.size());
+    VectorClock child = threads_[parent].clock;
+    const Tid c = make_thread_locked(std::move(child));
+    // The parent's subsequent accesses must NOT be ordered before the
+    // child's via this edge: advance the parent past the snapshot.
+    threads_[parent].clock.tick(parent);
+    return c;
+  }
+
+  /// Join edge: everything `child` did happens-before whatever `parent`
+  /// does next.
+  void join(Tid parent, Tid child) {
+    std::scoped_lock lk(m_);
+    KRS_EXPECTS(parent < threads_.size() && child < threads_.size());
+    threads_[parent].clock.join(threads_[child].clock);
+    threads_[child].clock.tick(child);
+  }
+
+  /// t acquires sync object s: t's clock absorbs every release of s.
+  void on_acquire(Tid t, const void* s) {
+    std::scoped_lock lk(m_);
+    KRS_EXPECTS(t < threads_.size());
+    ++stats_.acquires;
+    threads_[t].clock.join(syncs_[s]);
+  }
+
+  /// t releases sync object s: s's clock absorbs t's history, and t's own
+  /// component advances so later accesses are not dragged under the edge.
+  void on_release(Tid t, const void* s) {
+    std::scoped_lock lk(m_);
+    KRS_EXPECTS(t < threads_.size());
+    ++stats_.releases;
+    syncs_[s].join(threads_[t].clock);
+    threads_[t].clock.tick(t);
+  }
+
+  void on_read(Tid t, const void* addr, AccessSite site = {}) {
+    std::scoped_lock lk(m_);
+    KRS_EXPECTS(t < threads_.size());
+    ++stats_.reads;
+    const VectorClock& c = threads_[t].clock;
+    VarState& v = shadow_[reinterpret_cast<std::uintptr_t>(addr)];
+    const Epoch e = c.epoch_of(t);
+    // Epoch fast path: this thread already read at this clock.
+    if ((!v.read_shared && v.read == e) ||
+        (v.read_shared && v.read_vc.get(t) == e.clock)) {
+      ++stats_.epoch_fast_path;
+      return;
+    }
+    // write→read check.
+    if (!v.write.none() && !c.covers(v.write)) {
+      report_locked(addr, v.write_access, {t, e.clock, false, site});
+    }
+    // Record the read: keep the cheap epoch while reads stay ordered,
+    // inflate to a vector clock once two reads are concurrent.
+    if (!v.read_shared) {
+      if (v.read.none() || c.covers(v.read)) {
+        v.read = e;
+        v.read_access = {t, e.clock, false, site};
+      } else {
+        ++stats_.read_inflations;
+        v.read_shared = true;
+        v.read_vc.set(v.read.tid, v.read.clock);
+        v.read_sites[v.read.tid] = v.read_access;
+        v.read_vc.set(t, e.clock);
+        v.read_sites[t] = {t, e.clock, false, site};
+      }
+    } else {
+      v.read_vc.set(t, e.clock);
+      v.read_sites[t] = {t, e.clock, false, site};
+    }
+  }
+
+  void on_write(Tid t, const void* addr, AccessSite site = {}) {
+    std::scoped_lock lk(m_);
+    KRS_EXPECTS(t < threads_.size());
+    ++stats_.writes;
+    const VectorClock& c = threads_[t].clock;
+    VarState& v = shadow_[reinterpret_cast<std::uintptr_t>(addr)];
+    const Epoch e = c.epoch_of(t);
+    // Epoch fast path: same-epoch write.
+    if (v.write == e) {
+      ++stats_.epoch_fast_path;
+      return;
+    }
+    const Access me{t, e.clock, true, site};
+    // write→write check.
+    if (!v.write.none() && !c.covers(v.write)) {
+      report_locked(addr, v.write_access, me);
+    }
+    // read→write checks (exclusive epoch or full vector).
+    if (!v.read_shared) {
+      if (!v.read.none() && !c.covers(v.read)) {
+        report_locked(addr, v.read_access, me);
+      }
+    } else {
+      for (Tid u = 0; u < static_cast<Tid>(v.read_vc.size()); ++u) {
+        const ClockVal rc = v.read_vc.get(u);
+        if (rc != 0 && rc > c.get(u)) {
+          const auto it = v.read_sites.find(u);
+          report_locked(addr, it != v.read_sites.end() ? it->second
+                                                       : Access{u, rc, false, {}},
+                        me);
+        }
+      }
+      // Writes collapse the shared-read state back to the cheap form.
+      v.read_shared = false;
+      v.read_vc = VectorClock{};
+      v.read_sites.clear();
+      v.read = Epoch{};
+    }
+    v.write = e;
+    v.write_access = me;
+  }
+
+  [[nodiscard]] std::vector<RaceReport> races() const {
+    std::scoped_lock lk(m_);
+    return reports_;
+  }
+
+  [[nodiscard]] std::size_t race_count() const {
+    std::scoped_lock lk(m_);
+    return reports_.size();
+  }
+
+  [[nodiscard]] bool clean() const { return race_count() == 0; }
+
+  [[nodiscard]] DetectorStats stats() const {
+    std::scoped_lock lk(m_);
+    return stats_;
+  }
+
+  [[nodiscard]] std::size_t threads() const {
+    std::scoped_lock lk(m_);
+    return threads_.size();
+  }
+
+  /// Unique per-detector id, used by the thread-local tid cache to survive
+  /// address reuse between consecutive detectors (analysis/instrument.hpp).
+  [[nodiscard]] std::uint64_t uid() const noexcept { return uid_; }
+
+ private:
+  struct ThreadState {
+    VectorClock clock;
+  };
+
+  /// FastTrack shadow word: last write as an epoch; reads as an epoch
+  /// while totally ordered, a vector clock once concurrent.
+  struct VarState {
+    Epoch write{};
+    Access write_access{};
+    Epoch read{};
+    Access read_access{};
+    bool read_shared = false;
+    VectorClock read_vc;
+    std::unordered_map<Tid, Access> read_sites;
+  };
+
+  Tid make_thread_locked(VectorClock initial) {
+    const Tid t = static_cast<Tid>(threads_.size());
+    initial.set(t, 1);  // clocks start at 1; 0 means "never"
+    threads_.push_back({std::move(initial)});
+    return t;
+  }
+
+  void report_locked(std::uintptr_t addr, const Access& prior,
+                     const Access& current) {
+    if (reports_.size() < max_reports_) {
+      reports_.push_back({addr, prior, current});
+    }
+  }
+
+  void report_locked(const void* addr, const Access& prior,
+                     const Access& current) {
+    report_locked(reinterpret_cast<std::uintptr_t>(addr), prior, current);
+  }
+
+  static std::uint64_t next_uid() noexcept {
+    static std::atomic<std::uint64_t> n{1};
+    return n.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  mutable std::mutex m_;
+  const std::size_t max_reports_;
+  const std::uint64_t uid_ = next_uid();
+  std::vector<ThreadState> threads_;
+  std::unordered_map<const void*, VectorClock> syncs_;
+  std::unordered_map<std::uintptr_t, VarState> shadow_;
+  std::vector<RaceReport> reports_;
+  DetectorStats stats_{};
+};
+
+}  // namespace krs::analysis

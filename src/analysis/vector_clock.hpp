@@ -1,0 +1,112 @@
+// Vector clocks and epochs — the happens-before lattice underneath the
+// race detector (analysis/race_detector.hpp).
+//
+// The runtime layer (src/runtime) implements the paper's coordination
+// algorithms on real threads; arguing they are race-free needs the standard
+// happens-before partial order of Lamport, represented the FastTrack way
+// (Flanagan & Freund, PLDI 2009): each thread carries a vector clock C_t,
+// each synchronization object a clock L_s, and most accesses are summarized
+// by a single *epoch* c@t (the clock of the last access and the thread that
+// made it) instead of a whole vector — the O(1) fast path.
+//
+// Conventions:
+//  * thread clocks start at 1, so clock value 0 in an epoch means
+//    "no such access yet" (kNoAccess);
+//  * an epoch e = c@t is covered by a vector clock V (e ⊑ V) iff
+//    c <= V[t]: the access happened-before everything V has seen of t;
+//  * join is the pointwise maximum — the clock of "after both".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace krs::analysis {
+
+using Tid = std::uint32_t;
+using ClockVal = std::uint32_t;
+
+/// A scalar summary of one access: the issuing thread and its clock value
+/// at the time — FastTrack's c@t.
+struct Epoch {
+  Tid tid = 0;
+  ClockVal clock = 0;  ///< 0 = no access recorded
+
+  [[nodiscard]] constexpr bool none() const noexcept { return clock == 0; }
+
+  friend constexpr bool operator==(const Epoch&, const Epoch&) = default;
+};
+
+inline std::string to_string(const Epoch& e) {
+  return std::to_string(e.clock) + "@T" + std::to_string(e.tid);
+}
+
+/// A grow-on-demand vector clock. Components absent from the vector are 0.
+class VectorClock {
+ public:
+  VectorClock() = default;
+
+  [[nodiscard]] ClockVal get(Tid t) const noexcept {
+    return t < c_.size() ? c_[t] : 0;
+  }
+
+  void set(Tid t, ClockVal v) {
+    if (t >= c_.size()) c_.resize(t + 1, 0);
+    c_[t] = v;
+  }
+
+  /// Advance this thread's own component (a release step).
+  void tick(Tid t) { set(t, get(t) + 1); }
+
+  /// Pointwise maximum: the clock of "after both this and o".
+  void join(const VectorClock& o) {
+    if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), 0);
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], o.c_[i]);
+    }
+  }
+
+  /// e ⊑ this: the access summarized by e happened-before the point this
+  /// clock stands at.
+  [[nodiscard]] bool covers(const Epoch& e) const noexcept {
+    return e.clock <= get(e.tid);
+  }
+
+  /// o ≤ this pointwise (every access o has seen, this has seen).
+  [[nodiscard]] bool covers(const VectorClock& o) const noexcept {
+    for (std::size_t i = 0; i < o.c_.size(); ++i) {
+      if (o.c_[i] > get(static_cast<Tid>(i))) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] Epoch epoch_of(Tid t) const noexcept { return {t, get(t)}; }
+
+  /// Number of components stored (threads mentioned so far).
+  [[nodiscard]] std::size_t size() const noexcept { return c_.size(); }
+
+  friend bool operator==(const VectorClock& a, const VectorClock& b) {
+    const std::size_t n = std::max(a.c_.size(), b.c_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.get(static_cast<Tid>(i)) != b.get(static_cast<Tid>(i))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<ClockVal> c_;
+};
+
+inline std::string to_string(const VectorClock& v) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) s += ",";
+    s += std::to_string(v.get(static_cast<Tid>(i)));
+  }
+  return s + "]";
+}
+
+}  // namespace krs::analysis

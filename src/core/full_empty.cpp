@@ -1,5 +1,7 @@
 #include "core/full_empty.hpp"
 
+#include "core/law_checks.hpp"  // static_asserts the §5.5 closure at build time
+
 namespace krs::core {
 
 const char* to_cstring(FEKind k) noexcept {

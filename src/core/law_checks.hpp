@@ -1,0 +1,357 @@
+// Compile-time re-derivation of the paper's tractable-semigroup laws.
+//
+// The §5 families ship hand-reasoned composition rules (the §5.1 combining
+// tables, θ_a ∘ θ_b = θ_{aθb}, the Möbius matrix product, the full/empty
+// six-form closure). The dynamic law suite (tests/test_family_laws.cpp)
+// samples them at runtime; this header re-derives them in constexpr
+// context and static_asserts the result, so a typo in a combining table or
+// a composition rule is a *compile error* in any translation unit that
+// includes this header — the core library's own .cpp files do, making the
+// laws part of building libkrs_core at all.
+//
+// The checks are table-parametrized where the paper gives a literal table:
+// lss_table_sound() takes the 3×3 table as an argument, so the negative
+// compile test (tests/compile_fail/) can feed it a deliberately corrupted
+// table and demonstrate the build failing. Witness checks evaluate on
+// small sample sets — they are finite certificates, not proofs for all
+// 2^64 operands; the operand sets are chosen to cover identities,
+// absorbers, wraparound, and sign boundaries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/fetch_theta.hpp"
+#include "core/full_empty.hpp"
+#include "core/load_store_swap.hpp"
+#include "core/types.hpp"
+
+namespace krs::core::laws {
+
+// ===========================================================================
+// §5.1 — the load/store/swap 3×3 combining tables.
+// ===========================================================================
+
+/// One entry of a §5.1 combining table: the kind of the forwarded request
+/// and whether the entry is starred (order-reversing) in the second table.
+struct LssEntry {
+  LssKind kind;
+  bool reversed = false;
+};
+
+/// tbl[first][second], rows/columns indexed load=0, store=1, swap=2 — the
+/// layout of the tables as printed in the paper.
+using LssTable = std::array<std::array<LssEntry, 3>, 3>;
+
+/// The paper's first (order-preserving) table.
+inline constexpr LssTable kLssOrderPreservingTable = {{
+    //            second: load                 store                  swap
+    /* first: load  */ {{{LssKind::kLoad}, {LssKind::kSwap}, {LssKind::kSwap}}},
+    /*        store */ {{{LssKind::kStore}, {LssKind::kStore}, {LssKind::kStore}}},
+    /*        swap  */ {{{LssKind::kSwap}, {LssKind::kSwap}, {LssKind::kSwap}}},
+}};
+
+/// The paper's second table with the starred order-reversing entries
+/// (load+store → store*, swap+store → store*).
+inline constexpr LssTable kLssReversibleTable = {{
+    /* first: load  */ {{{LssKind::kLoad},
+                         {LssKind::kStore, true},
+                         {LssKind::kSwap}}},
+    /*        store */ {{{LssKind::kStore}, {LssKind::kStore}, {LssKind::kStore}}},
+    /*        swap  */ {{{LssKind::kSwap},
+                         {LssKind::kStore, true},
+                         {LssKind::kSwap}}},
+}};
+
+namespace detail {
+
+constexpr LssOp make_lss(LssKind k, Word v) {
+  switch (k) {
+    case LssKind::kLoad:
+      return LssOp::load();
+    case LssKind::kStore:
+      return LssOp::store(v);
+    case LssKind::kSwap:
+      return LssOp::swap(v);
+  }
+  return LssOp::load();
+}
+
+inline constexpr Word kLssPoints[] = {0, 1, 7, 1234567, ~Word{0}};
+
+}  // namespace detail
+
+/// Re-derive a §5.1 table from the algebra and compare entry by entry:
+/// (a) the forwarded kind matches the table;
+/// (b) starred entries appear exactly where the table stars them
+///     (only meaningful when `reversible`);
+/// (c) the forwarded mapping leaves memory exactly as serial execution
+///     would — second∘first for starred entries, first∘second otherwise —
+///     for every sample cell value.
+constexpr bool lss_table_sound(const LssTable& tbl, bool reversible) {
+  constexpr LssKind kinds[] = {LssKind::kLoad, LssKind::kStore, LssKind::kSwap};
+  constexpr Word kFirstVal = 11, kSecondVal = 22;
+  for (unsigned i = 0; i < 3; ++i) {
+    for (unsigned j = 0; j < 3; ++j) {
+      const LssOp first = detail::make_lss(kinds[i], kFirstVal);
+      const LssOp second = detail::make_lss(kinds[j], kSecondVal);
+      LssOp fwd = LssOp::load();
+      bool reversed = false;
+      if (reversible) {
+        const LssReversedCombine rc = compose_reversible(first, second);
+        fwd = rc.forwarded;
+        reversed = rc.reversed;
+      } else {
+        fwd = compose(first, second);
+      }
+      const LssEntry want = tbl[i][j];
+      if (fwd.kind() != want.kind) return false;
+      if (reversed != (reversible && want.reversed)) return false;
+      for (const Word x : detail::kLssPoints) {
+        const Word serial = reversed ? first.apply(second.apply(x))
+                                     : second.apply(first.apply(x));
+        if (fwd.apply(x) != serial) return false;
+      }
+    }
+  }
+  return true;
+}
+
+static_assert(lss_table_sound(kLssOrderPreservingTable, /*reversible=*/false),
+              "§5.1 order-preserving combining table does not match the "
+              "LssOp composition rule");
+static_assert(lss_table_sound(kLssReversibleTable, /*reversible=*/true),
+              "§5.1 order-reversing combining table does not match "
+              "compose_reversible");
+
+// The kind never loses the embedded load: a combination containing a load
+// must forward something whose reply carries data.
+static_assert([] {
+  constexpr LssKind kinds[] = {LssKind::kLoad, LssKind::kStore, LssKind::kSwap};
+  for (const LssKind k : kinds) {
+    const LssOp fwd = compose(LssOp::load(), detail::make_lss(k, 5));
+    if (!fwd.reply_needs_data()) return false;
+  }
+  return true;
+}(), "a combined request containing a load must still fetch the old value");
+
+// ===========================================================================
+// §5.2 — fetch-and-θ: associativity and identity witnesses.
+// ===========================================================================
+
+namespace detail {
+
+inline constexpr Word kThetaPoints[] = {
+    0, 1, 2, 7, 63, 255, 0x8000000000000000ull, ~Word{0}, 0xDEADBEEFull};
+
+}  // namespace detail
+
+/// θ must be associative with two-sided identity e — the precondition for
+/// {θ_a} to be a tractable semigroup — and the one-word composition rule
+/// θ_a ∘ θ_b = θ_{aθb} must agree with sequential application.
+template <typename Op>
+constexpr bool theta_semigroup_witness() {
+  for (const Word a : detail::kThetaPoints) {
+    if (Op::apply(a, Op::identity_element) != a) return false;
+    if (Op::apply(Op::identity_element, a) != a) return false;
+    for (const Word b : detail::kThetaPoints) {
+      for (const Word c : detail::kThetaPoints) {
+        if (Op::apply(Op::apply(a, b), c) != Op::apply(a, Op::apply(b, c))) {
+          return false;
+        }
+      }
+      // Composition law on the mapping family.
+      const FetchTheta<Op> fa(a), fb(b);
+      const FetchTheta<Op> fab = compose(fa, fb);
+      for (const Word x : detail::kThetaPoints) {
+        if (fab.apply(x) != fb.apply(fa.apply(x))) return false;
+      }
+    }
+  }
+  return true;
+}
+
+static_assert(theta_semigroup_witness<PlusOp>(),
+              "§5.2: wrapping addition must be associative with identity 0");
+static_assert(theta_semigroup_witness<BitOrOp>(), "§5.2: OR semigroup broken");
+static_assert(theta_semigroup_witness<BitAndOp>(), "§5.2: AND semigroup broken");
+static_assert(theta_semigroup_witness<BitXorOp>(), "§5.2: XOR semigroup broken");
+static_assert(theta_semigroup_witness<MinOp>(), "§5.2: MIN semigroup broken");
+static_assert(theta_semigroup_witness<MaxOp>(), "§5.2: MAX semigroup broken");
+
+// test-and-set is fetch-and-OR(·, 1), and is idempotent under combining.
+static_assert(compose(test_and_set(), test_and_set()) == test_and_set(),
+              "§5.2: combined test-and-sets must collapse to one");
+
+// ===========================================================================
+// §5.4 — Möbius (linear-fractional) closure as 2×2 integer matrices.
+// ===========================================================================
+
+namespace detail {
+
+/// A constexpr mirror of the runtime Moebius coefficient matrix — kept
+/// deliberately independent (no gcd normalization, no overflow guard) so
+/// it *re-derives* the closure rather than restating core/moebius.cpp.
+struct Mat2 {
+  std::int64_t a, b, c, d;
+};
+
+/// compose(f, g) = "f then g" has matrix M(g)·M(f) (paper footnote 3).
+constexpr Mat2 mat_compose(const Mat2& f, const Mat2& g) {
+  return {g.a * f.a + g.b * f.c, g.a * f.b + g.b * f.d,
+          g.c * f.a + g.d * f.c, g.c * f.b + g.d * f.d};
+}
+
+/// An exact rational, for evaluating (a·x + b)/(c·x + d) symbolically.
+struct Frac {
+  std::int64_t num;
+  std::int64_t den;  ///< den == 0 encodes "undefined" (division by zero)
+};
+
+constexpr Frac mat_apply(const Mat2& m, const Frac& x) {
+  if (x.den == 0) return {0, 0};
+  const std::int64_t num = m.a * x.num + m.b * x.den;
+  const std::int64_t den = m.c * x.num + m.d * x.den;
+  return {num, den};
+}
+
+constexpr bool frac_eq(const Frac& p, const Frac& q) {
+  if (p.den == 0 || q.den == 0) return p.den == 0 && q.den == 0;
+  return p.num * q.den == q.num * p.den;
+}
+
+/// The six §5.4 generators (plus store) with operand k.
+constexpr Mat2 gen_add(std::int64_t k) { return {1, k, 0, 1}; }
+constexpr Mat2 gen_sub(std::int64_t k) { return {1, -k, 0, 1}; }
+constexpr Mat2 gen_mul(std::int64_t k) { return {k, 0, 0, 1}; }
+constexpr Mat2 gen_div(std::int64_t k) { return {1, 0, 0, k}; }
+constexpr Mat2 gen_rsub(std::int64_t k) { return {-1, k, 0, 1}; }
+constexpr Mat2 gen_rdiv(std::int64_t k) { return {0, k, 1, 0}; }
+constexpr Mat2 gen_store(std::int64_t v) { return {0, v, 0, 1}; }
+
+}  // namespace detail
+
+/// Closure witness: products of generator matrices stay inside the Möbius
+/// family ((c, d) ≠ (0, 0) — the denominator is not identically zero), and
+/// matrix composition equals sequential application of the transforms on
+/// sample points — i.e. the 2×2 representation really is a semigroup
+/// homomorphism.
+constexpr bool moebius_closure_witness() {
+  using namespace detail;
+  constexpr Mat2 gens[] = {gen_add(3),  gen_sub(2),  gen_mul(5), gen_div(7),
+                           gen_rsub(9), gen_rdiv(4), gen_store(6),
+                           {1, 0, 0, 1}};
+  constexpr Frac points[] = {{0, 1}, {1, 1}, {-3, 2}, {10, 7}, {5, 3}};
+  for (const Mat2& f : gens) {
+    for (const Mat2& g : gens) {
+      const Mat2 h = mat_compose(f, g);
+      if (h.c == 0 && h.d == 0) return false;  // left the family
+      for (const Frac& x : points) {
+        const Frac fx = mat_apply(f, x);
+        // These are PARTIAL functions: where the intermediate f(x) is a
+        // division by zero, sequential application is undefined while the
+        // matrix product may extend it (rdiv ∘ rdiv at 0). The semigroup
+        // law is agreement on the common domain.
+        if (fx.den == 0) continue;
+        if (!frac_eq(mat_apply(h, x), mat_apply(g, fx))) {
+          return false;
+        }
+      }
+      // Third-level closure: composing further still stays inside.
+      for (const Mat2& k : gens) {
+        const Mat2 hk = mat_compose(h, k);
+        if (hk.c == 0 && hk.d == 0) return false;
+      }
+    }
+  }
+  return true;
+}
+
+static_assert(moebius_closure_witness(),
+              "§5.4: Möbius generator products must remain linear-fractional "
+              "and represent composition");
+
+// Associativity of the matrix product itself (the semigroup law the wire
+// encoding relies on).
+static_assert([] {
+  using namespace detail;
+  constexpr Mat2 a = gen_add(3), b = gen_rdiv(4), c = gen_mul(5);
+  const Mat2 left = mat_compose(mat_compose(a, b), c);
+  const Mat2 right = mat_compose(a, mat_compose(b, c));
+  return left.a == right.a && left.b == right.b && left.c == right.c &&
+         left.d == right.d;
+}(), "§5.4: matrix composition must be associative");
+
+// ===========================================================================
+// §5.5 — full/empty: the six-mapping set is closed under composition.
+// ===========================================================================
+
+namespace detail {
+
+constexpr FEOp fe_ops[] = {
+    FEOp::load(),
+    FEOp::load_and_clear(),
+    FEOp::store_and_set(11),
+    FEOp::store_if_clear_and_set(22),
+    FEOp::store_and_clear(33),
+    FEOp::store_if_clear_and_clear(44),
+};
+
+constexpr FEWord fe_points[] = {
+    {0, false}, {0, true}, {5, false}, {5, true}, {~Word{0}, true}};
+
+}  // namespace detail
+
+/// Every pairwise composition of the six forms must (a) be expressible as
+/// one of the six forms — which compose() asserts by construction — and
+/// (b) behave exactly as sequential application on every sample cell state
+/// and both tag values.
+constexpr bool fe_closure_witness() {
+  using namespace detail;
+  for (const FEOp& f : fe_ops) {
+    for (const FEOp& g : fe_ops) {
+      const FEOp h = compose(f, g);
+      for (const FEWord& w : fe_points) {
+        const FEWord serial = g.apply(f.apply(w));
+        if (!(h.apply(w) == serial)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+static_assert(fe_closure_witness(),
+              "§5.5: the six full/empty mapping forms are not closed under "
+              "the implemented composition");
+
+// The paper's derivation of the two extra forms from the four basic ones:
+// store-and-clear = store-and-set then load-and-clear, and
+// store-if-clear-and-clear = store-if-clear-and-set then load-and-clear.
+static_assert(compose(FEOp::store_and_set(7), FEOp::load_and_clear()) ==
+                  FEOp::store_and_clear(7),
+              "§5.5: store-and-clear must be generated by the basic four");
+static_assert(compose(FEOp::store_if_clear_and_set(7),
+                      FEOp::load_and_clear()) ==
+                  FEOp::store_if_clear_and_clear(7),
+              "§5.5: store-if-clear-and-clear must be generated by the basic "
+              "four");
+
+// Composition is associative on the six forms (sampled exhaustively over
+// the generator set and sample states).
+static_assert([] {
+  using namespace detail;
+  for (const FEOp& a : fe_ops) {
+    for (const FEOp& b : fe_ops) {
+      for (const FEOp& c : fe_ops) {
+        const FEOp left = compose(compose(a, b), c);
+        const FEOp right = compose(a, compose(b, c));
+        for (const FEWord& w : fe_points) {
+          if (!(left.apply(w) == right.apply(w))) return false;
+        }
+      }
+    }
+  }
+  return true;
+}(), "§5.5: full/empty composition must be associative");
+
+}  // namespace krs::core::laws

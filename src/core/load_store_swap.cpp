@@ -1,5 +1,7 @@
 #include "core/load_store_swap.hpp"
 
+#include "core/law_checks.hpp"  // static_asserts the §5.1 tables at build time
+
 namespace krs::core {
 
 const char* to_cstring(LssKind k) noexcept {

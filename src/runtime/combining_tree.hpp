@@ -15,6 +15,13 @@
 // associative θ. Under high contention the root sees O(P / combine-degree)
 // operations instead of P — bench_combining_tree measures the crossover
 // against a bare hardware fetch_add and a mutex-protected counter.
+//
+// The Instrument policy (analysis/instrument.hpp) publishes the tree's
+// happens-before edges: an operation acquires the tree's history on entry
+// and releases its own on exit, so two operations separated in real time
+// are ordered for the race detector (the prior value the later one
+// observes reflects the earlier one), while overlapping operations stay
+// unordered — no false happens-before is invented for them.
 #pragma once
 
 #include <condition_variable>
@@ -23,12 +30,14 @@
 #include <mutex>
 #include <vector>
 
+#include "analysis/instrument.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
 namespace krs::runtime {
 
-template <typename T, typename Op = std::plus<T>>
+template <typename T, typename Op = std::plus<T>,
+          typename Instrument = analysis::DefaultInstrument>
 class CombiningTree {
  public:
   /// `width`: maximum number of threads (power of two, ≥ 2). Thread slots
@@ -47,6 +56,7 @@ class CombiningTree {
   /// used by at most one thread at a time.
   T fetch_and_op(unsigned slot, T v) {
     KRS_EXPECTS(slot < width_);
+    Instrument::acquire(this);
     const unsigned my_leaf = width_ / 2 + slot / 2;  // heap index
 
     // Phase 1: precombine — climb while we are the first to arrive.
@@ -70,6 +80,7 @@ class CombiningTree {
     for (auto it = path.rbegin(); it != path.rend(); ++it) {
       nodes_[*it]->distribute(prior, op_);
     }
+    Instrument::release(this);
     return prior;
   }
 

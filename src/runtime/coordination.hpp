@@ -3,12 +3,17 @@
 // motivates making fetch-and-add combinable: none of these has a serial
 // critical section; every operation is a constant number of RMW accesses
 // that a combining memory serves in parallel.
+//
+// Every primitive takes an Instrument policy (analysis/instrument.hpp)
+// that publishes its happens-before edges to the race detector; the
+// default policy compiles to nothing.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <thread>
 
+#include "analysis/instrument.hpp"
 #include "runtime/fetch_and_op.hpp"
 #include "util/assert.hpp"
 
@@ -23,13 +28,16 @@ namespace krs::runtime {
 /// thread state: any `parties` threads (including freshly spawned ones)
 /// can use the barrier at any time — sense-reversing barriers go wrong
 /// when new threads join with a stale sense.
-class FaaBarrier {
+template <typename Instrument = analysis::DefaultInstrument>
+class BasicFaaBarrier {
  public:
-  explicit FaaBarrier(unsigned parties) : parties_(parties) {
+  explicit BasicFaaBarrier(unsigned parties) : parties_(parties) {
     KRS_EXPECTS(parties >= 1);
   }
 
   void arrive_and_wait() {
+    // Publish this thread's pre-barrier history before counting in.
+    Instrument::release(this);
     const Word phase = phase_.load(std::memory_order_acquire);
     if (fetch_and_add(count_, 1) == parties_ - 1) {
       count_.store(0, std::memory_order_relaxed);
@@ -40,6 +48,8 @@ class FaaBarrier {
         if (++spins > 64) std::this_thread::yield();
       }
     }
+    // Absorb every party's pre-barrier history on the way out.
+    Instrument::acquire(this);
   }
 
   /// Backwards-compatible sense-style call; the flag is ignored but
@@ -59,17 +69,23 @@ class FaaBarrier {
   std::atomic<Word> phase_{0};
 };
 
+using FaaBarrier = BasicFaaBarrier<>;
+
 /// Readers–writers coordination in the busy-waiting fetch-and-add style of
 /// Gottlieb–Lubachevsky–Rudolph: readers announce with fetch-and-add and
 /// retreat if a writer holds the lock; a writer takes a flag with
 /// test-and-set (fetch-and-or) and waits for readers to drain.
-class FaaRwLock {
+template <typename Instrument = analysis::DefaultInstrument>
+class BasicFaaRwLock {
  public:
   void read_lock() {
     unsigned spins = 0;
     for (;;) {
       fetch_and_add(readers_, 1);
-      if (writer_.load(std::memory_order_acquire) == 0) return;
+      if (writer_.load(std::memory_order_acquire) == 0) {
+        Instrument::acquire(this);
+        return;
+      }
       // A writer is active or arriving: retreat and retry.
       readers_.fetch_sub(1, std::memory_order_acq_rel);
       while (writer_.load(std::memory_order_acquire) != 0) {
@@ -78,7 +94,10 @@ class FaaRwLock {
     }
   }
 
-  void read_unlock() { readers_.fetch_sub(1, std::memory_order_acq_rel); }
+  void read_unlock() {
+    Instrument::release(this);
+    readers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
 
   void write_lock() {
     unsigned spins = 0;
@@ -89,26 +108,36 @@ class FaaRwLock {
     while (readers_.load(std::memory_order_acquire) != 0) {
       if (++spins > 64) std::this_thread::yield();
     }
+    Instrument::acquire(this);
   }
 
-  void write_unlock() { writer_.store(0, std::memory_order_release); }
+  void write_unlock() {
+    Instrument::release(this);
+    writer_.store(0, std::memory_order_release);
+  }
 
  private:
   std::atomic<Word> readers_{0};
   std::atomic<Word> writer_{0};
 };
 
+using FaaRwLock = BasicFaaRwLock<>;
+
 /// Counting semaphore with busy-waiting P/V on a fetch-and-add counter —
 /// Dijkstra's semaphore implemented the replace-add way: P provisionally
 /// decrements and retreats if the result went negative.
-class FaaSemaphore {
+template <typename Instrument = analysis::DefaultInstrument>
+class BasicFaaSemaphore {
  public:
-  explicit FaaSemaphore(std::int64_t initial) : value_(initial) {}
+  explicit BasicFaaSemaphore(std::int64_t initial) : value_(initial) {}
 
   void p() {
     unsigned spins = 0;
     for (;;) {
-      if (value_.fetch_sub(1, std::memory_order_acq_rel) > 0) return;
+      if (value_.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+        Instrument::acquire(this);
+        return;
+      }
       value_.fetch_add(1, std::memory_order_acq_rel);  // retreat
       while (value_.load(std::memory_order_acquire) <= 0) {
         if (++spins > 64) std::this_thread::yield();
@@ -117,12 +146,18 @@ class FaaSemaphore {
   }
 
   [[nodiscard]] bool try_p() {
-    if (value_.fetch_sub(1, std::memory_order_acq_rel) > 0) return true;
+    if (value_.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+      Instrument::acquire(this);
+      return true;
+    }
     value_.fetch_add(1, std::memory_order_acq_rel);
     return false;
   }
 
-  void v() { value_.fetch_add(1, std::memory_order_acq_rel); }
+  void v() {
+    Instrument::release(this);
+    value_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   [[nodiscard]] std::int64_t value() const {
     return value_.load(std::memory_order_acquire);
@@ -131,5 +166,7 @@ class FaaSemaphore {
  private:
   std::atomic<std::int64_t> value_;
 };
+
+using FaaSemaphore = BasicFaaSemaphore<>;
 
 }  // namespace krs::runtime

@@ -10,6 +10,13 @@
 // a negative acknowledgment; the caller retries (with exponential backoff
 // to std::this_thread::yield). The cell state machine uses an extra
 // transient state to make the data transfer atomic with the tag flip.
+//
+// The Instrument policy (analysis/instrument.hpp) publishes the cell's
+// happens-before edges: a successful put/overwrite *releases* the
+// producer's history into the cell while the tag CAS holds it busy (so the
+// event is recorded before any consumer can succeed), and a successful
+// take/read *acquires* it — the producer→consumer ordering a race detector
+// needs to accept a full/empty handoff of unsynchronized payload data.
 #pragma once
 
 #include <atomic>
@@ -17,6 +24,8 @@
 #include <optional>
 #include <thread>
 #include <utility>
+
+#include "analysis/instrument.hpp"
 
 namespace krs::runtime {
 
@@ -30,7 +39,7 @@ inline void backoff(unsigned& spins) noexcept {
 
 }  // namespace detail
 
-template <typename T>
+template <typename T, typename Instrument = analysis::DefaultInstrument>
 class FullEmptyCell {
  public:
   FullEmptyCell() = default;
@@ -53,6 +62,7 @@ class FullEmptyCell {
                                         std::memory_order_acquire)) {
       return false;  // negative acknowledgment
     }
+    Instrument::release(this);  // recorded while the tag holds the cell
     slot_ = std::move(v);
     state_.store(kFull, std::memory_order_release);
     return true;
@@ -71,6 +81,7 @@ class FullEmptyCell {
                                         std::memory_order_acquire)) {
       return std::nullopt;
     }
+    Instrument::acquire(this);  // absorb the producer's published history
     T v = std::move(slot_);
     state_.store(kEmpty, std::memory_order_release);
     return v;
@@ -91,6 +102,7 @@ class FullEmptyCell {
                                         std::memory_order_acquire)) {
       return std::nullopt;
     }
+    Instrument::acquire(this);
     T v = slot_;
     state_.store(kFull, std::memory_order_release);
     return v;
@@ -112,6 +124,7 @@ class FullEmptyCell {
       if (s != kBusy &&
           state_.compare_exchange_strong(s, kBusy,
                                          std::memory_order_acquire)) {
+        Instrument::release(this);
         slot_ = std::move(v);
         state_.store(kFull, std::memory_order_release);
         return;

@@ -8,17 +8,24 @@
 // State is one word: the active group id (or none) and the member count,
 // updated with compare-exchange (a combinable fetch-and-add suffices on a
 // machine with wide combining; CAS is the portable spelling).
+//
+// The Instrument policy (analysis/instrument.hpp) publishes enter/leave as
+// acquire/release edges on the lock object — conservative (it also orders
+// same-group members against each other), which can mask races between
+// members of one group but never invents a false race.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <thread>
 
+#include "analysis/instrument.hpp"
 #include "util/assert.hpp"
 
 namespace krs::runtime {
 
-class GroupLock {
+template <typename Instrument = analysis::DefaultInstrument>
+class BasicGroupLock {
  public:
   static constexpr std::uint16_t kMaxGroup = 0xFFFE;
 
@@ -35,6 +42,7 @@ class GroupLock {
         const std::uint64_t next = (tag << kCountBits) | (count + 1);
         if (state_.compare_exchange_weak(s, next, std::memory_order_acq_rel,
                                          std::memory_order_relaxed)) {
+          Instrument::acquire(this);
           return;
         }
         continue;  // contention on our own group: retry immediately
@@ -54,6 +62,7 @@ class GroupLock {
       const std::uint64_t next = (tag << kCountBits) | (count + 1);
       if (state_.compare_exchange_weak(s, next, std::memory_order_acq_rel,
                                        std::memory_order_relaxed)) {
+        Instrument::acquire(this);
         return true;
       }
     }
@@ -61,6 +70,7 @@ class GroupLock {
 
   /// Leave; the last member out frees the lock for any group.
   void leave() {
+    Instrument::release(this);
     std::uint64_t s = state_.load(std::memory_order_relaxed);
     for (;;) {
       const std::uint64_t count = s & kCountMask;
@@ -91,5 +101,7 @@ class GroupLock {
 
   std::atomic<std::uint64_t> state_{0};
 };
+
+using GroupLock = BasicGroupLock<>;
 
 }  // namespace krs::runtime

@@ -6,6 +6,13 @@
 // No critical section anywhere: with combining memory the ticket
 // fetch-and-adds are conflict-free, which is precisely why the paper's
 // machine wanted combinable fetch-and-add.
+//
+// The Instrument policy (analysis/instrument.hpp) publishes per-cell
+// happens-before edges: an enqueue releases the producer's history into
+// its claimed cell before flipping the phase tag, and the dequeue of that
+// same cell acquires it — the producer→consumer edge that makes handing
+// unsynchronized payload through the queue race-free, without ordering
+// unrelated enqueue/dequeue pairs against each other.
 #pragma once
 
 #include <atomic>
@@ -14,12 +21,13 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/instrument.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
 namespace krs::runtime {
 
-template <typename T>
+template <typename T, typename Instrument = analysis::DefaultInstrument>
 class ParallelQueue {
  public:
   /// Capacity must be a power of two.
@@ -43,6 +51,9 @@ class ParallelQueue {
         // Slot empty for this round: claim the ticket.
         if (tail_.compare_exchange_weak(ticket, ticket + 1,
                                         std::memory_order_relaxed)) {
+          // Publish before the phase flip: the matching dequeuer cannot
+          // succeed (and acquire) until the tag says full-for-its-round.
+          Instrument::release(&c);
           c.item = std::move(v);
           c.phase.store(ticket + 1, std::memory_order_release);
           return true;
@@ -64,6 +75,7 @@ class ParallelQueue {
       if (phase == ticket + 1) {
         if (head_.compare_exchange_weak(ticket, ticket + 1,
                                         std::memory_order_relaxed)) {
+          Instrument::acquire(&c);
           T v = std::move(c.item);
           c.phase.store(ticket + cells_.size(), std::memory_order_release);
           return v;

@@ -4,34 +4,47 @@
 // combining memory P simultaneous acquirers cost O(log P) network work);
 // release is one store. FIFO-fair by construction, unlike test-and-set
 // spin locks.
+//
+// The Instrument policy (analysis/instrument.hpp) publishes the lock's
+// happens-before edges to the race detector: an empty policy by default
+// (zero cost), the global detector when analysis is enabled.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <thread>
 
+#include "analysis/instrument.hpp"
+
 namespace krs::runtime {
 
-class TicketLock {
+template <typename Instrument = analysis::DefaultInstrument>
+class BasicTicketLock {
  public:
-  void lock() noexcept {
+  void lock() noexcept(!Instrument::enabled) {
     const std::uint64_t my =
         next_.fetch_add(1, std::memory_order_acq_rel);
     unsigned spins = 0;
     while (serving_.load(std::memory_order_acquire) != my) {
       if (++spins > 64) std::this_thread::yield();
     }
+    Instrument::acquire(this);
   }
 
-  bool try_lock() noexcept {
+  bool try_lock() noexcept(!Instrument::enabled) {
     std::uint64_t serving = serving_.load(std::memory_order_acquire);
     std::uint64_t expected = serving;
     // Take a ticket only if it would be served immediately.
-    return next_.compare_exchange_strong(expected, serving + 1,
-                                         std::memory_order_acq_rel);
+    if (next_.compare_exchange_strong(expected, serving + 1,
+                                      std::memory_order_acq_rel)) {
+      Instrument::acquire(this);
+      return true;
+    }
+    return false;
   }
 
-  void unlock() noexcept {
+  void unlock() noexcept(!Instrument::enabled) {
+    Instrument::release(this);
     serving_.fetch_add(1, std::memory_order_acq_rel);
   }
 
@@ -46,5 +59,7 @@ class TicketLock {
   alignas(64) std::atomic<std::uint64_t> next_{0};
   alignas(64) std::atomic<std::uint64_t> serving_{0};
 };
+
+using TicketLock = BasicTicketLock<>;
 
 }  // namespace krs::runtime

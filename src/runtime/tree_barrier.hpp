@@ -5,6 +5,12 @@
 // fetch-and-add barrier, no single cell takes P updates per phase, so the
 // structure scales on machines WITHOUT combining hardware — the software
 // fallback the Ultracomputer line of work contrasts against.
+//
+// The Instrument policy (analysis/instrument.hpp) publishes the barrier's
+// happens-before edges: every arrival releases its pre-barrier history
+// into the barrier object, every departure acquires the joined history of
+// all parties — the edge set a race detector needs to see phase N work
+// ordered before phase N+1 work.
 #pragma once
 
 #include <atomic>
@@ -13,15 +19,17 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/instrument.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
 namespace krs::runtime {
 
-class TreeBarrier {
+template <typename Instrument = analysis::DefaultInstrument>
+class BasicTreeBarrier {
  public:
   /// `parties` threads, identified by slot 0..parties-1.
-  explicit TreeBarrier(unsigned parties) : parties_(parties) {
+  explicit BasicTreeBarrier(unsigned parties) : parties_(parties) {
     KRS_EXPECTS(parties >= 1);
     // Internal nodes in heap layout over ceil_pow2(parties) leaves.
     const auto width = util::ceil_pow2(parties);
@@ -31,6 +39,8 @@ class TreeBarrier {
 
   void arrive_and_wait(unsigned slot, bool& sense) {
     KRS_EXPECTS(slot < parties_);
+    // Arrival: publish everything this thread did before the barrier.
+    Instrument::release(this);
     const bool my_sense = sense;
     // Ascend: the second arrival at each node continues upward; the first
     // waits for the release wave.
@@ -58,6 +68,10 @@ class TreeBarrier {
         if (++spins > 64) std::this_thread::yield();
       }
     }
+    // Departure: absorb every party's pre-barrier history. All arrivals
+    // released above before any waiter passes the release wave, so the
+    // joined clock covers the whole phase.
+    Instrument::acquire(this);
     sense = !sense;
   }
 
@@ -84,5 +98,7 @@ class TreeBarrier {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::atomic<bool> release_{false};
 };
+
+using TreeBarrier = BasicTreeBarrier<>;
 
 }  // namespace krs::runtime

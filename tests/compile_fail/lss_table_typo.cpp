@@ -1,0 +1,27 @@
+// NEGATIVE compile test — this translation unit must NOT build.
+//
+// It feeds the §5.1 law checker (core/law_checks.hpp) a combining table
+// with one typo'd entry: load followed by load forwarding a *swap* instead
+// of a load. lss_table_sound() re-derives the table from the LssOp algebra
+// in constexpr context, so the static_assert below has to fire. CTest
+// builds this target and expects the build to fail (WILL_FAIL); if it ever
+// compiles, the law checker has lost its teeth.
+#include "core/law_checks.hpp"
+
+namespace {
+
+using namespace krs::core;
+using namespace krs::core::laws;
+
+constexpr LssTable kTypoTable = [] {
+  LssTable t = kLssOrderPreservingTable;
+  t[0][0] = {LssKind::kSwap};  // the typo: load+load is a load
+  return t;
+}();
+
+static_assert(lss_table_sound(kTypoTable, /*reversible=*/false),
+              "intentional: a corrupted combining table must not pass");
+
+}  // namespace
+
+int main() { return 0; }

@@ -1,0 +1,75 @@
+// The constexpr law suite (core/law_checks.hpp) does its real work at
+// compile time — including this header IS the test, and the negative
+// compile target (tests/compile_fail/) shows a corrupted table failing the
+// build. What remains for runtime is the discriminating power of the
+// checker functions: they must REJECT wrong tables, not just accept the
+// right ones — a check that returns true on everything would static_assert
+// fine and verify nothing.
+#include <gtest/gtest.h>
+
+#include "core/law_checks.hpp"
+
+namespace {
+
+using namespace krs::core;
+using namespace krs::core::laws;
+
+TEST(LawChecks, ShippedTablesAreSound) {
+  // Redundant with the static_asserts, but keeps a runtime trace that the
+  // checker ran against the shipped tables.
+  EXPECT_TRUE(lss_table_sound(kLssOrderPreservingTable, false));
+  EXPECT_TRUE(lss_table_sound(kLssReversibleTable, true));
+}
+
+TEST(LawChecks, CorruptedKindIsRejected) {
+  // load+load combines to a load; claim it forwards a swap instead.
+  LssTable bad = kLssOrderPreservingTable;
+  bad[0][0] = {LssKind::kSwap};
+  EXPECT_FALSE(lss_table_sound(bad, false));
+}
+
+TEST(LawChecks, EveryEntryIsLoadBearing) {
+  // Perturb each of the nine entries of each table in turn; every single
+  // corruption must be caught (no dead rows in the checker).
+  constexpr LssKind kinds[] = {LssKind::kLoad, LssKind::kStore,
+                               LssKind::kSwap};
+  for (unsigned i = 0; i < 3; ++i) {
+    for (unsigned j = 0; j < 3; ++j) {
+      for (const LssKind wrong : kinds) {
+        if (wrong == kLssOrderPreservingTable[i][j].kind) continue;
+        LssTable bad = kLssOrderPreservingTable;
+        bad[i][j].kind = wrong;
+        EXPECT_FALSE(lss_table_sound(bad, false))
+            << "undetected corruption at [" << i << "][" << j << "]";
+      }
+      for (const LssKind wrong : kinds) {
+        if (wrong == kLssReversibleTable[i][j].kind) continue;
+        LssTable bad = kLssReversibleTable;
+        bad[i][j].kind = wrong;
+        EXPECT_FALSE(lss_table_sound(bad, true))
+            << "undetected corruption at [" << i << "][" << j << "]*";
+      }
+    }
+  }
+}
+
+TEST(LawChecks, MisplacedStarIsRejected) {
+  // The paper stars exactly load+store and swap+store. Starring a third
+  // entry, or un-starring a starred one, must fail the reversible check.
+  LssTable extra_star = kLssReversibleTable;
+  extra_star[0][0].reversed = true;  // load+load does not reverse
+  EXPECT_FALSE(lss_table_sound(extra_star, true));
+
+  LssTable missing_star = kLssReversibleTable;
+  missing_star[0][1].reversed = false;  // load+store DOES reverse
+  EXPECT_FALSE(lss_table_sound(missing_star, true));
+}
+
+TEST(LawChecks, WitnessesAreCallableAtRuntime) {
+  EXPECT_TRUE(theta_semigroup_witness<PlusOp>());
+  EXPECT_TRUE(theta_semigroup_witness<MinOp>());
+  EXPECT_TRUE(moebius_closure_witness());
+  EXPECT_TRUE(fe_closure_witness());
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Vector clocks and epochs: the happens-before lattice the race detector
+// is built on (analysis/vector_clock.hpp).
+#include <gtest/gtest.h>
+
+#include "analysis/vector_clock.hpp"
+
+namespace {
+
+using namespace krs::analysis;
+
+TEST(Epoch, NoneIsClockZero) {
+  EXPECT_TRUE(Epoch{}.none());
+  EXPECT_TRUE((Epoch{3, 0}.none()));
+  EXPECT_FALSE((Epoch{0, 1}.none()));
+}
+
+TEST(Epoch, ToString) { EXPECT_EQ(to_string(Epoch{2, 7}), "7@T2"); }
+
+TEST(VectorClock, DefaultIsBottom) {
+  VectorClock v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.get(0), 0u);
+  EXPECT_EQ(v.get(99), 0u);
+}
+
+TEST(VectorClock, SetGetGrowsOnDemand) {
+  VectorClock v;
+  v.set(4, 10);
+  EXPECT_EQ(v.get(4), 10u);
+  EXPECT_EQ(v.get(3), 0u);  // components below grow as zero
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(VectorClock, TickAdvancesOwnComponent) {
+  VectorClock v;
+  v.tick(2);
+  v.tick(2);
+  EXPECT_EQ(v.get(2), 2u);
+  EXPECT_EQ(v.get(0), 0u);
+}
+
+TEST(VectorClock, JoinIsPointwiseMax) {
+  VectorClock a, b;
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(1, 7);
+  b.set(2, 2);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 7u);
+  EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClock, JoinIsIdempotentCommutativeAssociative) {
+  const auto mk = [](ClockVal x, ClockVal y, ClockVal z) {
+    VectorClock v;
+    v.set(0, x);
+    v.set(1, y);
+    v.set(2, z);
+    return v;
+  };
+  const VectorClock a = mk(3, 0, 5), b = mk(1, 4, 5), c = mk(9, 2, 0);
+
+  VectorClock aa = a;
+  aa.join(a);
+  EXPECT_EQ(aa, a);  // idempotent
+
+  VectorClock ab = a, ba = b;
+  ab.join(b);
+  ba.join(a);
+  EXPECT_EQ(ab, ba);  // commutative
+
+  VectorClock l = a, r = b;
+  l.join(b);
+  l.join(c);
+  r.join(c);
+  VectorClock r2 = a;
+  r2.join(r);
+  EXPECT_EQ(l, r2);  // associative
+}
+
+TEST(VectorClock, CoversEpoch) {
+  VectorClock v;
+  v.set(1, 4);
+  EXPECT_TRUE(v.covers(Epoch{1, 3}));
+  EXPECT_TRUE(v.covers(Epoch{1, 4}));
+  EXPECT_FALSE(v.covers(Epoch{1, 5}));
+  EXPECT_FALSE(v.covers(Epoch{2, 1}));  // unseen thread
+  EXPECT_TRUE(v.covers(Epoch{}));       // "no access" is below everything
+}
+
+TEST(VectorClock, CoversVectorIsPartialOrder) {
+  VectorClock lo, hi, inc;
+  lo.set(0, 1);
+  hi.set(0, 2);
+  hi.set(1, 1);
+  inc.set(1, 9);  // incomparable with lo
+  EXPECT_TRUE(hi.covers(lo));
+  EXPECT_FALSE(lo.covers(hi));
+  EXPECT_FALSE(lo.covers(inc));
+  EXPECT_FALSE(inc.covers(lo));
+  EXPECT_TRUE(lo.covers(lo));  // reflexive
+}
+
+TEST(VectorClock, EqualityIgnoresTrailingZeros) {
+  VectorClock a, b;
+  a.set(0, 1);
+  b.set(0, 1);
+  b.set(5, 0);
+  EXPECT_EQ(a, b);
+  b.set(5, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(VectorClock, EpochOfAndToString) {
+  VectorClock v;
+  v.set(1, 6);
+  EXPECT_EQ(v.epoch_of(1), (Epoch{1, 6}));
+  EXPECT_EQ(v.epoch_of(9), (Epoch{9, 0}));
+  EXPECT_EQ(to_string(v), "[0,6]");
+}
+
+}  // namespace

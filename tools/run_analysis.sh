@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Run the full analysis matrix locally:
+#
+#   1. plain      — clean configure, full build, all tests
+#   2. analysis   — KRS_ANALYSIS=ON (runtime primitives feed the global
+#                   race detector by default), all tests
+#   3. thread     — ThreadSanitizer build, multi-threaded tests only
+#                   (ctest -L tsan; the st-labeled simulator tests are
+#                   single-threaded and waste TSan's time)
+#   4. address    — AddressSanitizer build, all tests
+#   5. undefined  — UBSan build, all tests
+#   6. clang-tidy — if installed; skipped (not failed) otherwise
+#
+# Usage: tools/run_analysis.sh [step ...]   (default: every step)
+# Build trees land in build-analysis-matrix/<step>.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+OUT="$ROOT/build-analysis-matrix"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+steps=("$@")
+[ ${#steps[@]} -eq 0 ] && steps=(plain analysis thread address undefined clang-tidy)
+
+build_and_test() { # <dir> <ctest-args...> -- <cmake-args...>
+  local dir="$OUT/$1"; shift
+  local ctest_args=()
+  while [ "$1" != "--" ]; do ctest_args+=("$1"); shift; done
+  shift
+  cmake -B "$dir" -S "$ROOT" "$@"
+  cmake --build "$dir" -j "$JOBS"
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" "${ctest_args[@]}")
+}
+
+for step in "${steps[@]}"; do
+  echo "=== $step ==="
+  case "$step" in
+    plain)
+      build_and_test plain -- ;;
+    analysis)
+      build_and_test analysis -- -DKRS_ANALYSIS=ON ;;
+    thread)
+      export TSAN_OPTIONS="suppressions=$ROOT/tools/tsan.supp ${TSAN_OPTIONS:-}"
+      build_and_test thread -L tsan -- -DKRS_SANITIZE=thread ;;
+    address)
+      build_and_test address -- -DKRS_SANITIZE=address ;;
+    undefined)
+      build_and_test undefined -- -DKRS_SANITIZE=undefined ;;
+    clang-tidy)
+      if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "clang-tidy not installed; skipping"
+        continue
+      fi
+      cmake -B "$OUT/tidy" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+      # Library sources only; headers are pulled in via HeaderFilterRegex.
+      find "$ROOT/src" -name '*.cpp' -print0 |
+        xargs -0 clang-tidy -p "$OUT/tidy" --quiet ;;
+    *)
+      echo "unknown step: $step" >&2; exit 2 ;;
+  esac
+done
+echo "=== analysis matrix complete ==="
