@@ -1,14 +1,17 @@
-// E13 — the software combining tree on real threads: shared-counter
-// throughput of (a) bare hardware fetch_add, (b) a mutex-protected counter,
-// and (c) the software combining tree, across thread counts.
+// E13 — the software combining trees on real threads: shared-counter
+// throughput of (a) bare hardware fetch_add, (b) a mutex-protected
+// counter, (c) the blocking mutex/condvar combining tree, and (d) the
+// lock-free status-word combining tree, across thread counts.
 //
 // Expected shape (and the honest caveat the Ultracomputer literature
 // itself reports): on a machine with a handful of cores, the hardware
 // fetch_add wins outright — combining pays off when the interconnect, not
 // the cache line, is the bottleneck (thousands of processors, §1). The
-// tree's value here is (1) the crossover against the MUTEX baseline under
-// contention and (2) demonstrating the §4.2 combining algebra running on
-// threads, verified by the distinct-ticket invariant.
+// trees' value here is the crossover against the MUTEX baseline under
+// contention, and the lock-free tree's margin over the blocking tree —
+// the same four-phase protocol with kernel sleep/wake replaced by local
+// spinning (docs/PERFORMANCE.md records the measured trajectory in
+// BENCH_combining.json via tools/run_bench.sh).
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -16,11 +19,14 @@
 
 #include "runtime/combining_tree.hpp"
 #include "runtime/fetch_and_op.hpp"
+#include "runtime/lock_free_combining_tree.hpp"
 #include "util/bits.hpp"
 
 using namespace krs::runtime;
 
 namespace {
+
+constexpr unsigned kTreeWidth = 16;  // supports up to 16 benchmark threads
 
 std::atomic<Word> g_atomic{0};
 
@@ -31,7 +37,9 @@ void BM_HardwareFetchAdd(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_HardwareFetchAdd)->Threads(1)->Threads(2)->Threads(4);
+BENCHMARK(BM_HardwareFetchAdd)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->Threads(16)
+    ->UseRealTime();
 
 std::mutex g_mutex;
 Word g_counter = 0;
@@ -44,20 +52,30 @@ void BM_MutexCounter(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_MutexCounter)->Threads(1)->Threads(2)->Threads(4);
+BENCHMARK(BM_MutexCounter)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->Threads(16)
+    ->UseRealTime();
 
-// One fixed-width tree shared by all thread configurations (allocating it
-// inside the benchmark would race with the other worker threads).
-CombiningTree<long> g_tree(8, 0);
+// One fixed-width tree per implementation, shared by all thread
+// configurations (allocating inside the benchmark would race with the
+// other worker threads). Both satisfy CombiningCounter, so one templated
+// body measures either.
+BlockingCombiningTree<long> g_blocking_tree(kTreeWidth, 0);
+LockFreeCombiningTree<long> g_lockfree_tree(kTreeWidth, 0);
 
-void BM_CombiningTree(benchmark::State& state) {
+template <typename Tree>
+void BM_CombiningTree(benchmark::State& state, Tree& tree) {
   const auto slot = static_cast<unsigned>(state.thread_index());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(g_tree.fetch_and_op(slot, 1));
+    benchmark::DoNotOptimize(tree.fetch_and_op(slot, 1));
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_CombiningTree)->Threads(1)->Threads(2)->Threads(4)
+BENCHMARK_CAPTURE(BM_CombiningTree, blocking, g_blocking_tree)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->Threads(16)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_CombiningTree, lockfree, g_lockfree_tree)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)->Threads(16)
     ->UseRealTime();
 
 }  // namespace

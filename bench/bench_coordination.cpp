@@ -105,7 +105,8 @@ void BM_TicketLock(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_TicketLock)->Threads(1)->Threads(4)->UseRealTime();
+BENCHMARK(BM_TicketLock)
+    ->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
 
 std::mutex g_plain_mutex;
 
@@ -116,7 +117,8 @@ void BM_StdMutexLock(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_StdMutexLock)->Threads(1)->Threads(4)->UseRealTime();
+BENCHMARK(BM_StdMutexLock)
+    ->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
 
 // --- queues --------------------------------------------------------------------
 

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Normalize google-benchmark JSON output into the repo's BENCH_*.json shape.
+
+Input: one or more files produced with --benchmark_format=json (optionally
+with --benchmark_repetitions=N). Output: a single deterministic JSON
+document with one record per (benchmark family, thread count):
+
+  ops_per_sec    — median items_per_second across repetitions
+  ns_per_op_p50  — median per-op wall time (real_time, ns) across reps
+  ns_per_op_p99  — nearest-rank p99 across reps (≈ max for small N)
+
+plus a `comparisons` block with the lockfree-vs-blocking combining-tree
+throughput ratio per thread count — the acceptance series the perf
+trajectory tracks (see docs/PERFORMANCE.md).
+
+Percentiles are taken over repetition-level means: google-benchmark does
+not expose per-iteration samples, so with R repetitions p99 is the
+nearest-rank statistic of R values. Use KRS_BENCH_REPETITIONS to widen.
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def percentile(sorted_vals, p):
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_vals:
+        return None
+    rank = max(1, math.ceil(p / 100.0 * len(sorted_vals)))
+    return sorted_vals[rank - 1]
+
+
+def parse_name(raw):
+    """'BM_X/variant/real_time/threads:8' -> (family, threads)."""
+    threads = 1
+    parts = []
+    for seg in raw.split("/"):
+        if seg.startswith("threads:"):
+            threads = int(seg.split(":", 1)[1])
+        elif seg in ("real_time", "process_time"):
+            continue
+        else:
+            parts.append(seg)
+    return "/".join(parts), threads
+
+
+def to_ns(value, unit):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    return value * scale[unit]
+
+
+def collect(files):
+    """-> {(family, threads): {"real_ns": [...], "ops": [...]}}, context"""
+    runs = {}
+    context = {}
+    for path in files:
+        with open(path) as f:
+            doc = json.load(f)
+        ctx = doc.get("context", {})
+        context.setdefault("host_cpus", ctx.get("num_cpus"))
+        context.setdefault("library_build_type", ctx.get("library_build_type"))
+        for b in doc.get("benchmarks", []):
+            # With --benchmark_repetitions, keep the per-repetition runs and
+            # skip the synthesized mean/median/stddev/cv aggregate rows.
+            if b.get("run_type") == "aggregate":
+                continue
+            family, threads = parse_name(b["name"])
+            rec = runs.setdefault((family, threads), {"real_ns": [], "ops": []})
+            rec["real_ns"].append(to_ns(b["real_time"], b["time_unit"]))
+            if "items_per_second" in b:
+                rec["ops"].append(b["items_per_second"])
+    return runs, context
+
+
+def normalize(runs, context, config):
+    benchmarks = []
+    for (family, threads), rec in sorted(runs.items()):
+        real = sorted(rec["real_ns"])
+        ops = sorted(rec["ops"])
+        benchmarks.append({
+            "name": family,
+            "threads": threads,
+            "reps": len(real),
+            "ops_per_sec": percentile(ops, 50),
+            "ns_per_op_p50": percentile(real, 50),
+            "ns_per_op_p99": percentile(real, 99),
+        })
+
+    # The acceptance series: lock-free tree throughput over blocking tree
+    # throughput, per thread count. > 1.0 means the lock-free tree wins.
+    by_variant = {}
+    for b in benchmarks:
+        if b["name"].startswith("BM_CombiningTree/") and b["ops_per_sec"]:
+            variant = b["name"].split("/", 1)[1]
+            by_variant.setdefault(variant, {})[b["threads"]] = b["ops_per_sec"]
+    ratios = {}
+    for threads in sorted(by_variant.get("lockfree", {})):
+        blocking = by_variant.get("blocking", {}).get(threads)
+        if blocking:
+            ratios[str(threads)] = round(
+                by_variant["lockfree"][threads] / blocking, 3)
+
+    return {
+        "schema": "krs-bench-v1",
+        "generated_by": "tools/run_bench.sh",
+        "config": dict(config, **context),
+        "benchmarks": benchmarks,
+        "comparisons": {"lockfree_vs_blocking_ops_ratio": ratios},
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", help="google-benchmark JSON files")
+    ap.add_argument("--out", required=True, help="normalized output path")
+    ap.add_argument("--min-time", default=None)
+    ap.add_argument("--repetitions", type=int, default=None)
+    args = ap.parse_args()
+
+    runs, context = collect(args.files)
+    if not runs:
+        sys.exit("normalize.py: no benchmark runs found in inputs")
+    config = {}
+    if args.min_time is not None:
+        config["min_time"] = args.min_time
+    if args.repetitions is not None:
+        config["repetitions"] = args.repetitions
+    doc = normalize(runs, context, config)
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    ratios = doc["comparisons"]["lockfree_vs_blocking_ops_ratio"]
+    print(f"wrote {args.out}: {len(doc['benchmarks'])} series; "
+          f"lockfree/blocking ratios {ratios}")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,8 +16,8 @@
 #include <thread>
 #include <vector>
 
-#include "runtime/combining_tree.hpp"
 #include "runtime/coordination.hpp"
+#include "runtime/lock_free_combining_tree.hpp"
 #include "runtime/parallel_queue.hpp"
 #include "util/bits.hpp"
 
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   const unsigned width = static_cast<unsigned>(krs::util::ceil_pow2(
       std::max(2u, threads)));
 
-  CombiningTree<long> tickets(width, 0);       // shared task counter
+  LockFreeCombiningTree<long> tickets(width, 0);  // shared task counter
   ParallelQueue<std::uint64_t> results(1024);  // results pipeline
   FaaBarrier barrier(threads + 1);             // workers + aggregator
   std::atomic<std::uint64_t> done{0};

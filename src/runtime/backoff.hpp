@@ -1,0 +1,67 @@
+// Busy-wait pacing for the lock-free runtime primitives.
+//
+// The paper's model waits by local spinning on a private word (a failed
+// conditional RMW is a negative acknowledgment; the caller retries). On a
+// real machine a naive retry loop hammers the coherence protocol, so every
+// spin site in src/runtime paces itself with one of two policies:
+//
+//  * ExpBackoff — bounded exponential backoff: spin 1, 2, 4, ... pause
+//    instructions up to a cap, then fall through to std::this_thread::yield
+//    on every further round. The yield matters on oversubscribed hosts
+//    (more waiters than cores): the partner we are waiting for may need our
+//    core to make progress at all.
+//  * proportional_backoff(ahead) — the classic ticket-lock fix: a waiter
+//    that knows it is `ahead` tickets from being served spins ~ahead·k
+//    before re-reading now_serving, so P waiters do not all hammer the
+//    serving word every iteration.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace krs::runtime {
+
+/// One "doing nothing, politely" instruction for spin loops.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("isb" ::: "memory");
+#else
+  // No pause hint on this target; the loop's atomic load is the pacing.
+#endif
+}
+
+/// Bounded exponential backoff: spin 2^k pauses up to `kSpinCap`, then
+/// yield each round. Reset between independent waits.
+class ExpBackoff {
+ public:
+  void pause() noexcept {
+    if (spins_ <= kSpinCap) {
+      for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
+      spins_ *= 2;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kSpinCap = 64;
+  std::uint32_t spins_ = 1;
+};
+
+/// Wait roughly proportional to how far back in line we are: `ahead`
+/// waiters will be served first, so there is no point re-reading sooner.
+/// Long waits (deep queues, oversubscription) degrade to a yield.
+inline void proportional_backoff(std::uint64_t ahead) noexcept {
+  constexpr std::uint64_t kSpinsPerWaiter = 48;
+  constexpr std::uint64_t kYieldAhead = 16;
+  if (ahead >= kYieldAhead) {
+    std::this_thread::yield();
+    return;
+  }
+  const std::uint64_t n = ahead * kSpinsPerWaiter;
+  for (std::uint64_t i = 0; i < n; ++i) cpu_relax();
+}
+
+}  // namespace krs::runtime

@@ -1,0 +1,20 @@
+// The destructive-interference granule every contended runtime structure
+// pads to. Adjacent per-slot state (queue cells, combining-tree nodes,
+// barrier nodes, the two ticket-lock words) must not share a cache line,
+// or the coherence traffic the paper's combining is meant to eliminate
+// reappears as false sharing between logically independent slots.
+#pragma once
+
+#include <cstddef>
+
+namespace krs::runtime {
+
+// Morally std::hardware_destructive_interference_size, but pinned to a
+// literal: GCC's -Winterference-size (correctly) warns that the std
+// constant varies with -mtune and so must not leak into layouts that
+// cross translation units compiled with different flags. 64 bytes is the
+// destructive granule on every mainstream x86-64 and AArch64 part; a
+// platform where that is wrong changes exactly this one definition.
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace krs::runtime

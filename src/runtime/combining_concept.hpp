@@ -1,0 +1,27 @@
+// The shared shape of a software combining tree, so everything downstream
+// (the combining-counter barrier in coordination.hpp, the benches, the
+// examples) is templated over WHICH tree serves the hot spot — the
+// blocking mutex/condvar tree or the lock-free status-word tree — and the
+// two stay drop-in interchangeable.
+#pragma once
+
+#include <concepts>
+
+namespace krs::runtime {
+
+/// A width-bounded fetch-and-θ combining structure: `fetch_and_op(slot, v)`
+/// atomically folds v into the shared value and returns the prior value
+/// (combining with concurrent callers), `read()` takes a synchronized
+/// snapshot, `read_unsynchronized()` is the quiescent-only fast read, and
+/// `width()` bounds the usable slot ids.
+template <typename Tree>
+concept CombiningCounter = requires(Tree& t, const Tree& ct, unsigned slot,
+                                    typename Tree::value_type v) {
+  typename Tree::value_type;
+  { t.fetch_and_op(slot, v) } -> std::same_as<typename Tree::value_type>;
+  { t.read() } -> std::same_as<typename Tree::value_type>;
+  { ct.read_unsynchronized() } -> std::same_as<typename Tree::value_type>;
+  { ct.width() } -> std::convertible_to<unsigned>;
+};
+
+}  // namespace krs::runtime

@@ -16,6 +16,14 @@
 // operations instead of P — bench_combining_tree measures the crossover
 // against a bare hardware fetch_add and a mutex-protected counter.
 //
+// This is the BLOCKING implementation: every node transition goes through
+// a std::mutex + condition_variable, so each combine handshake pays
+// kernel-arbitrated sleep/wake pairs. It is kept as the readable reference
+// and the baseline that lock_free_combining_tree.hpp (same protocol, CAS
+// status words, local spinning) is measured against; both satisfy the
+// CombiningCounter concept (combining_concept.hpp) and are drop-in
+// interchangeable everywhere downstream.
+//
 // The Instrument policy (analysis/instrument.hpp) publishes the tree's
 // happens-before edges: an operation acquires the tree's history on entry
 // and releases its own on exit, so two operations separated in real time
@@ -38,11 +46,13 @@ namespace krs::runtime {
 
 template <typename T, typename Op = std::plus<T>,
           typename Instrument = analysis::DefaultInstrument>
-class CombiningTree {
+class BlockingCombiningTree {
  public:
+  using value_type = T;
+
   /// `width`: maximum number of threads (power of two, ≥ 2). Thread slots
   /// are 0..width-1; two slots share each leaf.
-  CombiningTree(unsigned width, T initial = T{}, Op op = Op{})
+  BlockingCombiningTree(unsigned width, T initial = T{}, Op op = Op{})
       : width_(width), op_(op) {
     KRS_EXPECTS(width >= 2 && util::is_pow2(width));
     nodes_.resize(width_);  // heap layout, nodes_[1..width-1]
@@ -84,11 +94,18 @@ class CombiningTree {
     return prior;
   }
 
-  /// Current value (quiescent use only).
+  /// Atomic snapshot of the current value: holds the root mutex for one
+  /// load, so it is safe concurrently with operations in flight.
   T read() {
     std::scoped_lock lk(nodes_[1]->m);
     return nodes_[1]->result;
   }
+
+  /// Quiescent-only read: no synchronization at all. Callers must ensure
+  /// no fetch_and_op is in flight (e.g. after joining the worker threads).
+  [[nodiscard]] T read_unsynchronized() const { return nodes_[1]->result; }
+
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
 
  private:
   enum class Status : std::uint8_t { kIdle, kFirst, kSecond, kResult, kRoot };
@@ -196,5 +213,12 @@ class CombiningTree {
   Op op_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
+
+/// Historical name: the blocking tree was the only combining tree before
+/// the lock-free one (lock_free_combining_tree.hpp) landed. New code
+/// should name the implementation it wants explicitly.
+template <typename T, typename Op = std::plus<T>,
+          typename Instrument = analysis::DefaultInstrument>
+using CombiningTree = BlockingCombiningTree<T, Op, Instrument>;
 
 }  // namespace krs::runtime

@@ -26,6 +26,7 @@
 #include <utility>
 
 #include "analysis/instrument.hpp"
+#include "runtime/cacheline.hpp"
 
 namespace krs::runtime {
 
@@ -39,8 +40,12 @@ inline void backoff(unsigned& spins) noexcept {
 
 }  // namespace detail
 
+// Padded to the destructive-interference granule: the paper's §5.5 use
+// case is ARRAYS of tagged cells (one per datum), and adjacent cells
+// touched by different producer/consumer pairs must not share a cache
+// line, or independent handoffs serialize through the coherence protocol.
 template <typename T, typename Instrument = analysis::DefaultInstrument>
-class FullEmptyCell {
+class alignas(kCacheLine) FullEmptyCell {
  public:
   FullEmptyCell() = default;
 

@@ -1,0 +1,326 @@
+// The software combining tree with the kernel taken out of the loop: every
+// node transition is a CAS on one packed status word, waiting is local
+// spinning with bounded exponential backoff, and no mutex or condition
+// variable appears anywhere on the operation path.
+//
+// The blocking tree (combining_tree.hpp) serializes every node transition
+// through a std::mutex + condition_variable — each combine handshake costs
+// kernel-arbitrated sleep/wake pairs, which is why it loses to the very
+// mutex baseline it is meant to beat (bench_combining_tree). This tree
+// keeps the same four-phase protocol (precombine / combine / operate /
+// distribute) and the same decombination rule ⟨id2, f(val)⟩, but runs each
+// node as a word-sized state machine in the style of Goodman-style
+// combining words: second arrivals deposit their operand in a per-node
+// slot and spin-then-yield until the distributed result lands.
+//
+// Node status word (64 bits):
+//
+//   [63 ............. 4] [3]    [2..0]
+//    generation count     lock   status tag
+//
+// Tags: Idle, First (a first arrival passed through, climbing),
+// FirstLocked (the first came back in its combine phase and closed the
+// node against late seconds), SecondPending (a second engaged, operand in
+// flight), SecondReady (operand deposited), SecondCombined (the first
+// absorbed the operand; reply owed), Result (reply delivered), Root. The
+// lock bit is used only on the root word, as the spinlock that serializes
+// the O(P / combine-degree) operations that actually reach the root. The
+// generation count increments on every reset to Idle, so a stalled CAS
+// from a previous occupancy of the node can never succeed against a later
+// one (ABA).
+//
+// Protocol per operation (slot s, operand v):
+//   1. precombine — climb from the leaf while CAS Idle→First succeeds;
+//      CAS First→SecondPending stops the climb (we are the second there);
+//      the root always stops the climb.
+//   2. combine — re-walk the path: CAS First→FirstLocked passes through
+//      (no partner), SecondReady folds the deposited operand in
+//      (first ⊕ second, the paper's serial order).
+//   3. operate — at the root, apply under the root word's lock bit; at a
+//      SecondPending node, deposit the combined operand (store + release
+//      tag flip) and spin-then-yield for the Result tag.
+//   4. distribute — walk back down: FirstLocked resets to Idle(gen+1);
+//      SecondCombined receives result = prior ⊕ first_value — exactly
+//      ⟨id2, f(val)⟩ — and flips to Result; the waiting second picks it up
+//      and resets the node.
+//
+// The Instrument policy publishes the same happens-before edges as the
+// blocking tree: an operation acquires the tree's history on entry and
+// releases its own on exit, so operations separated in real time are
+// ordered for the race detector while overlapping ones stay unordered.
+//
+// See docs/PERFORMANCE.md for the encoding walkthrough, the backoff
+// strategy, and measured crossovers against the blocking tree.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/instrument.hpp"
+#include "runtime/backoff.hpp"
+#include "runtime/cacheline.hpp"
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace krs::runtime {
+
+template <typename T, typename Op = std::plus<T>,
+          typename Instrument = analysis::DefaultInstrument>
+class LockFreeCombiningTree {
+ public:
+  using value_type = T;
+
+  /// `width`: maximum number of threads (power of two, ≥ 2). Thread slots
+  /// are 0..width-1; two slots share each leaf.
+  LockFreeCombiningTree(unsigned width, T initial = T{}, Op op = Op{})
+      : width_(width), op_(op), root_value_(initial), nodes_(width) {
+    KRS_EXPECTS(width >= 2 && util::is_pow2(width));
+    nodes_[kRootIndex].status.store(kRootWord, std::memory_order_relaxed);
+  }
+
+  LockFreeCombiningTree(const LockFreeCombiningTree&) = delete;
+  LockFreeCombiningTree& operator=(const LockFreeCombiningTree&) = delete;
+
+  /// Atomically result ← result ⊕ v, returning the prior value, combining
+  /// with concurrent callers on the way up. `slot` must be < width and
+  /// used by at most one thread at a time.
+  T fetch_and_op(unsigned slot, T v) {
+    KRS_EXPECTS(slot < width_);
+    Instrument::acquire(this);
+    const unsigned my_leaf = width_ / 2 + slot / 2;  // heap index
+
+    // Phase 1: precombine — climb while we are the first to arrive.
+    unsigned node = my_leaf;
+    while (precombine(node)) node /= 2;
+    const unsigned stop = node;
+
+    // Phase 2: combine — gather operands deposited by second arrivals.
+    unsigned path[kMaxDepth];
+    unsigned depth = 0;
+    T combined = v;
+    for (node = my_leaf; node != stop; node /= 2) {
+      combined = combine(node, combined);
+      path[depth++] = node;
+    }
+
+    // Phase 3: operate — at the root, apply; at a SecondPending node,
+    // deposit and spin for the distributed result.
+    const T prior = stop == kRootIndex ? apply_at_root(combined)
+                                       : deposit_and_await(stop, combined);
+
+    // Phase 4: distribute results back down our path.
+    for (unsigned i = depth; i-- > 0;) distribute(path[i], prior);
+    Instrument::release(this);
+    return prior;
+  }
+
+  /// Atomic snapshot of the current value: takes the root word's lock bit
+  /// for the duration of one load — safe concurrently with operations.
+  T read() {
+    lock_root();
+    T v = root_value_;
+    unlock_root();
+    return v;
+  }
+
+  /// Quiescent-only read: no synchronization at all. Callers must ensure
+  /// no fetch_and_op is in flight (e.g. after joining the worker threads).
+  [[nodiscard]] T read_unsynchronized() const { return root_value_; }
+
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+
+ private:
+  // ---- status word encoding -------------------------------------------------
+  enum Tag : std::uint64_t {
+    kIdle = 0,
+    kFirst = 1,
+    kFirstLocked = 2,
+    kSecondPending = 3,
+    kSecondReady = 4,
+    kSecondCombined = 5,
+    kResult = 6,
+    kRoot = 7,
+  };
+  static constexpr std::uint64_t kTagMask = 0x7;
+  static constexpr std::uint64_t kLockBit = 0x8;
+  static constexpr unsigned kGenShift = 4;
+  static constexpr unsigned kRootIndex = 1;
+  static constexpr std::uint64_t kRootWord = kRoot;
+  static constexpr unsigned kMaxDepth = 64;
+
+  static constexpr Tag tag_of(std::uint64_t w) noexcept {
+    return static_cast<Tag>(w & kTagMask);
+  }
+  static constexpr std::uint64_t gen_of(std::uint64_t w) noexcept {
+    return w >> kGenShift;
+  }
+  /// Same generation, new tag.
+  static constexpr std::uint64_t retag(std::uint64_t w, Tag t) noexcept {
+    return (w & ~(kTagMask | kLockBit)) | t;
+  }
+  static constexpr std::uint64_t idle_next_gen(std::uint64_t w) noexcept {
+    return (gen_of(w) + 1) << kGenShift | kIdle;
+  }
+
+  struct alignas(kCacheLine) Node {
+    std::atomic<std::uint64_t> status{kIdle};
+    // Operand/reply slots on their own line: the handshake spins on
+    // `status` above, the values move below.
+    alignas(kCacheLine) T first_value{};
+    T second_value{};
+    T result{};
+  };
+
+  // ---- phase 1 --------------------------------------------------------------
+
+  /// True: keep climbing (we were first); false: stop here (second or root).
+  bool precombine(unsigned n) {
+    Node& nd = nodes_[n];
+    ExpBackoff bo;
+    for (;;) {
+      std::uint64_t w = nd.status.load(std::memory_order_acquire);
+      switch (tag_of(w)) {
+        case kRoot:
+          return false;
+        case kIdle:
+          if (nd.status.compare_exchange_weak(w, retag(w, kFirst),
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+            return true;
+          }
+          break;
+        case kFirst:
+          // A first arrival is already climbing through here; engage as
+          // the second and stop the climb.
+          if (nd.status.compare_exchange_weak(w, retag(w, kSecondPending),
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+            return false;
+          }
+          break;
+        default:
+          // Node still finishing a previous operation; wait locally.
+          bo.pause();
+      }
+    }
+  }
+
+  // ---- phase 2 --------------------------------------------------------------
+
+  /// Called by the FIRST thread on its way up: fold in the second's
+  /// operand if one arrived, closing the node against late seconds.
+  T combine(unsigned n, T c) {
+    Node& nd = nodes_[n];
+    ExpBackoff bo;
+    for (;;) {
+      std::uint64_t w = nd.status.load(std::memory_order_acquire);
+      switch (tag_of(w)) {
+        case kFirst:
+          if (nd.status.compare_exchange_weak(w, retag(w, kFirstLocked),
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+            return c;  // nobody combined here
+          }
+          break;
+        case kSecondPending:
+          bo.pause();  // second engaged; its operand is still in flight
+          break;
+        case kSecondReady:
+          // The acquire load above synchronized with the deposit. Record
+          // the value that arrived at this node for the distribute phase,
+          // then fold: first's operations precede second's.
+          nd.first_value = c;
+          nd.status.store(retag(w, kSecondCombined),
+                          std::memory_order_relaxed);
+          return op_(c, nd.second_value);
+        default:
+          KRS_ASSERT(false && "unexpected combine status");
+          return c;
+      }
+    }
+  }
+
+  // ---- phase 3 --------------------------------------------------------------
+
+  /// Root case: apply the combined operation under the root lock bit.
+  T apply_at_root(const T& c) {
+    lock_root();
+    T prior = root_value_;
+    root_value_ = op_(prior, c);
+    unlock_root();
+    return prior;
+  }
+
+  /// Second case: deposit the combined operand, then spin-then-yield on
+  /// this node's status word until the first distributes our reply.
+  T deposit_and_await(unsigned n, T c) {
+    Node& nd = nodes_[n];
+    std::uint64_t w = nd.status.load(std::memory_order_relaxed);
+    KRS_ASSERT(tag_of(w) == kSecondPending);
+    nd.second_value = std::move(c);
+    nd.status.store(retag(w, kSecondReady), std::memory_order_release);
+    ExpBackoff bo;
+    for (;;) {
+      w = nd.status.load(std::memory_order_acquire);
+      if (tag_of(w) == kResult) break;
+      bo.pause();
+    }
+    T r = nd.result;
+    // Release the node for the next pair; new generation kills ABA.
+    nd.status.store(idle_next_gen(w), std::memory_order_release);
+    return r;
+  }
+
+  // ---- phase 4 --------------------------------------------------------------
+
+  /// Called by the FIRST thread on its way down with the prior value of
+  /// everything combined below this node's subtree position.
+  void distribute(unsigned n, const T& prior) {
+    Node& nd = nodes_[n];
+    const std::uint64_t w = nd.status.load(std::memory_order_relaxed);
+    switch (tag_of(w)) {
+      case kFirstLocked:
+        // Nobody combined here: release the node.
+        nd.status.store(idle_next_gen(w), std::memory_order_release);
+        break;
+      case kSecondCombined:
+        // The second's reply: prior ⊕ first's contribution — the
+        // decombination rule ⟨id2, f(val)⟩.
+        nd.result = op_(prior, nd.first_value);
+        nd.status.store(retag(w, kResult), std::memory_order_release);
+        break;
+      default:
+        KRS_ASSERT(false && "unexpected distribute status");
+    }
+  }
+
+  // ---- root lock bit --------------------------------------------------------
+
+  void lock_root() {
+    Node& rt = nodes_[kRootIndex];
+    ExpBackoff bo;
+    for (;;) {
+      std::uint64_t w = rt.status.load(std::memory_order_relaxed);
+      if ((w & kLockBit) == 0 &&
+          rt.status.compare_exchange_weak(w, w | kLockBit,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        return;
+      }
+      bo.pause();
+    }
+  }
+
+  void unlock_root() {
+    nodes_[kRootIndex].status.store(kRootWord, std::memory_order_release);
+  }
+
+  unsigned width_;
+  Op op_;
+  alignas(kCacheLine) T root_value_;
+  std::vector<Node> nodes_;  // heap layout, nodes_[1..width-1]
+};
+
+}  // namespace krs::runtime

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analysis/instrument.hpp"
+#include "runtime/cacheline.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
@@ -113,14 +114,17 @@ class ParallelQueue {
   }
 
  private:
-  struct alignas(64) Cell {
+  // One destructive-interference granule per cell: adjacent slots are
+  // claimed by different threads, and sharing a line would serialize them
+  // through the coherence protocol even though they never conflict.
+  struct alignas(kCacheLine) Cell {
     std::atomic<std::uint64_t> phase{0};
     T item{};
   };
 
   std::vector<Cell> cells_;
-  alignas(64) std::atomic<std::uint64_t> tail_{0};
-  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
 };
 
 }  // namespace krs::runtime

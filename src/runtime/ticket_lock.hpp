@@ -3,7 +3,10 @@
 // contention-free. Acquire takes one fetch-and-add (combinable — under a
 // combining memory P simultaneous acquirers cost O(log P) network work);
 // release is one store. FIFO-fair by construction, unlike test-and-set
-// spin locks.
+// spin locks. Waiters back off proportionally to their queue distance
+// (Mellor-Crummey–Scott's classic ticket-lock fix): the thread holding
+// ticket t re-reads now_serving only after ~(t − now_serving)·k pauses,
+// so the serving word is not a P-way coherence hot spot.
 //
 // The Instrument policy (analysis/instrument.hpp) publishes the lock's
 // happens-before edges to the race detector: an empty policy by default
@@ -12,9 +15,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
 
 #include "analysis/instrument.hpp"
+#include "runtime/backoff.hpp"
+#include "runtime/cacheline.hpp"
 
 namespace krs::runtime {
 
@@ -24,9 +28,23 @@ class BasicTicketLock {
   void lock() noexcept(!Instrument::enabled) {
     const std::uint64_t my =
         next_.fetch_add(1, std::memory_order_acq_rel);
-    unsigned spins = 0;
-    while (serving_.load(std::memory_order_acquire) != my) {
-      if (++spins > 64) std::this_thread::yield();
+    std::uint64_t prev_ahead = ~std::uint64_t{0};
+    for (;;) {
+      const std::uint64_t now = serving_.load(std::memory_order_acquire);
+      if (now == my) break;
+      // Proportional backoff: my - now waiters are served before us, so
+      // wait roughly that long before re-reading instead of hammering
+      // the serving word from every queued thread. If the queue did not
+      // advance since our last read, the holder is likely preempted
+      // (oversubscribed host) and needs this core — yield instead of
+      // spinning out the quantum.
+      const std::uint64_t ahead = my - now;
+      if (ahead >= prev_ahead) {
+        std::this_thread::yield();
+      } else {
+        proportional_backoff(ahead);
+      }
+      prev_ahead = ahead;
     }
     Instrument::acquire(this);
   }
@@ -56,8 +74,8 @@ class BasicTicketLock {
   }
 
  private:
-  alignas(64) std::atomic<std::uint64_t> next_{0};
-  alignas(64) std::atomic<std::uint64_t> serving_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> next_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> serving_{0};
 };
 
 using TicketLock = BasicTicketLock<>;

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "analysis/instrument.hpp"
+#include "runtime/backoff.hpp"
+#include "runtime/cacheline.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
@@ -63,9 +65,9 @@ class BasicTreeBarrier {
       // Reached past the root: this thread triggers the release.
       release_.store(my_sense, std::memory_order_release);
     } else {
-      unsigned spins = 0;
+      ExpBackoff bo;
       while (release_.load(std::memory_order_acquire) != my_sense) {
-        if (++spins > 64) std::this_thread::yield();
+        bo.pause();
       }
     }
     // Departure: absorb every party's pre-barrier history. All arrivals
@@ -76,7 +78,9 @@ class BasicTreeBarrier {
   }
 
  private:
-  struct Node {
+  // Padded: adjacent nodes are hammered by disjoint thread pairs during
+  // the ascent; sharing a line would couple their arrival CASes.
+  struct alignas(kCacheLine) Node {
     std::atomic<bool> arrived{false};
   };
 

@@ -1,0 +1,318 @@
+// The lock-free combining tree (runtime/lock_free_combining_tree.hpp):
+// the same serializability invariants the blocking tree is held to
+// (distinct tickets, conserved sums, per-thread monotonicity) at 2/4/8
+// threads, the CombiningCounter concept contract shared with the blocking
+// tree, the instrumented happens-before edges, and a deterministic
+// race_explorer model of the protocol's deposit/distribute handshake.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "analysis/instrument.hpp"
+#include "analysis/race_detector.hpp"
+#include "runtime/combining_concept.hpp"
+#include "runtime/combining_tree.hpp"
+#include "runtime/coordination.hpp"
+#include "runtime/lock_free_combining_tree.hpp"
+#include "verify/race_explorer.hpp"
+
+namespace {
+
+using namespace krs::runtime;
+
+// Both trees satisfy the shared concept; either can serve every templated
+// consumer (combining barrier, benches, examples).
+static_assert(CombiningCounter<LockFreeCombiningTree<long>>);
+static_assert(CombiningCounter<BlockingCombiningTree<long>>);
+
+// The instrumentation policy must add no per-object state.
+static_assert(
+    sizeof(LockFreeCombiningTree<long, std::plus<long>,
+                                 krs::analysis::NoInstrument>) ==
+    sizeof(LockFreeCombiningTree<long, std::plus<long>,
+                                 krs::analysis::GlobalInstrument>));
+
+TEST(LockFreeCombiningTree, SingleThreadSequence) {
+  LockFreeCombiningTree<long> tree(4, 100);
+  EXPECT_EQ(tree.fetch_and_op(0, 5), 100);
+  EXPECT_EQ(tree.fetch_and_op(1, 7), 105);
+  EXPECT_EQ(tree.fetch_and_op(3, 1), 112);
+  EXPECT_EQ(tree.read(), 113);
+  EXPECT_EQ(tree.read_unsynchronized(), 113);
+  EXPECT_EQ(tree.width(), 4u);
+}
+
+TEST(LockFreeCombiningTree, ConcurrentIncrementsGiveDistinctTickets) {
+  for (const unsigned nt : {2u, 4u, 8u}) {
+    LockFreeCombiningTree<long> tree(8, 0);
+    constexpr unsigned kPer = 300;
+    std::vector<std::vector<long>> got(nt);
+    {
+      std::vector<std::jthread> ts;
+      for (unsigned slot = 0; slot < nt; ++slot) {
+        ts.emplace_back([&, slot] {
+          for (unsigned i = 0; i < kPer; ++i)
+            got[slot].push_back(tree.fetch_and_op(slot, 1));
+        });
+      }
+    }
+    std::set<long> all;
+    for (const auto& v : got) {
+      // Per-thread tickets strictly increase (M2.3 at the tree level).
+      EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+      all.insert(v.begin(), v.end());
+    }
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(nt) * kPer);
+    EXPECT_EQ(*all.begin(), 0);
+    EXPECT_EQ(*all.rbegin(), static_cast<long>(nt * kPer) - 1);
+    EXPECT_EQ(tree.read_unsynchronized(), static_cast<long>(nt * kPer));
+  }
+}
+
+TEST(LockFreeCombiningTree, ArbitraryAddendsConserveSum) {
+  for (const unsigned nt : {2u, 4u, 8u}) {
+    LockFreeCombiningTree<long> tree(8, 0);
+    constexpr unsigned kPer = 200;
+    std::atomic<long> expected{0};
+    {
+      std::vector<std::jthread> ts;
+      for (unsigned slot = 0; slot < nt; ++slot) {
+        ts.emplace_back([&, slot] {
+          long local = 0;
+          for (unsigned i = 0; i < kPer; ++i) {
+            const long v = static_cast<long>((slot * kPer + i) % 17 + 1);
+            tree.fetch_and_op(slot, v);
+            local += v;
+          }
+          expected.fetch_add(local);
+        });
+      }
+    }
+    EXPECT_EQ(tree.read(), expected.load());
+  }
+}
+
+TEST(LockFreeCombiningTree, TwoThreadsPerLeafShareCorrectly) {
+  // Slots 0 and 1 share the root leaf — the most combining-prone shape.
+  LockFreeCombiningTree<long> tree(2, 0);
+  constexpr unsigned kPer = 500;
+  {
+    std::jthread a([&] {
+      for (unsigned i = 0; i < kPer; ++i) tree.fetch_and_op(0, 1);
+    });
+    std::jthread b([&] {
+      for (unsigned i = 0; i < kPer; ++i) tree.fetch_and_op(1, 1);
+    });
+  }
+  EXPECT_EQ(tree.read(), 2 * static_cast<long>(kPer));
+}
+
+TEST(LockFreeCombiningTree, ReadSnapshotsWhileContended) {
+  // read() must return monotonically non-decreasing snapshots while eight
+  // incrementers are in flight (it locks only the root word, never a node).
+  LockFreeCombiningTree<long> tree(8, 0);
+  constexpr unsigned kPer = 400;
+  std::atomic<bool> torn{false};
+  {
+    std::vector<std::jthread> ts;
+    for (unsigned slot = 0; slot < 8; ++slot) {
+      ts.emplace_back([&, slot] {
+        for (unsigned i = 0; i < kPer; ++i) tree.fetch_and_op(slot, 1);
+      });
+    }
+    ts.emplace_back([&] {
+      long last = 0;
+      for (unsigned i = 0; i < 500; ++i) {
+        const long v = tree.read();
+        if (v < last) torn = true;
+        last = v;
+      }
+    });
+  }
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(tree.read_unsynchronized(), 8L * kPer);
+}
+
+TEST(LockFreeCombiningTree, NonCommutativeOpKeepsSerialOrderPerNode) {
+  // f(x) = x·3 + addend is associative over function composition but not
+  // commutative in its effects; the tree must still serialize: the final
+  // value equals SOME serial order of all ops, and with addend 0 and
+  // multiplier 1 encoded per-op we can at least assert conservation of
+  // op count via a plus-tree cross-check. Here: max-tree — idempotent,
+  // order-insensitive result, exercises a non-plus Op through every phase.
+  struct MaxOp {
+    long operator()(long a, long b) const { return a > b ? a : b; }
+  };
+  LockFreeCombiningTree<long, MaxOp> tree(4, 0);
+  {
+    std::vector<std::jthread> ts;
+    for (unsigned slot = 0; slot < 4; ++slot) {
+      ts.emplace_back([&, slot] {
+        for (unsigned i = 1; i <= 300; ++i) {
+          tree.fetch_and_op(slot, static_cast<long>(slot * 1000 + i));
+        }
+      });
+    }
+  }
+  EXPECT_EQ(tree.read(), 3300);  // max over every deposited operand
+}
+
+// --- the combining-counter barrier over either tree --------------------------
+
+template <typename Tree>
+void run_barrier_phases(unsigned nt) {
+  BasicCombiningBarrier<Tree> barrier(nt);
+  constexpr int kPhases = 100;
+  std::vector<int> counters(kPhases, 0);
+  std::atomic<bool> torn{false};
+  {
+    std::vector<std::jthread> ts;
+    for (unsigned t = 0; t < nt; ++t) {
+      ts.emplace_back([&, t] {
+        for (int ph = 0; ph < kPhases; ++ph) {
+          __atomic_fetch_add(&counters[ph], 1, __ATOMIC_RELAXED);
+          barrier.arrive_and_wait(t);
+          if (counters[ph] != static_cast<int>(nt)) torn = true;
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(torn.load());
+}
+
+TEST(CombiningBarrier, PhasesAlignedOverLockFreeTree) {
+  run_barrier_phases<LockFreeCombiningTree<long>>(4);
+}
+
+TEST(CombiningBarrier, PhasesAlignedOverBlockingTree) {
+  run_barrier_phases<BlockingCombiningTree<long>>(4);
+}
+
+// --- instrumented happens-before edges ---------------------------------------
+
+using krs::analysis::ForkHandle;
+using krs::analysis::GlobalInstrument;
+
+TEST(LockFreeCombiningTreeAnalysis, TemporallySeparatedOpsAreOrdered) {
+  // Both fork edges are snapshotted BEFORE either thread runs, so the only
+  // detector-visible ordering between t0's payload write and t1's read is
+  // the tree's own entry-acquire/exit-release edge. The atomic flag gives
+  // real-time separation without telling the detector anything.
+  krs::analysis::RaceDetector det;
+  krs::analysis::ScopedDetector guard(det);
+  LockFreeCombiningTree<long, std::plus<long>, GlobalInstrument> tree(4, 0);
+  std::atomic<int> payload{0};
+  std::atomic<bool> done{false};
+
+  ForkHandle f0;
+  ForkHandle f1;
+  std::thread t0([&] {
+    f0.adopt();
+    payload.store(7, std::memory_order_relaxed);
+    krs::analysis::shadow_write(&payload, KRS_SITE);
+    tree.fetch_and_op(0, 1);  // exit releases t0's history into the tree
+    done.store(true, std::memory_order_release);
+  });
+  std::thread t1([&] {
+    f1.adopt();
+    while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+    tree.fetch_and_op(1, 1);  // entry acquires the tree's history
+    krs::analysis::shadow_read(&payload, KRS_SITE);
+  });
+  t0.join();
+  f0.join();
+  t1.join();
+  f1.join();
+
+  EXPECT_EQ(tree.read_unsynchronized(), 2);
+  EXPECT_TRUE(det.clean()) << det.races()[0].to_string();
+}
+
+TEST(LockFreeCombiningTreeAnalysis, WithoutTheTreeEdgeTheSameShapeRaces) {
+  // Control experiment: identical structure, no tree operations — the
+  // detector must flag it, proving the clean verdict above came from the
+  // tree's edge and not from some accidental ordering.
+  krs::analysis::RaceDetector det;
+  krs::analysis::ScopedDetector guard(det);
+  std::atomic<int> payload{0};
+  std::atomic<bool> done{false};
+
+  ForkHandle f0;
+  ForkHandle f1;
+  std::thread t0([&] {
+    f0.adopt();
+    payload.store(7, std::memory_order_relaxed);
+    krs::analysis::shadow_write(&payload, KRS_SITE);
+    done.store(true, std::memory_order_release);
+  });
+  std::thread t1([&] {
+    f1.adopt();
+    while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+    krs::analysis::shadow_read(&payload, KRS_SITE);
+  });
+  t0.join();
+  f0.join();
+  t1.join();
+  f1.join();
+
+  EXPECT_EQ(det.race_count(), 1u);
+}
+
+// --- deterministic race_explorer model of the node handshake -----------------
+
+using krs::verify::EAcquire;
+using krs::verify::ERead;
+using krs::verify::ERelease;
+using krs::verify::EventProgram;
+using krs::verify::EWrite;
+using krs::verify::explore_races;
+
+TEST(LockFreeCombiningTreeModel, NodeHandshakeIsRaceFreeUnderAllSchedules) {
+  // Abstract model of one combine at one node. Var 0 = second_value slot,
+  // var 1 = result slot; lock 0 = the node's status word, whose CAS
+  // transitions carry the release/acquire edges. The first (thread 0)
+  // reads the deposit and writes the reply; the second (thread 1) deposits
+  // then picks the reply up. Every edge is mediated by the status word —
+  // no schedule may report a race.
+  EventProgram prog;
+  prog.threads = {
+      // first: combine (acquire status, read deposit) → distribute
+      // (write result, release status)
+      {EAcquire{0}, ERead{0}, EWrite{1}, ERelease{0}},
+      // second: deposit (write operand, release status) → await
+      // (acquire status, read result)
+      {EAcquire{0}, EWrite{0}, ERelease{0}, EAcquire{0}, ERead{1},
+       ERelease{0}},
+  };
+  const auto res = explore_races(prog);
+  EXPECT_GT(res.schedules, 0u);
+  EXPECT_TRUE(res.never_racy())
+      << res.racy_schedules << " of " << res.schedules << " schedules racy";
+}
+
+TEST(LockFreeCombiningTreeModel, DepositWithoutStatusEdgeAlwaysRaces) {
+  // Drop the status-word edges entirely: the second deposits and reads
+  // the reply with no synchronization. With no release/acquire pair there
+  // is no cross-thread happens-before edge at all, so the detector must
+  // flag EVERY schedule (the defining property over lockset or sampling
+  // detectors — the race is visible even in schedules where the accesses
+  // did not physically collide). Note the second may not touch lock 0
+  // even once: a single trailing release would order a schedule where it
+  // runs entirely first, and that schedule would then be clean.
+  EventProgram prog;
+  prog.threads = {
+      {EAcquire{0}, ERead{0}, EWrite{1}, ERelease{0}},
+      {EWrite{0}, ERead{1}},  // naked deposit + naked reply pickup
+  };
+  const auto res = explore_races(prog);
+  EXPECT_GT(res.schedules, 0u);
+  EXPECT_TRUE(res.always_racy())
+      << res.racy_schedules << " of " << res.schedules << " schedules racy";
+}
+
+}  // namespace

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Reproducible benchmark pipeline: Release build → contended benches at
+# 1/2/4/8/16 threads in --benchmark_format=json → bench/harness/normalize.py
+# → top-level BENCH_combining.json (ops/sec + p50/p99 per-op latency per
+# series, plus the lockfree-vs-blocking combining-tree ratio).
+#
+# Usage: tools/run_bench.sh
+# Knobs (environment):
+#   KRS_BENCH_BUILD        build tree            (default build-bench)
+#   KRS_BENCH_MIN_TIME     --benchmark_min_time  (default 0.1; "s" suffix ok)
+#   KRS_BENCH_REPETITIONS  --benchmark_repetitions (default 3)
+#   KRS_BENCH_OUT          output file           (default BENCH_combining.json)
+#
+# CI runs the same script with KRS_BENCH_MIN_TIME=0.05 KRS_BENCH_REPETITIONS=1
+# as the bench-smoke job; any bench crash fails the pipeline (set -e).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+BUILD="${KRS_BENCH_BUILD:-build-bench}"
+MIN_TIME="${KRS_BENCH_MIN_TIME:-0.1}"
+MIN_TIME="${MIN_TIME%s}"   # tolerate the 1.8+ "0.1s" spelling on older libs
+REPS="${KRS_BENCH_REPETITIONS:-3}"
+OUT="${KRS_BENCH_OUT:-BENCH_combining.json}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+BENCHES=(bench_combining_tree bench_coordination)
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$JOBS" --target "${BENCHES[@]}"
+
+JSON_DIR="$BUILD/bench-json"
+mkdir -p "$JSON_DIR"
+for b in "${BENCHES[@]}"; do
+  echo "=== $b ==="
+  "$BUILD/bench/$b" \
+    --benchmark_format=json \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_repetitions="$REPS" \
+    > "$JSON_DIR/$b.json"
+done
+
+python3 bench/harness/normalize.py \
+  --out "$OUT" --min-time "$MIN_TIME" --repetitions "$REPS" \
+  "$JSON_DIR"/*.json
+echo "=== bench pipeline complete: $OUT ==="
