@@ -1,0 +1,117 @@
+// E14 — whole-machine simulation throughput: the cycle-accurate Omega
+// machine on the sequential engine vs the shard-parallel engine
+// (sim/engine.hpp) at matched workloads. Parallel runs are bit-identical
+// to sequential ones (the determinism suite enforces it), so this is a
+// pure same-answer-faster measurement: simulated ops per wall second,
+// with cycles/op and the combine rate carried as counters so the
+// normalized BENCH_machine.json can track simulator-level behavior
+// alongside wall-clock speedup (tools/run_bench.sh, harness/normalize.py).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/fetch_theta.hpp"
+#include "sim/machine.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace krs;
+using core::FetchAdd;
+
+constexpr core::Tick kMaxCycles = 10000000;
+constexpr std::uint64_t kOpsPerProc = 400;
+
+sim::Machine<FetchAdd> make_machine(unsigned log2_procs) {
+  sim::MachineConfig<FetchAdd> cfg;
+  cfg.log2_procs = log2_procs;
+  cfg.window = 8;
+  const std::uint32_t n = 1u << log2_procs;
+  std::vector<std::unique_ptr<proc::TrafficSource<FetchAdd>>> src;
+  src.reserve(n);
+  for (std::uint32_t p = 0; p < n; ++p) {
+    workload::HotSpotSource<FetchAdd>::Params params;
+    params.total = kOpsPerProc;
+    params.hot_fraction = 0.2;
+    params.hot_addr = 0;
+    params.addr_space = 4096;
+    src.push_back(std::make_unique<workload::HotSpotSource<FetchAdd>>(
+        params,
+        [](util::Xoshiro256& r) { return FetchAdd(r.below(16)); },
+        12345u * 7919u + p));
+  }
+  return {cfg, std::move(src)};
+}
+
+void report(benchmark::State& state, std::uint64_t ops, std::uint64_t cycles,
+            std::uint64_t combines) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.counters["cycles_per_op"] = ops != 0
+      ? static_cast<double>(cycles) / static_cast<double>(ops)
+      : 0.0;
+  state.counters["combine_rate"] = ops != 0
+      ? static_cast<double>(combines) / static_cast<double>(ops)
+      : 0.0;
+}
+
+void BM_MachineSeq(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  std::uint64_t ops = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t combines = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      auto m = make_machine(k);
+      state.ResumeTiming();
+      const bool drained = m.run(kMaxCycles);
+      state.PauseTiming();
+      benchmark::DoNotOptimize(drained);
+      const auto st = m.stats();
+      ops += st.ops_completed;
+      cycles += st.cycles;
+      combines += st.combines;
+    }
+    state.ResumeTiming();
+  }
+  report(state, ops, cycles, combines);
+}
+BENCHMARK(BM_MachineSeq)
+    ->ArgNames({"k"})->Arg(6)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_MachinePar(benchmark::State& state) {
+  const auto k = static_cast<unsigned>(state.range(0));
+  const auto workers = static_cast<unsigned>(state.range(1));
+  std::uint64_t ops = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t combines = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      auto m = make_machine(k);
+      state.ResumeTiming();
+      const bool drained = m.run_parallel(kMaxCycles, workers);
+      state.PauseTiming();
+      benchmark::DoNotOptimize(drained);
+      const auto st = m.stats();
+      ops += st.ops_completed;
+      cycles += st.cycles;
+      combines += st.combines;
+    }
+    state.ResumeTiming();
+  }
+  report(state, ops, cycles, combines);
+}
+BENCHMARK(BM_MachinePar)
+    ->ArgNames({"k", "workers"})
+    ->Args({6, 2})->Args({6, 4})->Args({6, 8})
+    ->Args({8, 2})->Args({8, 4})->Args({8, 8})
+    ->Args({10, 2})->Args({10, 4})->Args({10, 8})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,9 +9,20 @@ document with one record per (benchmark family, thread count):
   ns_per_op_p50  — median per-op wall time (real_time, ns) across reps
   ns_per_op_p99  — nearest-rank p99 across reps (≈ max for small N)
 
-plus a `comparisons` block with the lockfree-vs-blocking combining-tree
-throughput ratio per thread count — the acceptance series the perf
-trajectory tracks (see docs/PERFORMANCE.md).
+plus a `comparisons` block with the acceptance series the perf trajectory
+tracks (see docs/PERFORMANCE.md):
+
+  lockfree_vs_blocking_ops_ratio — combining-tree throughput ratio per
+      thread count (> 1.0 means the lock-free tree wins)
+  machine_parallel_speedup — whole-machine simulator throughput of
+      BM_MachinePar over BM_MachineSeq at matched size k, per worker
+      count. Parallel runs are bit-identical to sequential ones, so this
+      is a pure same-answer-faster ratio. Only meaningful when host_cpus
+      in `config` exceeds the worker count — on a single-core host the
+      ratio hovers near 1.0 by construction.
+
+User counters emitted by a bench (e.g. bench_machine's cycles_per_op and
+combine_rate) are carried into each record as medians across repetitions.
 
 Percentiles are taken over repetition-level means: google-benchmark does
 not expose per-iteration samples, so with R repetitions p99 is the
@@ -53,8 +64,14 @@ def to_ns(value, unit):
     return value * scale[unit]
 
 
+# google-benchmark serializes user counters (state.counters[...]) as extra
+# top-level numeric keys on each benchmark record. Carry the known ones
+# through to the normalized output.
+COUNTER_KEYS = ("cycles_per_op", "combine_rate")
+
+
 def collect(files):
-    """-> {(family, threads): {"real_ns": [...], "ops": [...]}}, context"""
+    """-> {(family, threads): {"real_ns": [...], "ops": [...], ...}}, context"""
     runs = {}
     context = {}
     for path in files:
@@ -73,6 +90,9 @@ def collect(files):
             rec["real_ns"].append(to_ns(b["real_time"], b["time_unit"]))
             if "items_per_second" in b:
                 rec["ops"].append(b["items_per_second"])
+            for key in COUNTER_KEYS:
+                if key in b:
+                    rec.setdefault(key, []).append(b[key])
     return runs, context
 
 
@@ -81,14 +101,18 @@ def normalize(runs, context, config):
     for (family, threads), rec in sorted(runs.items()):
         real = sorted(rec["real_ns"])
         ops = sorted(rec["ops"])
-        benchmarks.append({
+        entry = {
             "name": family,
             "threads": threads,
             "reps": len(real),
             "ops_per_sec": percentile(ops, 50),
             "ns_per_op_p50": percentile(real, 50),
             "ns_per_op_p99": percentile(real, 99),
-        })
+        }
+        for key in COUNTER_KEYS:
+            if key in rec:
+                entry[key] = percentile(sorted(rec[key]), 50)
+        benchmarks.append(entry)
 
     # The acceptance series: lock-free tree throughput over blocking tree
     # throughput, per thread count. > 1.0 means the lock-free tree wins.
@@ -104,12 +128,39 @@ def normalize(runs, context, config):
             ratios[str(threads)] = round(
                 by_variant["lockfree"][threads] / blocking, 3)
 
+    # Whole-machine simulator speedup: BM_MachinePar/k:K/workers:W over
+    # BM_MachineSeq/k:K, keyed "k=K/workers=W". The parallel engine is
+    # bit-identical to the sequential one, so > 1.0 is the same answer
+    # computed faster (expect ≈ 1.0 on hosts with fewer CPUs than workers).
+    seq_ops = {}
+    par_ops = {}
+    for b in benchmarks:
+        if not b["ops_per_sec"]:
+            continue
+        if b["name"].startswith("BM_MachineSeq/k:"):
+            seq_ops[b["name"].split("k:", 1)[1]] = b["ops_per_sec"]
+        elif b["name"].startswith("BM_MachinePar/k:"):
+            k, workers = b["name"].split("k:", 1)[1].split("/workers:")
+            par_ops[(k, workers)] = b["ops_per_sec"]
+    speedups = {}
+    for (k, workers) in sorted(par_ops, key=lambda kw: (int(kw[0]),
+                                                        int(kw[1]))):
+        if k in seq_ops:
+            speedups[f"k={k}/workers={workers}"] = round(
+                par_ops[(k, workers)] / seq_ops[k], 3)
+
+    comparisons = {}
+    if ratios:
+        comparisons["lockfree_vs_blocking_ops_ratio"] = ratios
+    if speedups:
+        comparisons["machine_parallel_speedup"] = speedups
+
     return {
         "schema": "krs-bench-v1",
         "generated_by": "tools/run_bench.sh",
         "config": dict(config, **context),
         "benchmarks": benchmarks,
-        "comparisons": {"lockfree_vs_blocking_ops_ratio": ratios},
+        "comparisons": comparisons,
     }
 
 
@@ -133,9 +184,10 @@ def main():
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
-    ratios = doc["comparisons"]["lockfree_vs_blocking_ops_ratio"]
-    print(f"wrote {args.out}: {len(doc['benchmarks'])} series; "
-          f"lockfree/blocking ratios {ratios}")
+    summary = "; ".join(f"{name} {series}"
+                        for name, series in sorted(doc["comparisons"].items()))
+    print(f"wrote {args.out}: {len(doc['benchmarks'])} series"
+          + (f"; {summary}" if summary else ""))
 
 
 if __name__ == "__main__":

@@ -29,7 +29,9 @@
 #include "core/types.hpp"
 #include "net/packet.hpp"
 #include "net/switch.hpp"
+#include "net/wait_table.hpp"
 #include "util/assert.hpp"
+#include "util/ring.hpp"
 
 namespace krs::mem {
 
@@ -99,7 +101,10 @@ class MemoryModule {
   using Rev = net::RevPacket<M>;
 
   MemoryModule(ModuleConfig cfg, Value initial)
-      : cfg_(cfg), initial_(initial) {}
+      : cfg_(cfg), initial_(initial) {
+    in_q_.reserve(cfg_.queue_capacity);
+    pending_.reserve(cfg_.queue_capacity);
+  }
 
   /// Can the module accept a packet this cycle? Write-unlocks always can;
   /// a combinable arrival needs no queue slot.
@@ -116,14 +121,15 @@ class MemoryModule {
     KRS_EXPECTS(can_accept(pkt));
     if (cfg_.combine_in_queue && pkt.kind == net::TxnKind::kRmw) {
       // Youngest-match rule, as in the switch (preserves M2.3).
-      for (auto it = in_q_.rbegin(); it != in_q_.rend(); ++it) {
-        if (it->kind != net::TxnKind::kRmw || it->req.addr != pkt.req.addr) {
+      for (std::size_t i = in_q_.size(); i-- > 0;) {
+        auto& queued = in_q_[i];
+        if (queued.kind != net::TxnKind::kRmw ||
+            queued.req.addr != pkt.req.addr) {
           continue;
         }
-        auto rec = core::try_combine(it->req, pkt.req);
+        auto rec = core::try_combine(queued.req, pkt.req);
         if (!rec) break;
-        wait_records_[it->req.id].push_back(
-            WaitRecord{*rec, std::move(pkt.path)});
+        wait_records_.append(queued.req.id, {*rec, pkt.path});
         ++stats_.queue_combines;
         if (events != nullptr) {
           events->push_back({rec->representative, rec->second, pkt.req.addr});
@@ -159,11 +165,11 @@ class MemoryModule {
       // negative acknowledgment (the §5.5 busy-wait model) so the queue
       // keeps draining — otherwise back-pressure from stalled lock
       // requests could prevent the owner's unlock from ever arriving.
-      for (auto it = in_q_.begin(); it != in_q_.end(); ++it) {
-        if (it->kind == net::TxnKind::kWriteUnlock &&
-            it->req.id.proc == *locked_by_) {
-          Fwd pkt = std::move(*it);
-          in_q_.erase(it);
+      for (std::size_t i = 0; i < in_q_.size(); ++i) {
+        if (in_q_[i].kind == net::TxnKind::kWriteUnlock &&
+            in_q_[i].req.id.proc == *locked_by_) {
+          Fwd pkt = std::move(in_q_[i]);
+          in_q_.erase_at(i);
           service(std::move(pkt), now);
           return;
         }
@@ -219,18 +225,15 @@ class MemoryModule {
     Rev pkt;
   };
 
-  struct WaitRecord {
-    core::CombineRecord<M> rec;
-    std::vector<std::uint8_t> path;
-  };
-
   [[nodiscard]] bool would_combine(const Fwd& pkt) const {
     if (!cfg_.combine_in_queue || pkt.kind != net::TxnKind::kRmw) return false;
-    for (auto it = in_q_.rbegin(); it != in_q_.rend(); ++it) {
-      if (it->kind != net::TxnKind::kRmw || it->req.addr != pkt.req.addr) {
+    for (std::size_t i = in_q_.size(); i-- > 0;) {
+      const auto& queued = in_q_[i];
+      if (queued.kind != net::TxnKind::kRmw ||
+          queued.req.addr != pkt.req.addr) {
         continue;
       }
-      return try_compose(it->req.f, pkt.req.f).has_value();
+      return try_compose(queued.req.f, pkt.req.f).has_value();
     }
     return false;
   }
@@ -279,17 +282,14 @@ class MemoryModule {
     // so replies leave in combine order): each absorbed request gets
     // f(old) along its own stored path, as at a network switch.
     if (was_rmw) {
-      if (auto wr = wait_records_.find(rep_id); wr != wait_records_.end()) {
-        for (auto& record : wr->second) {
-          Rev second;
-          second.reply.id = record.rec.second;
-          second.reply.value = core::decombine(record.rec, old_value);
-          second.reply.completed = now + cfg_.latency;
-          second.path = std::move(record.path);
-          pending_.push_back({now + cfg_.latency, std::move(second)});
-        }
-        wait_records_.erase(wr);
-      }
+      wait_records_.consume(rep_id, [&](WaitRecord& record) {
+        Rev second;
+        second.reply.id = record.rec.second;
+        second.reply.value = core::decombine(record.rec, old_value);
+        second.reply.completed = now + cfg_.latency;
+        second.path = record.path;
+        pending_.push_back({now + cfg_.latency, std::move(second)});
+      });
     }
     wake_parked(pkt.req.addr);
   }
@@ -323,12 +323,13 @@ class MemoryModule {
     return it->second;
   }
 
+  using WaitRecord = typename net::WaitTable<M>::Record;
+
   ModuleConfig cfg_;
   Value initial_;
-  std::deque<Fwd> in_q_;
-  std::deque<Pending> pending_;
-  std::unordered_map<ReqId, std::vector<WaitRecord>, core::ReqIdHash>
-      wait_records_;
+  util::RingBuffer<Fwd> in_q_;
+  util::RingBuffer<Pending> pending_;
+  net::WaitTable<M> wait_records_;
   std::unordered_map<Addr, std::deque<Fwd>> parked_;
   std::unordered_map<Addr, Value> cells_;
   std::optional<std::uint32_t> locked_by_;

@@ -6,11 +6,11 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "core/combining.hpp"
 #include "core/rmw.hpp"
 #include "core/types.hpp"
+#include "net/path.hpp"
 
 namespace krs::net {
 
@@ -32,13 +32,14 @@ struct FwdPacket {
   /// locally in the processor-side implementation of §2).
   typename M::value_type store_value{};
   /// Input port taken at each stage so far; replies pop from the back.
-  std::vector<std::uint8_t> path;
+  /// Inline (k ≤ 16): packets copy without touching the heap.
+  PathHeader path;
 };
 
 template <core::Rmw M>
 struct RevPacket {
   core::Reply<M> reply;
-  std::vector<std::uint8_t> path;
+  PathHeader path;
   /// Negative acknowledgment (processor-side baseline: lock refused).
   bool nack = false;
 };

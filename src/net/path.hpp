@@ -1,0 +1,62 @@
+// The packet path header as fixed-size inline storage. OmegaTopology caps
+// k at 16 and the hypercube caps dimensions at 10, so a route never takes
+// more than 16 hops — a std::array plus a length byte replaces the old
+// per-packet std::vector, making packets trivially copyable and removing
+// one heap allocation per hop from the simulator's innermost loop.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+
+#include "util/assert.hpp"
+
+namespace krs::net {
+
+class PathHeader {
+ public:
+  static constexpr std::size_t kMaxHops = 16;
+
+  constexpr PathHeader() = default;
+  constexpr PathHeader(std::initializer_list<std::uint8_t> hops) {
+    for (const auto h : hops) push_back(h);
+  }
+
+  constexpr void push_back(std::uint8_t hop) {
+    KRS_EXPECTS(len_ < kMaxHops);
+    hops_[len_++] = hop;
+  }
+
+  constexpr void pop_back() {
+    KRS_EXPECTS(len_ > 0);
+    --len_;
+  }
+
+  [[nodiscard]] constexpr std::uint8_t back() const {
+    KRS_EXPECTS(len_ > 0);
+    return hops_[len_ - 1];
+  }
+
+  [[nodiscard]] constexpr std::uint8_t operator[](std::size_t i) const {
+    KRS_EXPECTS(i < len_);
+    return hops_[i];
+  }
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return len_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return len_ == 0; }
+
+  friend constexpr bool operator==(const PathHeader& a,
+                                   const PathHeader& b) noexcept {
+    if (a.len_ != b.len_) return false;
+    for (std::uint8_t i = 0; i < a.len_; ++i) {
+      if (a.hops_[i] != b.hops_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<std::uint8_t, kMaxHops> hops_{};
+  std::uint8_t len_ = 0;
+};
+
+}  // namespace krs::net

@@ -23,9 +23,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/combining.hpp"
@@ -33,7 +30,9 @@
 #include "core/rmw.hpp"
 #include "core/types.hpp"
 #include "net/packet.hpp"
+#include "net/wait_table.hpp"
 #include "util/assert.hpp"
+#include "util/ring.hpp"
 
 namespace krs::net {
 
@@ -84,7 +83,15 @@ struct CombineEvent {
 template <core::Rmw M>
 class CombiningSwitch {
  public:
-  explicit CombiningSwitch(const SwitchConfig& cfg = {}) : cfg_(cfg) {}
+  explicit CombiningSwitch(const SwitchConfig& cfg = {})
+      : cfg_(cfg), wait_buffer_(cfg.wait_buffer_capacity) {
+    // Size the forward FIFOs to their capacity bound up front. The reverse
+    // FIFOs can burst past it (decombination fan-out) — they grow on first
+    // use and, like all ring buffers here, never shrink, so the steady
+    // state performs no allocation at all.
+    for (auto& q : fwd_out_) q.reserve(cfg_.queue_capacity);
+    for (auto& q : rev_out_) q.reserve(cfg_.queue_capacity);
+  }
 
   /// Try to accept a forward packet at input port `in_port`, destined for
   /// output port `out_port`. Returns true if the packet was consumed
@@ -101,17 +108,17 @@ class CombiningSwitch {
       // processor to the same location, violating M2.3 — the unique-path
       // network keeps same-source/same-address requests in one queue, so
       // "youngest match" preserves their order unconditionally.
-      for (auto it = q.rbegin(); it != q.rend(); ++it) {
-        auto& queued = *it;
+      for (std::size_t i = q.size(); i-- > 0;) {
+        auto& queued = q[i];
         if (queued.kind != TxnKind::kRmw || queued.req.addr != pkt.req.addr) {
           continue;
         }
         if (cfg_.policy == CombinePolicy::kPairwise &&
-            combine_count_[queued.req.id] >= 1) {
+            wait_buffer_.fan_in(queued.req.id) >= 1) {
           ++stats_.combine_declined_policy;
           break;
         }
-        if (wait_size_ >= cfg_.wait_buffer_capacity) {
+        if (wait_buffer_.records() >= cfg_.wait_buffer_capacity) {
           ++stats_.combine_declined_waitbuf;
           break;
         }
@@ -123,12 +130,10 @@ class CombiningSwitch {
         if (!rec) break;  // family declined (e.g. Möbius overflow)
         queued.combined = true;
         pkt.path.push_back(static_cast<std::uint8_t>(in_port));
-        wait_buffer_[queued.req.id].recs.push_back(
-            WaitRecord{*rec, std::move(pkt.path), /*reversed=*/false, M{}});
-        ++wait_size_;
-        stats_.max_wait_buffer =
-            std::max<std::uint64_t>(stats_.max_wait_buffer, wait_size_);
-        ++combine_count_[queued.req.id];
+        wait_buffer_.append(queued.req.id,
+                            {*rec, pkt.path, /*reversed=*/false, M{}});
+        stats_.max_wait_buffer = std::max<std::uint64_t>(
+            stats_.max_wait_buffer, wait_buffer_.records());
         ++stats_.combines;
         if (events != nullptr) {
           events->push_back({queued.req.id, rec->second, pkt.req.addr, false});
@@ -196,23 +201,11 @@ class CombiningSwitch {
   }
 
   [[nodiscard]] std::size_t wait_buffer_size() const noexcept {
-    return wait_size_;
+    return wait_buffer_.records();
   }
 
  private:
-  struct WaitRecord {
-    core::CombineRecord<M> rec;
-    std::vector<std::uint8_t> path;  ///< absorbed request's path up to here
-    /// §5.1 reversal: the absorbed request logically executed FIRST; its
-    /// reply is the raw memory value, and the representative's reply is
-    /// absorbed_map(val) instead of val.
-    bool reversed = false;
-    M absorbed_map{};
-  };
-
-  struct WaitEntry {
-    std::vector<WaitRecord> recs;
-  };
+  using WaitRecord = typename WaitTable<M>::Record;
 
   /// Attempt the §5.1 reversed combination of `pkt` (an arriving store)
   /// into `queued` (a load/swap). Only defined for the LssOp family.
@@ -223,22 +216,20 @@ class CombiningSwitch {
       if (!cfg_.allow_order_reversal) return false;
       if (queued.combined || pkt.combined) return false;
       if (queued.req.id.proc == pkt.req.id.proc) return false;
-      if (wait_size_ >= cfg_.wait_buffer_capacity) return false;
+      if (wait_buffer_.records() >= cfg_.wait_buffer_capacity) return false;
       const auto r = core::compose_reversible(queued.req.f, pkt.req.f);
       if (!r.reversed) return false;
       WaitRecord wr;
       wr.rec = core::CombineRecord<M>{queued.req.id, pkt.req.id, M{}};
       pkt.path.push_back(static_cast<std::uint8_t>(in_port));
-      wr.path = std::move(pkt.path);
+      wr.path = pkt.path;
       wr.reversed = true;
       wr.absorbed_map = pkt.req.f;
       queued.req.f = r.forwarded;
       queued.combined = true;
-      wait_buffer_[queued.req.id].recs.push_back(std::move(wr));
-      ++wait_size_;
-      stats_.max_wait_buffer =
-          std::max<std::uint64_t>(stats_.max_wait_buffer, wait_size_);
-      ++combine_count_[queued.req.id];
+      wait_buffer_.append(queued.req.id, std::move(wr));
+      stats_.max_wait_buffer = std::max<std::uint64_t>(stats_.max_wait_buffer,
+                                                       wait_buffer_.records());
       ++stats_.combines;
       ++stats_.reversed_combines;
       if (events != nullptr) {
@@ -256,30 +247,22 @@ class CombiningSwitch {
 
   void deliver_reverse(RevPacket<M>&& pkt) {
     // Decombine first: every record saved under this id spawns a reply.
-    if (auto it = wait_buffer_.find(pkt.reply.id); it != wait_buffer_.end()) {
-      std::vector<WaitRecord> recs = std::move(it->second.recs);
-      wait_buffer_.erase(it);
-      combine_count_.erase(pkt.reply.id);
-      KRS_ASSERT(wait_size_ >= recs.size());
-      wait_size_ -= recs.size();
-      const auto original_val = pkt.reply.value;
-      for (auto& wr : recs) {
-        RevPacket<M> second;
-        second.reply.id = wr.rec.second;
-        second.reply.value = wr.reversed
-                                 ? original_val
-                                 : core::decombine(wr.rec, original_val);
-        second.reply.completed = pkt.reply.completed;
-        second.path = std::move(wr.path);
-        second.nack = pkt.nack;
-        if (wr.reversed) {
-          // The representative executed after the absorbed store: its
-          // reply is the value that store wrote.
-          pkt.reply.value = wr.absorbed_map.apply(original_val);
-        }
-        route_out(std::move(second));
+    const auto original_val = pkt.reply.value;
+    wait_buffer_.consume(pkt.reply.id, [&](WaitRecord& wr) {
+      RevPacket<M> second;
+      second.reply.id = wr.rec.second;
+      second.reply.value =
+          wr.reversed ? original_val : core::decombine(wr.rec, original_val);
+      second.reply.completed = pkt.reply.completed;
+      second.path = wr.path;
+      second.nack = pkt.nack;
+      if (wr.reversed) {
+        // The representative executed after the absorbed store: its
+        // reply is the value that store wrote.
+        pkt.reply.value = wr.absorbed_map.apply(original_val);
       }
-    }
+      route_out(std::move(second));
+    });
     route_out(std::move(pkt));
   }
 
@@ -293,11 +276,9 @@ class CombiningSwitch {
   }
 
   SwitchConfig cfg_;
-  std::deque<FwdPacket<M>> fwd_out_[2];
-  std::deque<RevPacket<M>> rev_out_[2];
-  std::unordered_map<core::ReqId, WaitEntry, core::ReqIdHash> wait_buffer_;
-  std::unordered_map<core::ReqId, unsigned, core::ReqIdHash> combine_count_;
-  std::size_t wait_size_ = 0;
+  util::RingBuffer<FwdPacket<M>> fwd_out_[2];
+  util::RingBuffer<RevPacket<M>> rev_out_[2];
+  WaitTable<M> wait_buffer_;
   SwitchStats stats_;
 };
 

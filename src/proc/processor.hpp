@@ -10,9 +10,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -20,6 +18,7 @@
 #include "core/types.hpp"
 #include "net/packet.hpp"
 #include "util/assert.hpp"
+#include "util/ring.hpp"
 
 namespace krs::proc {
 
@@ -78,6 +77,12 @@ class Processor {
         source_(source) {
     KRS_EXPECTS(window_ >= 1);
     KRS_EXPECTS(source_ != nullptr);
+    // All per-processor state is bounded by the issue window; sizing it
+    // here keeps the issue/deliver path allocation-free.
+    outgoing_.reserve(window_ + 1);
+    retries_.reserve(window_ + 1);
+    issued_meta_.reserve(window_ + 1);
+    ps_ops_.reserve(window_ + 1);
   }
 
   [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
@@ -96,8 +101,8 @@ class Processor {
       pkt.req = core::Request<M>{id, op->first, op->second, now};
       pkt.kind =
           processor_side_ ? net::TxnKind::kReadLock : net::TxnKind::kRmw;
-      if (processor_side_) ps_ops_.emplace(id, PsOp{op->second, now});
-      issued_meta_.emplace(id, Meta{op->first, op->second, now});
+      if (processor_side_) ps_ops_.emplace_back(id, PsOp{op->second, now});
+      issued_meta_.emplace_back(id, Meta{op->first, op->second, now});
       outgoing_.push_back(std::move(pkt));
       ++outstanding_;
     }
@@ -121,34 +126,32 @@ class Processor {
       complete(rev.reply.id, rev.reply.value, now, done);
       return;
     }
-    auto it = ps_ops_.find(rev.reply.id);
-    KRS_ASSERT(it != ps_ops_.end());
-    PsOp& op = it->second;
-    const auto meta = issued_meta_.find(rev.reply.id);
-    KRS_ASSERT(meta != issued_meta_.end());
-    if (!op.write_issued) {
+    PsOp* op = flat_find(ps_ops_, rev.reply.id);
+    KRS_ASSERT(op != nullptr);
+    const Meta* meta = flat_find(issued_meta_, rev.reply.id);
+    KRS_ASSERT(meta != nullptr);
+    if (!op->write_issued) {
       if (rev.nack) {
         // Lock refused: retry the read-lock after a short backoff.
         Fwd pkt;
-        pkt.req =
-            core::Request<M>{rev.reply.id, meta->second.addr, op.f, now};
+        pkt.req = core::Request<M>{rev.reply.id, meta->addr, op->f, now};
         pkt.kind = net::TxnKind::kReadLock;
         retries_.emplace_back(now + kRetryBackoff, std::move(pkt));
         return;
       }
       // Got the old value; compute locally and write back.
-      op.old_value = rev.reply.value;
-      op.write_issued = true;
+      op->old_value = rev.reply.value;
+      op->write_issued = true;
       Fwd pkt;
-      pkt.req = core::Request<M>{rev.reply.id, meta->second.addr, op.f, now};
+      pkt.req = core::Request<M>{rev.reply.id, meta->addr, op->f, now};
       pkt.kind = net::TxnKind::kWriteUnlock;
-      pkt.store_value = op.f.apply(rev.reply.value);
+      pkt.store_value = op->f.apply(rev.reply.value);
       outgoing_.push_back(std::move(pkt));
       return;
     }
     // Write-unlock acknowledged: the logical RMW is complete.
-    const Value old = op.old_value;
-    ps_ops_.erase(it);
+    const Value old = op->old_value;
+    flat_erase(ps_ops_, rev.reply.id);
     complete(rev.reply.id, old, now, done);
   }
 
@@ -180,16 +183,38 @@ class Processor {
 
   void complete(ReqId id, const Value& old_value, Tick now,
                 std::vector<CompletedOp<M>>* done) {
-    const auto meta = issued_meta_.find(id);
-    KRS_ASSERT(meta != issued_meta_.end());
+    const Meta* meta = flat_find(issued_meta_, id);
+    KRS_ASSERT(meta != nullptr);
     if (done != nullptr) {
-      done->push_back({id, meta->second.addr, meta->second.f, old_value,
-                       meta->second.issued, now});
+      done->push_back(
+          {id, meta->addr, meta->f, old_value, meta->issued, now});
     }
     source_->on_complete(id, old_value, now);
-    issued_meta_.erase(meta);
+    flat_erase(issued_meta_, id);
     KRS_ASSERT(outstanding_ > 0);
     --outstanding_;
+  }
+
+  // In-flight state is bounded by the window (a handful of entries), so a
+  // linear scan over a flat vector beats a node-based hash map and stays
+  // allocation-free after the constructor's reserve.
+  template <typename V>
+  static V* flat_find(std::vector<std::pair<ReqId, V>>& v, ReqId id) {
+    for (auto& [k, val] : v) {
+      if (k == id) return &val;
+    }
+    return nullptr;
+  }
+  template <typename V>
+  static void flat_erase(std::vector<std::pair<ReqId, V>>& v, ReqId id) {
+    for (auto& e : v) {
+      if (e.first == id) {
+        if (&e != &v.back()) e = std::move(v.back());
+        v.pop_back();
+        return;
+      }
+    }
+    KRS_ASSERT(!"flat_erase: unknown id");
   }
 
   std::uint32_t index_;
@@ -198,10 +223,10 @@ class Processor {
   TrafficSource<M>* source_;
   std::uint32_t seq_ = 0;
   unsigned outstanding_ = 0;
-  std::deque<Fwd> outgoing_;
-  std::deque<std::pair<Tick, Fwd>> retries_;
-  std::unordered_map<ReqId, Meta, core::ReqIdHash> issued_meta_;
-  std::unordered_map<ReqId, PsOp, core::ReqIdHash> ps_ops_;
+  util::RingBuffer<Fwd> outgoing_;
+  util::RingBuffer<std::pair<Tick, Fwd>> retries_;
+  std::vector<std::pair<ReqId, Meta>> issued_meta_;
+  std::vector<std::pair<ReqId, PsOp>> ps_ops_;
 };
 
 }  // namespace krs::proc

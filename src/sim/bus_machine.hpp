@@ -14,6 +14,7 @@
 // works unchanged (combine events come from the module FIFO).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "mem/module.hpp"
 #include "net/switch.hpp"
 #include "proc/processor.hpp"
+#include "sim/engine.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
 
@@ -66,6 +68,7 @@ class BusMachine {
       banks_.emplace_back(cfg_.bank_cfg, cfg_.initial_value);
     }
     bank_out_.resize(cfg_.banks);
+    bank_due_.resize(cfg_.banks);
     procs_.reserve(cfg_.processors);
     for (std::uint32_t p = 0; p < cfg_.processors; ++p) {
       procs_.emplace_back(p, cfg_.window, /*processor_side=*/false,
@@ -78,20 +81,51 @@ class BusMachine {
   }
 
   void tick() {
-    step_reply_bus();
-    step_banks();
-    step_request_bus();
-    for (auto& p : procs_) p.tick(now_);
-    ++now_;
+    const std::uint32_t shards = engine_shards();
+    for (unsigned ph = 0; ph < kSubphases; ++ph) {
+      for (std::uint32_t sh = 0; sh < shards; ++sh) engine_subphase(ph, sh);
+    }
+    engine_end_cycle();
   }
 
   bool run(core::Tick max_cycles) {
-    while (now_ < max_cycles) {
-      tick();
-      if (drained()) return true;
-    }
-    return drained();
+    return SequentialEngine::run(*this, max_cycles);
   }
+
+  /// Bit-identical to run() at every worker count: the bus phases are
+  /// inherently serial (one arbiter) and run on shard 0 alone; bank
+  /// service and processor issue are per-shard parallel.
+  bool run_parallel(core::Tick max_cycles, unsigned workers) {
+    return ParallelEngine(workers).run(*this, max_cycles);
+  }
+
+  // --- engine concept (sim/engine.hpp) ------------------------------------
+
+  [[nodiscard]] std::uint32_t engine_shards() const noexcept {
+    return std::max(cfg_.banks, cfg_.processors);
+  }
+  [[nodiscard]] unsigned engine_subphases() const noexcept {
+    return kSubphases;
+  }
+
+  void engine_subphase(unsigned ph, std::uint32_t shard) {
+    switch (ph) {
+      case 0:  // reply bus: one arbiter, serial on shard 0
+        if (shard == 0) step_reply_bus();
+        break;
+      case 1:  // bank service: independent per bank
+        if (shard < cfg_.banks) step_bank(shard);
+        break;
+      case 2:  // request bus: one arbiter, serial on shard 0
+        if (shard == 0) step_request_bus();
+        break;
+      default:  // processor issue: independent per processor
+        if (shard < cfg_.processors) procs_[shard].tick(now_);
+        break;
+    }
+  }
+
+  void engine_end_cycle() { ++now_; }
 
   [[nodiscard]] bool drained() const {
     for (const auto& p : procs_) {
@@ -140,6 +174,8 @@ class BusMachine {
   }
 
  private:
+  static constexpr unsigned kSubphases = 4;
+
   void step_reply_bus() {
     unsigned transferred = 0;
     for (std::uint32_t i = 0; i < cfg_.banks && transferred < cfg_.bus_width;
@@ -154,12 +190,11 @@ class BusMachine {
     }
   }
 
-  void step_banks() {
-    for (std::uint32_t b = 0; b < cfg_.banks; ++b) {
-      std::vector<Rev> due;
-      banks_[b].tick(now_, due);
-      for (auto& rev : due) bank_out_[b].push_back(std::move(rev));
-    }
+  void step_bank(std::uint32_t b) {
+    auto& due = bank_due_[b];  // shard-local scratch, reused each cycle
+    due.clear();
+    banks_[b].tick(now_, due);
+    for (auto& rev : due) bank_out_[b].push_back(std::move(rev));
   }
 
   void step_request_bus() {
@@ -182,6 +217,7 @@ class BusMachine {
   std::vector<std::unique_ptr<proc::TrafficSource<M>>> sources_;
   std::vector<mem::MemoryModule<M>> banks_;
   std::vector<std::vector<Rev>> bank_out_;
+  std::vector<std::vector<Rev>> bank_due_;
   std::vector<proc::Processor<M>> procs_;
   std::vector<proc::CompletedOp<M>> completed_;
   std::vector<net::CombineEvent> combine_log_;

@@ -10,12 +10,20 @@
 // as in the indirect network. Each router output link carries a combining
 // FIFO with the same youngest-match rule and wait-buffer decombination as
 // the 2×2 switch; the Theorem 4.2 checker applies unchanged.
+//
+// Engine layout (sim/engine.hpp): one shard per node. CONSUME ingests the
+// node's staging slots (replies, then local memory, then requests, then
+// the processor's injection) and routes into node-local queues; PRODUCE
+// moves at most one packet per link per direction into the neighbor's
+// empty staging slot. Each staging slot has exactly one producer (the
+// neighbor across that dimension) and one consumer (the node itself), so
+// shard order is immaterial and parallel runs are bit-identical to
+// sequential ones.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/combining.hpp"
@@ -24,7 +32,10 @@
 #include "mem/module.hpp"
 #include "net/packet.hpp"
 #include "net/switch.hpp"
+#include "net/wait_table.hpp"
 #include "proc/processor.hpp"
+#include "runtime/cacheline.hpp"
+#include "sim/engine.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 #include "util/stats.hpp"
@@ -66,6 +77,7 @@ class HypercubeMachine {
     const std::uint32_t n = nodes();
     KRS_EXPECTS(sources_.size() == n);
     node_.resize(n);
+    logs_.resize(n);
     for (std::uint32_t u = 0; u < n; ++u) {
       node_[u].memory =
           std::make_unique<mem::MemoryModule<M>>(cfg_.mem_cfg,
@@ -73,8 +85,11 @@ class HypercubeMachine {
       node_[u].proc = std::make_unique<proc::Processor<M>>(
           u, cfg_.window, /*processor_side=*/false, sources_[u].get());
       node_[u].out_req.resize(cfg_.dimensions);
+      node_[u].out_rep.resize(cfg_.dimensions);
       node_[u].in_req.resize(cfg_.dimensions);
       node_[u].in_rep.resize(cfg_.dimensions);
+      node_[u].wait_buffer =
+          std::make_unique<net::WaitTable<M>>(cfg_.wait_buffer_capacity);
     }
   }
 
@@ -86,27 +101,60 @@ class HypercubeMachine {
     return static_cast<std::uint32_t>(addr & (nodes() - 1));
   }
 
+  /// Advance one cycle (sequential shard order).
   void tick() {
-    step_replies();
-    step_memory();
-    step_requests();
-    for (auto& nd : node_) nd.proc->tick(now_);
-    ++now_;
+    const std::uint32_t n = nodes();
+    for (unsigned ph = 0; ph < kSubphases; ++ph) {
+      for (std::uint32_t u = 0; u < n; ++u) engine_subphase(ph, u);
+    }
+    engine_end_cycle();
   }
 
   bool run(core::Tick max_cycles) {
-    while (now_ < max_cycles) {
-      tick();
-      if (drained()) return true;
+    return SequentialEngine::run(*this, max_cycles);
+  }
+
+  /// Bit-identical to run() at every worker count.
+  bool run_parallel(core::Tick max_cycles, unsigned workers) {
+    return ParallelEngine(workers).run(*this, max_cycles);
+  }
+
+  // --- engine concept (sim/engine.hpp) ------------------------------------
+
+  [[nodiscard]] std::uint32_t engine_shards() const noexcept {
+    return nodes();
+  }
+  [[nodiscard]] unsigned engine_subphases() const noexcept {
+    return kSubphases;
+  }
+
+  void engine_subphase(unsigned ph, std::uint32_t shard) {
+    if (ph == 0) {
+      consume(shard);
+    } else {
+      produce(shard);
     }
-    return drained();
+  }
+
+  void engine_end_cycle() {
+    for (auto& log : logs_) {
+      combine_log_.insert(combine_log_.end(), log.events.begin(),
+                          log.events.end());
+      log.events.clear();
+      for (auto& op : log.completed) completed_.push_back(op);
+      log.completed.clear();
+    }
+    ++now_;
   }
 
   [[nodiscard]] bool drained() const {
     for (const auto& nd : node_) {
       if (!nd.proc->quiescent() || !nd.memory->idle()) return false;
-      if (!nd.wait_buffer.empty() || !nd.local_rep.empty()) return false;
+      if (!nd.wait_buffer->empty() || !nd.local_rep.empty()) return false;
       for (const auto& q : nd.out_req) {
+        if (!q.empty()) return false;
+      }
+      for (const auto& q : nd.out_rep) {
         if (!q.empty()) return false;
       }
       for (const auto& q : nd.in_req) {
@@ -115,7 +163,6 @@ class HypercubeMachine {
       for (const auto& q : nd.in_rep) {
         if (!q.empty()) return false;
       }
-      if (!nd.inject.empty()) return false;
     }
     return true;
   }
@@ -141,8 +188,10 @@ class HypercubeMachine {
     s.cycles = now_;
     s.ops_completed = completed_.size();
     for (const auto& op : completed_) s.latency.add(op.completed - op.issued);
-    s.combines = combines_;
-    s.hops = hops_;
+    for (const auto& nd : node_) {
+      s.combines += nd.combines;
+      s.hops += nd.hops;
+    }
     s.throughput_ops_per_cycle =
         now_ > 0
             ? static_cast<double>(completed_.size()) / static_cast<double>(now_)
@@ -151,25 +200,32 @@ class HypercubeMachine {
   }
 
  private:
-  struct Node {
+  static constexpr unsigned kSubphases = 2;
+
+  struct alignas(runtime::kCacheLine) Node {
     std::unique_ptr<mem::MemoryModule<M>> memory;
     std::unique_ptr<proc::Processor<M>> proc;
-    /// Per-dimension outgoing request FIFO (combining happens here) and
-    /// incoming staging (one slot per link per cycle).
+    /// Per-dimension outgoing FIFOs (request combining happens in
+    /// out_req) and single-slot incoming staging, filled by the neighbor
+    /// across that dimension during PRODUCE, drained here during CONSUME.
     std::vector<std::deque<Fwd>> out_req;
+    std::vector<std::deque<Rev>> out_rep;
     std::vector<std::deque<Fwd>> in_req;
     std::vector<std::deque<Rev>> in_rep;
-    /// Requests injected by the local processor, pre-routing.
-    std::deque<Fwd> inject;
-    /// Replies destined for the local processor.
+    /// Replies destined for the local processor, delivered next cycle.
     std::deque<Rev> local_rep;
     /// Decombination records, keyed by representative id.
-    struct WaitRecord {
-      core::CombineRecord<M> rec;
-      std::vector<std::uint8_t> path;
-    };
-    std::unordered_map<core::ReqId, std::vector<WaitRecord>, core::ReqIdHash>
-        wait_buffer;
+    std::unique_ptr<net::WaitTable<M>> wait_buffer;
+    /// Shard-local counters, summed by stats() — no shared cells.
+    std::uint64_t combines = 0;
+    std::uint64_t hops = 0;
+  };
+
+  /// Per-shard transcript segment, merged in node order every cycle.
+  struct alignas(runtime::kCacheLine) ShardLog {
+    std::vector<net::CombineEvent> events;
+    std::vector<proc::CompletedOp<M>> completed;
+    std::vector<Rev> due_scratch;
   };
 
   /// e-cube: the dimension of the lowest differing bit (deterministic,
@@ -183,42 +239,58 @@ class HypercubeMachine {
   // Path header encoding: each hop stores the dimension it arrived on.
   // The reply leaves node u back along the last recorded dimension.
 
-  void step_replies() {
-    // Replies hop one link per cycle; deliver local ones to the processor.
-    for (std::uint32_t u = 0; u < nodes(); ++u) {
-      Node& nd = node_[u];
-      while (!nd.local_rep.empty()) {
-        Rev rev = std::move(nd.local_rep.front());
-        nd.local_rep.pop_front();
-        KRS_ASSERT(rev.path.empty());
-        nd.proc->deliver(std::move(rev), now_, &completed_);
-      }
-      for (unsigned dim = 0; dim < cfg_.dimensions; ++dim) {
-        if (nd.in_rep[dim].empty()) continue;
-        Rev rev = std::move(nd.in_rep[dim].front());
-        nd.in_rep[dim].pop_front();
-        deliver_reply(u, std::move(rev));
+  // --- consume: ingest staging slots, shard `u` ----------------------------
+
+  void consume(std::uint32_t u) {
+    Node& nd = node_[u];
+    ShardLog& log = logs_[u];
+    // Replies that became local last cycle reach the processor.
+    while (!nd.local_rep.empty()) {
+      Rev rev = std::move(nd.local_rep.front());
+      nd.local_rep.pop_front();
+      KRS_ASSERT(rev.path.empty());
+      nd.proc->deliver(std::move(rev), now_, &log.completed);
+    }
+    // One reply per incoming link: decombine and route onward.
+    for (unsigned dim = 0; dim < cfg_.dimensions; ++dim) {
+      if (nd.in_rep[dim].empty()) continue;
+      Rev rev = std::move(nd.in_rep[dim].front());
+      nd.in_rep[dim].pop_front();
+      handle_reply(u, std::move(rev));
+    }
+    // Local memory services and emits due replies.
+    log.due_scratch.clear();
+    nd.memory->tick(now_, log.due_scratch);
+    for (auto& rev : log.due_scratch) handle_reply(u, std::move(rev));
+    // One request per incoming link; a refused head stays staged (the
+    // neighbor's PRODUCE sees the slot busy — back-pressure).
+    for (unsigned dim = 0; dim < cfg_.dimensions; ++dim) {
+      if (nd.in_req[dim].empty()) continue;
+      if (try_route(u, nd.in_req[dim].front(), static_cast<int>(dim), &log)) {
+        nd.in_req[dim].pop_front();
       }
     }
+    // Local injection.
+    if (const Fwd* head = nd.proc->peek_outgoing(); head != nullptr) {
+      Fwd copy = *head;
+      if (try_route(u, copy, /*arrival_dim=*/-1, &log)) nd.proc->pop_outgoing();
+    }
+    nd.proc->tick(now_);
   }
 
   /// A reply present AT node u (after crossing a link or leaving memory):
   /// decombine against u's wait buffer, then route onward.
-  void deliver_reply(std::uint32_t u, Rev&& rev) {
+  void handle_reply(std::uint32_t u, Rev&& rev) {
     Node& nd = node_[u];
-    if (auto it = nd.wait_buffer.find(rev.reply.id);
-        it != nd.wait_buffer.end()) {
-      auto recs = std::move(it->second);
-      nd.wait_buffer.erase(it);
-      for (auto& wr : recs) {
-        Rev second;
-        second.reply.id = wr.rec.second;
-        second.reply.value = core::decombine(wr.rec, rev.reply.value);
-        second.reply.completed = rev.reply.completed;
-        second.path = std::move(wr.path);
-        route_reply(u, std::move(second));
-      }
-    }
+    const auto original_val = rev.reply.value;
+    nd.wait_buffer->consume(rev.reply.id, [&](auto& wr) {
+      Rev second;
+      second.reply.id = wr.rec.second;
+      second.reply.value = core::decombine(wr.rec, original_val);
+      second.reply.completed = rev.reply.completed;
+      second.path = wr.path;
+      route_reply(u, std::move(second));
+    });
     route_reply(u, std::move(rev));
   }
 
@@ -231,105 +303,85 @@ class HypercubeMachine {
     const unsigned dim = rev.path.back();
     rev.path.pop_back();
     KRS_ASSERT(dim < cfg_.dimensions);
-    // Staged at the neighbor; processed next cycle (one hop per cycle).
-    node_[u ^ (1u << dim)].in_rep[dim].push_back(std::move(rev));
+    // Staged here; PRODUCE moves it across the link (one hop per cycle).
+    nd.out_rep[dim].push_back(std::move(rev));
   }
 
-  void step_memory() {
-    for (std::uint32_t u = 0; u < nodes(); ++u) {
-      Node& nd = node_[u];
-      std::vector<Rev> due;
-      nd.memory->tick(now_, due);
-      for (auto& rev : due) deliver_reply(u, std::move(rev));
-    }
-  }
-
-  void step_requests() {
-    // Two passes so a packet moves one hop per cycle: first every node
-    // routes what arrived LAST cycle (plus local injections), then output
-    // FIFO heads cross their links into next-cycle staging.
-    for (std::uint32_t u = 0; u < nodes(); ++u) {
-      Node& nd = node_[u];
-      for (unsigned dim = 0; dim < cfg_.dimensions; ++dim) {
-        if (nd.in_req[dim].empty()) continue;
-        Fwd pkt = std::move(nd.in_req[dim].front());
-        nd.in_req[dim].pop_front();
-        pkt.path.push_back(static_cast<std::uint8_t>(dim));
-        if (!accept_at_node(u, std::move(pkt))) {
-          // No space: un-stage (retry next cycle). Restore the path mark.
-          Fwd back = std::move(un_staged_);
-          back.path.pop_back();
-          nd.in_req[dim].push_front(std::move(back));
-        }
-      }
-      if (const Fwd* head = nd.proc->peek_outgoing(); head != nullptr) {
-        Fwd pkt = *head;
-        if (accept_at_node(u, std::move(pkt))) nd.proc->pop_outgoing();
-      }
-    }
-    for (std::uint32_t u = 0; u < nodes(); ++u) {
-      Node& nd = node_[u];
-      for (unsigned dim = 0; dim < cfg_.dimensions; ++dim) {
-        if (nd.out_req[dim].empty()) continue;
-        Node& peer = node_[u ^ (1u << dim)];
-        if (!peer.in_req[dim].empty()) continue;  // staging slot busy
-        peer.in_req[dim].push_back(std::move(nd.out_req[dim].front()));
-        nd.out_req[dim].pop_front();
-        ++hops_;
-      }
-    }
-  }
-
-  /// Route a request present at node u into the local memory or the proper
-  /// output FIFO, combining youngest-match. Returns false when the target
-  /// FIFO is full (caller must restore the packet; see un_staged_).
-  bool accept_at_node(std::uint32_t u, Fwd&& pkt) {
+  /// Route a request at node u into the local memory or the proper output
+  /// FIFO, combining youngest-match. `head` is only consumed on success
+  /// (return true); on refusal it is left untouched for retry next cycle.
+  /// `arrival_dim` is recorded in the path header (−1: local injection).
+  bool try_route(std::uint32_t u, Fwd& head, int arrival_dim, ShardLog* log) {
     Node& nd = node_[u];
-    const std::uint32_t dest = node_of(pkt.req.addr);
+    const std::uint32_t dest = node_of(head.req.addr);
     if (dest == u) {
-      if (!nd.memory->can_accept(pkt)) {
-        un_staged_ = std::move(pkt);
-        return false;
+      if (!nd.memory->can_accept(head)) return false;
+      Fwd pkt = std::move(head);
+      if (arrival_dim >= 0) {
+        pkt.path.push_back(static_cast<std::uint8_t>(arrival_dim));
       }
-      nd.memory->accept(std::move(pkt), &combine_log_);
+      nd.memory->accept(std::move(pkt), &log->events);
       return true;
     }
     const unsigned dim = route_dim(u, dest);
     auto& q = nd.out_req[dim];
     if (cfg_.policy != net::CombinePolicy::kNone &&
-        pkt.kind == net::TxnKind::kRmw) {
+        head.kind == net::TxnKind::kRmw) {
       for (auto it = q.rbegin(); it != q.rend(); ++it) {
-        if (it->kind != net::TxnKind::kRmw || it->req.addr != pkt.req.addr) {
+        if (it->kind != net::TxnKind::kRmw || it->req.addr != head.req.addr) {
           continue;
         }
-        if (nd.wait_buffer.size() >= cfg_.wait_buffer_capacity) break;
-        auto rec = core::try_combine(it->req, pkt.req);
+        if (nd.wait_buffer->entries() >= cfg_.wait_buffer_capacity) break;
+        auto rec = core::try_combine(it->req, head.req);
         if (!rec) break;
         it->combined = true;
-        nd.wait_buffer[it->req.id].push_back(
-            typename Node::WaitRecord{*rec, std::move(pkt.path)});
-        ++combines_;
-        combine_log_.push_back({rec->representative, rec->second,
-                                pkt.req.addr, false});
+        Fwd pkt = std::move(head);
+        if (arrival_dim >= 0) {
+          pkt.path.push_back(static_cast<std::uint8_t>(arrival_dim));
+        }
+        nd.wait_buffer->append(it->req.id, {*rec, pkt.path});
+        ++nd.combines;
+        log->events.push_back(
+            {rec->representative, rec->second, pkt.req.addr, false});
         return true;
       }
     }
-    if (q.size() >= cfg_.link_queue_capacity) {
-      un_staged_ = std::move(pkt);
-      return false;
+    if (q.size() >= cfg_.link_queue_capacity) return false;
+    Fwd pkt = std::move(head);
+    if (arrival_dim >= 0) {
+      pkt.path.push_back(static_cast<std::uint8_t>(arrival_dim));
     }
     q.push_back(std::move(pkt));
     return true;
   }
 
+  // --- produce: cross the links, shard `u` ---------------------------------
+
+  void produce(std::uint32_t u) {
+    Node& nd = node_[u];
+    for (unsigned dim = 0; dim < cfg_.dimensions; ++dim) {
+      Node& peer = node_[u ^ (1u << dim)];
+      // This node is the UNIQUE producer of peer.in_req[dim] and
+      // peer.in_rep[dim] (the link across `dim` has two fixed endpoints),
+      // so concurrent produce shards never write the same slot.
+      if (!nd.out_req[dim].empty() && peer.in_req[dim].empty()) {
+        peer.in_req[dim].push_back(std::move(nd.out_req[dim].front()));
+        nd.out_req[dim].pop_front();
+        ++nd.hops;
+      }
+      if (!nd.out_rep[dim].empty() && peer.in_rep[dim].empty()) {
+        peer.in_rep[dim].push_back(std::move(nd.out_rep[dim].front()));
+        nd.out_rep[dim].pop_front();
+      }
+    }
+  }
+
   HypercubeConfig<M> cfg_;
   std::vector<std::unique_ptr<proc::TrafficSource<M>>> sources_;
   std::vector<Node> node_;
+  std::vector<ShardLog> logs_;
   std::vector<proc::CompletedOp<M>> completed_;
   std::vector<net::CombineEvent> combine_log_;
-  std::uint64_t combines_ = 0;
-  std::uint64_t hops_ = 0;
-  Fwd un_staged_{};
   core::Tick now_ = 0;
 };
 

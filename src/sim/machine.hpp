@@ -3,14 +3,33 @@
 // memory-side RMW. Cycle-accurate at packet granularity: one packet per
 // link per direction per cycle, one service per module per cycle.
 //
+// The cycle is organized for the engine layer (sim/engine.hpp) as two
+// sub-phases over n/2 column shards (shard i owns the stage-i switches of
+// every stage plus processors and modules 2i, 2i+1):
+//
+//  * CONSUME: every component ingests the single-slot links feeding it —
+//    processors take replies and issue, switches take replies then
+//    requests (rotating-priority arbitration), modules take one request
+//    and tick. Each link has exactly one consumer.
+//  * PRODUCE: every component moves at most one packet per output into an
+//    empty link — switch queue heads, processor outgoing head, the module
+//    reply ring head. Each link has exactly one producer.
+//
+// Links are written in one sub-phase and read in the other, so shards
+// never race and every cycle reads the previous sub-phase's snapshot:
+// the parallel engine is bit-identical to the sequential one.
+//
 // The machine records everything the §4.3 correctness argument needs:
 //  * every combine event (representative, absorbed) in chronological order,
 //  * each module's serial processing order of (possibly combined) requests,
 //  * each completed operation's original mapping and observed reply.
 // The verifier (src/verify) expands the combined messages into the request
 // sequences they represent (Lemma 4.1) and replays them serially.
+// Per-shard event logs are merged in shard order at the end of each cycle,
+// so the global logs are identical at every worker count.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -23,7 +42,10 @@
 #include "net/packet.hpp"
 #include "net/switch.hpp"
 #include "proc/processor.hpp"
+#include "runtime/cacheline.hpp"
+#include "sim/engine.hpp"
 #include "util/assert.hpp"
+#include "util/ring.hpp"
 #include "util/stats.hpp"
 
 namespace krs::sim {
@@ -54,6 +76,34 @@ struct MachineStats {
   std::uint64_t request_bytes = 0;
   util::LogHistogram latency;
   double throughput_ops_per_cycle = 0.0;
+
+  /// Fold another accumulator into this one. Counters add and the latency
+  /// histogram merges bucket-exact, so per-shard (or per-worker) partials
+  /// reduce to the same result a single global accumulator would have
+  /// seen — no shared counters needed on the hot path. `cycles` takes the
+  /// max (partials observe the same clock); throughput is recomputed.
+  void merge(const MachineStats& o) {
+    cycles = std::max(cycles, o.cycles);
+    ops_completed += o.ops_completed;
+    combines += o.combines;
+    switch_stall_cycles += o.switch_stall_cycles;
+    request_messages += o.request_messages;
+    request_bytes += o.request_bytes;
+    latency.merge(o.latency);
+    throughput_ops_per_cycle =
+        cycles > 0 ? static_cast<double>(ops_completed) /
+                         static_cast<double>(cycles)
+                   : 0.0;
+  }
+};
+
+/// A single-slot inter-component channel: full exactly between the produce
+/// sub-phase that wrote it and the consume sub-phase that drains it.
+/// Padded so links consumed by different shards never share a line.
+template <typename P>
+struct alignas(runtime::kCacheLine) CycleLink {
+  P pkt{};
+  bool full = false;
 };
 
 template <core::Rmw M>
@@ -85,6 +135,14 @@ class Machine {
       procs_.emplace_back(i, cfg_.window, cfg_.processor_side_rmw,
                           sources_[i].get());
     }
+    // Boundary b sits between stage b-1 and stage b (b = 0: processors,
+    // b = k: modules); each holds one link per wire per direction.
+    fwd_links_.assign(topo_.stages() + 1,
+                      std::vector<CycleLink<Fwd>>(n));
+    rev_links_.assign(topo_.stages() + 1,
+                      std::vector<CycleLink<Rev>>(n));
+    mod_out_.resize(n);
+    logs_.resize(topo_.switches_per_stage());
   }
 
   [[nodiscard]] std::uint32_t processors() const noexcept {
@@ -96,28 +154,56 @@ class Machine {
     return static_cast<std::uint32_t>(addr & (topo_.ports() - 1));
   }
 
-  /// Advance one cycle.
+  /// Advance one cycle (sequential shard order).
   void tick() {
-    step_replies_to_processors();
-    step_replies_through_network();
-    step_memory();
-    step_requests_through_network();
-    step_processors();
-    ++now_;
+    const std::uint32_t shards = engine_shards();
+    for (unsigned ph = 0; ph < kSubphases; ++ph) {
+      for (std::uint32_t sh = 0; sh < shards; ++sh) engine_subphase(ph, sh);
+    }
+    engine_end_cycle();
   }
 
   /// Run until every processor is quiescent and the machine has drained,
   /// or `max_cycles` elapse. Returns true iff fully drained.
-  bool run(Tick max_cycles) {
-    while (now_ < max_cycles) {
-      tick();
-      if (drained()) {
-        finalize_stats();
-        return true;
-      }
+  bool run(Tick max_cycles) { return SequentialEngine::run(*this, max_cycles); }
+
+  /// Same semantics — and bit-identical results — on a worker pool.
+  /// `workers` is clamped to the shard count; 0/1 falls back to run().
+  bool run_parallel(Tick max_cycles, unsigned workers) {
+    return ParallelEngine(workers).run(*this, max_cycles);
+  }
+
+  // --- engine concept (sim/engine.hpp) ------------------------------------
+
+  /// Shard i owns switch row i of every stage, processors 2i and 2i+1, and
+  /// modules 2i and 2i+1 — all components whose input links it consumes.
+  [[nodiscard]] std::uint32_t engine_shards() const noexcept {
+    return topo_.switches_per_stage();
+  }
+  [[nodiscard]] unsigned engine_subphases() const noexcept {
+    return kSubphases;
+  }
+
+  void engine_subphase(unsigned ph, std::uint32_t shard) {
+    if (ph == 0) {
+      consume(shard);
+    } else {
+      produce(shard);
     }
-    finalize_stats();
-    return drained();
+  }
+
+  /// Serial between cycles: merge per-shard logs in shard order (so the
+  /// global transcript is independent of the worker count) and advance
+  /// the clock.
+  void engine_end_cycle() {
+    for (auto& log : logs_) {
+      combine_log_.insert(combine_log_.end(), log.events.begin(),
+                          log.events.end());
+      log.events.clear();
+      for (auto& op : log.completed) completed_.push_back(op);
+      log.completed.clear();
+    }
+    ++now_;
   }
 
   [[nodiscard]] bool drained() const {
@@ -131,6 +217,19 @@ class Machine {
     }
     for (const auto& m : modules_) {
       if (!m.idle()) return false;
+    }
+    for (const auto& boundary : fwd_links_) {
+      for (const auto& l : boundary) {
+        if (l.full) return false;
+      }
+    }
+    for (const auto& boundary : rev_links_) {
+      for (const auto& l : boundary) {
+        if (l.full) return false;
+      }
+    }
+    for (const auto& q : mod_out_) {
+      if (!q.empty()) return false;
     }
     return true;
   }
@@ -151,22 +250,28 @@ class Machine {
   }
 
   [[nodiscard]] MachineStats stats() const {
+    // Built as a per-shard reduction through MachineStats::merge — the
+    // same reduction a parallel stats pass performs, exercised on every
+    // call so sequential and parallel reports cannot drift apart.
     MachineStats s;
     s.cycles = now_;
-    s.ops_completed = completed_.size();
-    for (const auto& op : completed_) s.latency.add(op.completed - op.issued);
-    for (const auto& st : stages_) {
-      for (const auto& sw : st) {
-        s.combines += sw.stats().combines;
-        s.switch_stall_cycles += sw.stats().stalls;
-        s.request_messages += sw.stats().requests_forwarded;
-        s.request_bytes += sw.stats().request_bytes;
+    for (std::uint32_t col = 0; col < topo_.switches_per_stage(); ++col) {
+      MachineStats part;
+      part.cycles = now_;
+      for (unsigned st = 0; st < topo_.stages(); ++st) {
+        const auto& sw = stages_[st][col].stats();
+        part.combines += sw.combines;
+        part.switch_stall_cycles += sw.stalls;
+        part.request_messages += sw.requests_forwarded;
+        part.request_bytes += sw.request_bytes;
       }
+      s.merge(part);
     }
-    s.throughput_ops_per_cycle =
-        now_ > 0 ? static_cast<double>(completed_.size()) /
-                       static_cast<double>(now_)
-                 : 0.0;
+    MachineStats ops;
+    ops.cycles = now_;
+    ops.ops_completed = completed_.size();
+    for (const auto& op : completed_) ops.latency.add(op.completed - op.issued);
+    s.merge(ops);
     return s;
   }
 
@@ -176,124 +281,146 @@ class Machine {
   }
 
  private:
-  // --- cycle phases, in intra-cycle order ---------------------------------
+  static constexpr unsigned kSubphases = 2;
 
-  // Phase 1: replies leaving stage 0 reach their processors.
-  void step_replies_to_processors() {
-    auto& stage0 = stages_[0];
-    for (std::uint32_t row = 0; row < stage0.size(); ++row) {
+  /// Per-shard transcript segment, merged (and cleared) every cycle by
+  /// engine_end_cycle. Padded: adjacent shards append concurrently.
+  struct alignas(runtime::kCacheLine) ShardLog {
+    std::vector<net::CombineEvent> events;
+    std::vector<proc::CompletedOp<M>> completed;
+    std::vector<Rev> due_scratch;  ///< reused module.tick output buffer
+  };
+
+  // --- link indexing -------------------------------------------------------
+  // Boundary b, wire w: for b < k, w is the stage-b input wire
+  // (row << 1) | in_port of the consuming switch; for b == k, w is the
+  // module index. A producer therefore shuffles its output wire for
+  // b < k (the perfect-shuffle wiring between stages) and uses it
+  // directly into the module boundary.
+
+  [[nodiscard]] std::uint32_t down_wire(unsigned boundary,
+                                        std::uint32_t out_wire) const {
+    return boundary == topo_.stages() ? out_wire : topo_.shuffle(out_wire);
+  }
+
+  // --- consume: ingest input links, shard `col` ----------------------------
+
+  void consume(std::uint32_t col) {
+    ShardLog& log = logs_[col];
+    const unsigned k = topo_.stages();
+
+    // Processors 2col, 2col+1: take the reply link, then retire retries
+    // and issue new work.
+    for (unsigned j = 0; j < 2; ++j) {
+      const std::uint32_t p = 2 * col + j;
+      auto& link = rev_links_[0][topo_.shuffle(p)];
+      if (link.full) {
+        KRS_ASSERT(link.pkt.path.empty());
+        procs_[p].deliver(std::move(link.pkt), now_, &log.completed);
+        link.full = false;
+      }
+      procs_[p].tick(now_);
+    }
+
+    // Switches (s, col): replies first (decombine into the reverse
+    // queues), then requests under rotating-priority arbitration.
+    for (unsigned s = 0; s < k; ++s) {
+      auto& sw = stages_[s][col];
       for (unsigned port = 0; port < 2; ++port) {
-        if (stage0[row].peek_reply(port) == nullptr) continue;
-        Rev rev = stage0[row].pop_reply(port);
-        const std::uint32_t proc = topo_.upstream_wire(row, port);
-        KRS_ASSERT(rev.path.empty());
-        procs_[proc].deliver(std::move(rev), now_, &completed_);
+        const std::uint32_t wire = net::OmegaTopology::output_wire(col, port);
+        auto& link = rev_links_[s + 1][down_wire(s + 1, wire)];
+        if (link.full) {
+          sw.accept_reply(std::move(link.pkt));
+          link.full = false;
+        }
       }
-    }
-  }
-
-  // Phase 2: replies hop one stage toward the processors. Processing
-  // stages in increasing order means a reply moved into stage s-1 this
-  // cycle waits there until the next cycle (one hop per cycle).
-  void step_replies_through_network() {
-    for (unsigned s = 1; s < topo_.stages(); ++s) {
-      auto& stage = stages_[s];
-      for (std::uint32_t row = 0; row < stage.size(); ++row) {
-        for (unsigned port = 0; port < 2; ++port) {
-          if (stage[row].peek_reply(port) == nullptr) continue;
-          Rev rev = stage[row].pop_reply(port);
-          const std::uint32_t wire = topo_.upstream_wire(row, port);
-          stages_[s - 1][wire >> 1].accept_reply(std::move(rev));
+      // Input-port arbitration must be LOCALLY fair: with fixed priority,
+      // a congested output queue that frees one slot per cycle starves
+      // port 1 forever; with globally synchronized alternation (now mod 2)
+      // the whole machine can parity-lock — every period in the system is
+      // even (reply latency, pipeline hops), so under the processor-side
+      // lock protocol the owner's write-unlock then never advances (a
+      // measured livelock, not a hypothetical). The standard fix:
+      // per-switch rotating priority that flips exactly when the favored
+      // port wins a transfer.
+      unsigned& pref = arb_priority_[s][col];
+      const unsigned order[2] = {pref, pref ^ 1u};
+      for (unsigned i = 0; i < 2; ++i) {
+        const unsigned port = order[i];
+        auto& link = fwd_links_[s][net::OmegaTopology::output_wire(col, port)];
+        if (!link.full) continue;
+        const unsigned out_port =
+            topo_.route_bit(module_of(link.pkt.req.addr), s);
+        if (sw.offer_request(std::move(link.pkt), port, out_port,
+                             &log.events)) {
+          link.full = false;
+          if (i == 0) pref = order[1];  // favored port won: rotate
         }
       }
     }
-  }
 
-  // Phase 3: memory modules pull one request from the last stage, service
-  // one request, and emit due replies into the last stage.
-  void step_memory() {
-    const unsigned last = topo_.stages() - 1;
-    for (std::uint32_t m = 0; m < modules_.size(); ++m) {
-      auto& sw = stages_[last][m >> 1];
-      const unsigned out_port = m & 1;
-      if (const Fwd* head = sw.peek_output(out_port);
-          head != nullptr && modules_[m].can_accept(*head)) {
-        modules_[m].accept(sw.pop_output(out_port), &combine_log_);
+    // Modules 2col, 2col+1: pull one request from the boundary link, then
+    // service; due replies stage on the module's reply ring.
+    for (unsigned j = 0; j < 2; ++j) {
+      const std::uint32_t m = 2 * col + j;
+      auto& link = fwd_links_[k][m];
+      if (link.full && modules_[m].can_accept(link.pkt)) {
+        modules_[m].accept(std::move(link.pkt), &log.events);
+        link.full = false;
       }
-      std::vector<Rev> due;
-      modules_[m].tick(now_, due);
-      for (auto& rev : due) {
-        stages_[last][m >> 1].accept_reply(std::move(rev));
+      log.due_scratch.clear();
+      modules_[m].tick(now_, log.due_scratch);
+      for (auto& rev : log.due_scratch) {
+        mod_out_[m].push_back(std::move(rev));
       }
     }
   }
 
-  // Phase 4: requests hop one stage toward memory. Processing stages from
-  // the memory side first lets a slot freed by the module pull be refilled
-  // within the cycle (classic cut-through pipelining).
-  //
-  // Input-port arbitration must be LOCALLY fair: with fixed priority, a
-  // congested output queue that frees one slot per cycle starves port 1
-  // forever; with globally synchronized alternation (now mod 2) the whole
-  // machine can parity-lock — every period in the system is even (reply
-  // latency, retry backoff), so the freed slot can reappear only on cycles
-  // where the other port holds priority, and under the processor-side lock
-  // protocol the owner's write-unlock then never advances (a measured
-  // livelock, not a hypothetical). The standard fix: per-switch rotating
-  // priority that flips exactly when the favored port wins a transfer.
-  void step_requests_through_network() {
-    for (unsigned s = topo_.stages(); s-- > 0;) {
-      auto& stage = stages_[s];
-      for (std::uint32_t row = 0; row < stage.size(); ++row) {
-        unsigned& pref = arb_priority_[s][row];
-        const unsigned order[2] = {pref, pref ^ 1u};
-        for (unsigned i = 0; i < 2; ++i) {
-          const unsigned port = order[i];
-          const std::uint32_t wire = topo_.upstream_wire(row, port);
-          const bool moved = s == 0 ? pull_from_processor(wire, row, port)
-                                    : pull_from_switch(s, row, port, wire);
-          if (moved && i == 0) pref = order[1];  // favored port won: rotate
+  // --- produce: fill output links, shard `col` -----------------------------
+
+  void produce(std::uint32_t col) {
+    const unsigned k = topo_.stages();
+
+    // Processor outgoing heads → stage-0 request links.
+    for (unsigned j = 0; j < 2; ++j) {
+      const std::uint32_t p = 2 * col + j;
+      auto& link = fwd_links_[0][topo_.shuffle(p)];
+      if (!link.full && procs_[p].peek_outgoing() != nullptr) {
+        link.pkt = procs_[p].pop_outgoing();
+        link.full = true;
+      }
+    }
+
+    // Switch queue heads: forward toward memory, reverse toward the
+    // processors. One packet per link per cycle in each direction.
+    for (unsigned s = 0; s < k; ++s) {
+      auto& sw = stages_[s][col];
+      for (unsigned port = 0; port < 2; ++port) {
+        const std::uint32_t wire = net::OmegaTopology::output_wire(col, port);
+        auto& flink = fwd_links_[s + 1][down_wire(s + 1, wire)];
+        if (!flink.full && sw.peek_output(port) != nullptr) {
+          flink.pkt = sw.pop_output(port);
+          flink.full = true;
+        }
+        auto& rlink = rev_links_[s][wire];
+        if (!rlink.full && sw.peek_reply(port) != nullptr) {
+          rlink.pkt = sw.pop_reply(port);
+          rlink.full = true;
         }
       }
     }
-  }
 
-  bool pull_from_processor(std::uint32_t proc, std::uint32_t row,
-                           unsigned in_port) {
-    const Fwd* head = procs_[proc].peek_outgoing();
-    if (head == nullptr) return false;
-    const unsigned out_port = topo_.route_bit(module_of(head->req.addr), 0);
-    Fwd pkt = *head;  // copy; only pop on acceptance
-    if (stages_[0][row].offer_request(std::move(pkt), in_port, out_port,
-                                      &combine_log_)) {
-      procs_[proc].pop_outgoing();
-      return true;
+    // Module reply ring heads → boundary-k reply links.
+    for (unsigned j = 0; j < 2; ++j) {
+      const std::uint32_t m = 2 * col + j;
+      auto& link = rev_links_[k][m];
+      if (!link.full && !mod_out_[m].empty()) {
+        link.pkt = std::move(mod_out_[m].front());
+        mod_out_[m].pop_front();
+        link.full = true;
+      }
     }
-    return false;
   }
-
-  bool pull_from_switch(unsigned s, std::uint32_t row, unsigned in_port,
-                        std::uint32_t wire) {
-    auto& up = stages_[s - 1][wire >> 1];
-    const unsigned up_port = wire & 1;
-    const Fwd* head = up.peek_output(up_port);
-    if (head == nullptr) return false;
-    const unsigned out_port = topo_.route_bit(module_of(head->req.addr), s);
-    Fwd pkt = *head;
-    if (stages_[s][row].offer_request(std::move(pkt), in_port, out_port,
-                                      &combine_log_)) {
-      up.pop_output(up_port);
-      return true;
-    }
-    return false;
-  }
-
-  // Phase 5: processors retire retries and issue new work.
-  void step_processors() {
-    for (auto& p : procs_) p.tick(now_);
-  }
-
-  void finalize_stats() {}
 
   MachineConfig<M> cfg_;
   net::OmegaTopology topo_;
@@ -303,9 +430,14 @@ class Machine {
   std::vector<proc::Processor<M>> procs_;
   std::vector<proc::CompletedOp<M>> completed_;
   std::vector<net::CombineEvent> combine_log_;
-  /// Rotating input-port priority per switch (see
-  /// step_requests_through_network).
+  /// Rotating input-port priority per switch (see consume()).
   std::vector<std::vector<unsigned>> arb_priority_;
+  /// Single-slot links at each stage boundary, [k+1][n] per direction.
+  std::vector<std::vector<CycleLink<Fwd>>> fwd_links_;
+  std::vector<std::vector<CycleLink<Rev>>> rev_links_;
+  /// Per-module staged replies awaiting a free boundary link.
+  std::vector<util::RingBuffer<Rev>> mod_out_;
+  std::vector<ShardLog> logs_;
   Tick now_ = 0;
 };
 

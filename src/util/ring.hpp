@@ -1,0 +1,123 @@
+// A growable power-of-two ring buffer with deque semantics, built for the
+// simulator's hot path: steady-state push/pop never allocates (capacity
+// only ever grows, and growth doubles), indexing from the front is O(1)
+// (the switch's youngest-match scan walks it backwards), and storage is
+// one contiguous block (no per-node allocation as in std::deque).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bits.hpp"
+
+namespace krs::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+  explicit RingBuffer(std::size_t initial_capacity) {
+    reserve(initial_capacity);
+  }
+
+  void reserve(std::size_t capacity) {
+    if (capacity <= buf_.size()) return;
+    grow_to(ceil_pow2(capacity));
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (count_ == buf_.size()) grow_to(buf_.empty() ? 8 : buf_.size() * 2);
+    T& slot = buf_[wrap(head_ + count_)];
+    slot = T(std::forward<Args>(args)...);
+    ++count_;
+    return slot;
+  }
+
+  void push_front(T&& v) {
+    if (count_ == buf_.size()) grow_to(buf_.empty() ? 8 : buf_.size() * 2);
+    head_ = wrap(head_ + buf_.size() - 1);
+    buf_[head_] = std::move(v);
+    ++count_;
+  }
+
+  [[nodiscard]] T& front() {
+    KRS_EXPECTS(count_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    KRS_EXPECTS(count_ > 0);
+    return buf_[head_];
+  }
+  [[nodiscard]] T& back() { return (*this)[count_ - 1]; }
+  [[nodiscard]] const T& back() const { return (*this)[count_ - 1]; }
+
+  /// i-th element from the front (0 = front, size()-1 = back).
+  [[nodiscard]] T& operator[](std::size_t i) {
+    KRS_EXPECTS(i < count_);
+    return buf_[wrap(head_ + i)];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    KRS_EXPECTS(i < count_);
+    return buf_[wrap(head_ + i)];
+  }
+
+  void pop_front() {
+    KRS_EXPECTS(count_ > 0);
+    buf_[head_] = T{};  // release held resources promptly
+    head_ = wrap(head_ + 1);
+    --count_;
+  }
+
+  /// Remove the i-th element, shifting whichever side is shorter. The
+  /// simulator uses this only for rare mid-queue extraction (the module's
+  /// write-unlock bypass), never on the steady path.
+  void erase_at(std::size_t i) {
+    KRS_EXPECTS(i < count_);
+    if (i <= count_ / 2) {
+      for (std::size_t j = i; j > 0; --j) (*this)[j] = std::move((*this)[j - 1]);
+      pop_front();
+    } else {
+      for (std::size_t j = i; j + 1 < count_; ++j) {
+        (*this)[j] = std::move((*this)[j + 1]);
+      }
+      (*this)[count_ - 1] = T{};
+      --count_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  void clear() {
+    for (std::size_t i = 0; i < count_; ++i) buf_[wrap(head_ + i)] = T{};
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t wrap(std::size_t i) const noexcept {
+    return i & (buf_.size() - 1);
+  }
+
+  void grow_to(std::size_t new_cap) {
+    std::vector<T> bigger(new_cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(buf_[wrap(head_ + i)]);
+    }
+    buf_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace krs::util

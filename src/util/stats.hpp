@@ -96,6 +96,16 @@ class LogHistogram {
     return b < kBuckets ? buckets_[b] : 0;
   }
 
+  /// Fold another histogram into this one. Bucket-exact: merging per-worker
+  /// histograms gives the same result as one histogram fed every sample, so
+  /// parallel stats reduce without sharing (each worker owns its own
+  /// accumulator, the single-threaded reduction merges afterwards).
+  void merge(const LogHistogram& o) noexcept {
+    for (unsigned b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;

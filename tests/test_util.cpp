@@ -165,6 +165,31 @@ TEST(Stats, LogHistogramQuantiles) {
   EXPECT_GE(h.quantile_bound(0.5), 500u);
 }
 
+TEST(Stats, LogHistogramMergeIsBucketExact) {
+  // Splitting a sample stream across accumulators and merging must equal
+  // one accumulator that saw everything — the property the parallel
+  // engine's per-worker stats reduction relies on.
+  LogHistogram all;
+  LogHistogram even;
+  LogHistogram odd;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    all.add(i * 3);
+    (i % 2 == 0 ? even : odd).add(i * 3);
+  }
+  even.merge(odd);
+  EXPECT_EQ(even.count(), all.count());
+  EXPECT_NEAR(even.mean(), all.mean(), 1e-9);
+  for (unsigned b = 0; b < LogHistogram::kBuckets; ++b) {
+    EXPECT_EQ(even.bucket(b), all.bucket(b)) << "bucket " << b;
+  }
+  EXPECT_EQ(even.quantile_bound(0.9), all.quantile_bound(0.9));
+
+  // Merging an empty histogram is the identity.
+  LogHistogram empty;
+  all.merge(empty);
+  EXPECT_EQ(all.count(), 1000u);
+}
+
 TEST(Channel, SendReceiveOrder) {
   Channel<int> ch(4);
   for (int i = 0; i < 4; ++i) EXPECT_TRUE(ch.send(i));

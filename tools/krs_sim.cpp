@@ -17,6 +17,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/any_rmw.hpp"
@@ -50,6 +51,8 @@ struct Options {
   unsigned window = 4;
   std::uint64_t seed = 1;
   core::Tick max_cycles = 100'000'000;
+  std::string engine = "seq";  // seq | parallel
+  unsigned workers = 0;        // 0 = hardware concurrency
   bool csv = false;
 };
 
@@ -71,6 +74,9 @@ void usage() {
       "  --mem-latency=T                 memory reply latency (2)\n"
       "  --window=W                      outstanding ops per processor (4)\n"
       "  --seed=S                        workload seed (1)\n"
+      "  --engine=seq|parallel           simulation engine (seq); parallel\n"
+      "                                  is bit-identical to seq\n"
+      "  --workers=N                     parallel worker threads (0 = auto)\n"
       "  --csv                           machine-readable output\n");
 }
 
@@ -115,6 +121,10 @@ bool parse(int argc, char** argv, Options& o) {
       o.window = std::strtoul(val.c_str(), nullptr, 10);
     } else if (key == "--seed") {
       o.seed = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (key == "--engine") {
+      o.engine = val;
+    } else if (key == "--workers") {
+      o.workers = std::strtoul(val.c_str(), nullptr, 10);
     } else if (key == "--csv") {
       o.csv = true;
     } else {
@@ -123,6 +133,20 @@ bool parse(int argc, char** argv, Options& o) {
     }
   }
   return true;
+}
+
+// Runs the machine on the selected engine. The parallel engine produces a
+// transcript bit-identical to the sequential one, so the Theorem 4.2 check
+// and all reported statistics are engine-independent.
+template <typename MachineT>
+bool run_machine(MachineT& m, const Options& o) {
+  if (o.engine == "parallel") {
+    const unsigned workers =
+        o.workers != 0 ? o.workers
+                       : std::max(1u, std::thread::hardware_concurrency());
+    return m.run_parallel(o.max_cycles, workers);
+  }
+  return m.run(o.max_cycles);
 }
 
 net::CombinePolicy parse_policy(const std::string& s) {
@@ -241,7 +265,7 @@ int run_omega(const Options& o) {
   cfg.window = o.window;
   sim::Machine<M> m(cfg, make_sources<M>(o, 1u << o.log2_procs,
                                          op_factory<M>()));
-  const bool drained = m.run(o.max_cycles);
+  const bool drained = run_machine(m, o);
   const auto check = verify::check_machine(m, typename M::value_type{});
   const auto st = m.stats();
   report(o, {st.cycles, st.ops_completed, st.throughput_ops_per_cycle,
@@ -260,7 +284,7 @@ int run_bus(const Options& o) {
   cfg.bank_cfg.latency = o.mem_latency;
   cfg.window = o.window;
   sim::BusMachine<M> m(cfg, make_sources<M>(o, o.procs, op_factory<M>()));
-  const bool drained = m.run(o.max_cycles);
+  const bool drained = run_machine(m, o);
   const auto check = verify::check_machine(m, typename M::value_type{});
   const auto st = m.stats();
   report(o, {st.cycles, st.ops_completed, st.throughput_ops_per_cycle,
@@ -280,7 +304,7 @@ int run_hypercube(const Options& o) {
   cfg.window = o.window;
   sim::HypercubeMachine<M> m(cfg,
                              make_sources<M>(o, 1u << o.dims, op_factory<M>()));
-  const bool drained = m.run(o.max_cycles);
+  const bool drained = run_machine(m, o);
   const auto check = verify::check_machine(m, typename M::value_type{});
   const auto st = m.stats();
   report(o, {st.cycles, st.ops_completed, st.throughput_ops_per_cycle,
@@ -304,6 +328,10 @@ int main(int argc, char** argv) {
   Options o;
   if (!parse(argc, argv, o)) {
     usage();
+    return 2;
+  }
+  if (o.engine != "seq" && o.engine != "parallel") {
+    std::fprintf(stderr, "unknown engine: %s\n", o.engine.c_str());
     return 2;
   }
   if (o.family == "faa") return dispatch<core::FetchAdd>(o);

@@ -1,15 +1,25 @@
 #!/usr/bin/env bash
-# Reproducible benchmark pipeline: Release build → contended benches at
-# 1/2/4/8/16 threads in --benchmark_format=json → bench/harness/normalize.py
-# → top-level BENCH_combining.json (ops/sec + p50/p99 per-op latency per
-# series, plus the lockfree-vs-blocking combining-tree ratio).
+# Reproducible benchmark pipeline: Release build → benches in
+# --benchmark_format=json → bench/harness/normalize.py → top-level
+# BENCH_*.json (ops/sec + p50/p99 per-op latency per series, plus the
+# acceptance comparison series). Two groups:
+#
+#   BENCH_combining.json — contended combining-tree / coordination benches
+#       at 1/2/4/8/16 threads, with the lockfree-vs-blocking ratio.
+#   BENCH_machine.json   — whole-machine Omega simulation (bench_machine):
+#       sequential vs shard-parallel engine at k ∈ {6,8,10}, with the
+#       machine_parallel_speedup series and the cycles_per_op /
+#       combine_rate simulator counters. Wall-clock speedup is only
+#       meaningful when host_cpus (recorded in the JSON config) exceeds
+#       the worker count.
 #
 # Usage: tools/run_bench.sh
 # Knobs (environment):
 #   KRS_BENCH_BUILD        build tree            (default build-bench)
 #   KRS_BENCH_MIN_TIME     --benchmark_min_time  (default 0.1; "s" suffix ok)
 #   KRS_BENCH_REPETITIONS  --benchmark_repetitions (default 3)
-#   KRS_BENCH_OUT          output file           (default BENCH_combining.json)
+#   KRS_BENCH_OUT          combining output      (default BENCH_combining.json)
+#   KRS_BENCH_MACHINE_OUT  machine output        (default BENCH_machine.json)
 #
 # CI runs the same script with KRS_BENCH_MIN_TIME=0.05 KRS_BENCH_REPETITIONS=1
 # as the bench-smoke job; any bench crash fails the pipeline (set -e).
@@ -22,25 +32,40 @@ MIN_TIME="${KRS_BENCH_MIN_TIME:-0.1}"
 MIN_TIME="${MIN_TIME%s}"   # tolerate the 1.8+ "0.1s" spelling on older libs
 REPS="${KRS_BENCH_REPETITIONS:-3}"
 OUT="${KRS_BENCH_OUT:-BENCH_combining.json}"
+MACHINE_OUT="${KRS_BENCH_MACHINE_OUT:-BENCH_machine.json}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-BENCHES=(bench_combining_tree bench_coordination)
+COMBINING_BENCHES=(bench_combining_tree bench_coordination)
+MACHINE_BENCHES=(bench_machine)
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD" -j "$JOBS" --target "${BENCHES[@]}"
+cmake --build "$BUILD" -j "$JOBS" \
+  --target "${COMBINING_BENCHES[@]}" "${MACHINE_BENCHES[@]}"
 
 JSON_DIR="$BUILD/bench-json"
-mkdir -p "$JSON_DIR"
-for b in "${BENCHES[@]}"; do
-  echo "=== $b ==="
-  "$BUILD/bench/$b" \
-    --benchmark_format=json \
-    --benchmark_min_time="$MIN_TIME" \
-    --benchmark_repetitions="$REPS" \
-    > "$JSON_DIR/$b.json"
-done
 
-python3 bench/harness/normalize.py \
-  --out "$OUT" --min-time "$MIN_TIME" --repetitions "$REPS" \
-  "$JSON_DIR"/*.json
-echo "=== bench pipeline complete: $OUT ==="
+# run_group <output.json> <bench targets...>: run each bench in JSON mode
+# into a per-group directory, then normalize the group into one document.
+run_group() {
+  local out="$1"
+  shift
+  local dir
+  dir="$JSON_DIR/$(basename "$out" .json)"
+  mkdir -p "$dir"
+  local b
+  for b in "$@"; do
+    echo "=== $b ==="
+    "$BUILD/bench/$b" \
+      --benchmark_format=json \
+      --benchmark_min_time="$MIN_TIME" \
+      --benchmark_repetitions="$REPS" \
+      > "$dir/$b.json"
+  done
+  python3 bench/harness/normalize.py \
+    --out "$out" --min-time "$MIN_TIME" --repetitions "$REPS" \
+    "$dir"/*.json
+}
+
+run_group "$OUT" "${COMBINING_BENCHES[@]}"
+run_group "$MACHINE_OUT" "${MACHINE_BENCHES[@]}"
+echo "=== bench pipeline complete: $OUT $MACHINE_OUT ==="
