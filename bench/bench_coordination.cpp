@@ -11,13 +11,78 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "runtime/combining_backend.hpp"
 #include "runtime/coordination.hpp"
 #include "runtime/parallel_queue.hpp"
+#include "runtime/rmw_backend.hpp"
 #include "runtime/ticket_lock.hpp"
 
 using namespace krs::runtime;
 
 namespace {
+
+// --- the backend dimension ---------------------------------------------------
+//
+// The same hotspot fetch-and-add and the same barrier, once per RmwBackend:
+// "atomic" is the hardware fetch-and-θ instruction, "combining" funnels the
+// hot cell through the software combining tree. The normalized output pairs
+// BM_<X>/atomic against BM_<X>/combining per thread count into the
+// `combining_vs_atomic_ops_ratio` series — the §4.2 crossover curve on this
+// host. (On a single-core runner combining mostly measures its constant
+// factor; the series exists so multi-core runs track the crossover.)
+
+AtomicBackend g_atomic_backend;
+CombiningBackend g_combining_backend(8);
+
+AtomicBackend::Cell g_atomic_counter(g_atomic_backend, 0);
+CombiningBackend::Cell g_combining_counter(g_combining_backend, 0);
+
+template <typename B>
+void backend_counter_loop(benchmark::State& state, B& backend,
+                          typename B::Cell& cell) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.fetch_add(cell, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BackendCounter_Atomic(benchmark::State& state) {
+  backend_counter_loop(state, g_atomic_backend, g_atomic_counter);
+}
+BENCHMARK(BM_BackendCounter_Atomic)
+    ->Name("BM_BackendCounter/atomic")
+    ->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+void BM_BackendCounter_Combining(benchmark::State& state) {
+  backend_counter_loop(state, g_combining_backend, g_combining_counter);
+}
+BENCHMARK(BM_BackendCounter_Combining)
+    ->Name("BM_BackendCounter/combining")
+    ->Threads(1)->Threads(4)->Threads(8)->UseRealTime();
+
+BasicBarrier<AtomicBackend> g_atomic_backend_barrier(4, g_atomic_backend);
+BasicBarrier<CombiningBackend> g_combining_backend_barrier(
+    4, g_combining_backend);
+
+void BM_BackendBarrier_Atomic(benchmark::State& state) {
+  for (auto _ : state) {
+    g_atomic_backend_barrier.arrive_and_wait();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackendBarrier_Atomic)
+    ->Name("BM_BackendBarrier/atomic")
+    ->Threads(4)->UseRealTime();
+
+void BM_BackendBarrier_Combining(benchmark::State& state) {
+  for (auto _ : state) {
+    g_combining_backend_barrier.arrive_and_wait();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackendBarrier_Combining)
+    ->Name("BM_BackendBarrier/combining")
+    ->Threads(4)->UseRealTime();
 
 // --- barriers ---------------------------------------------------------------
 

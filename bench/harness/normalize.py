@@ -14,6 +14,10 @@ tracks (see docs/PERFORMANCE.md):
 
   lockfree_vs_blocking_ops_ratio — combining-tree throughput ratio per
       thread count (> 1.0 means the lock-free tree wins)
+  combining_vs_atomic_ops_ratio — RmwBackend seam: throughput of each
+      "BM_X/combining" family over its "BM_X/atomic" twin per thread
+      count, keyed "X/threads" (> 1.0 means the software combining tree
+      beats the hardware atomic on that workload)
   machine_parallel_speedup — whole-machine simulator throughput of
       BM_MachinePar over BM_MachineSeq at matched size k, per worker
       count. Parallel runs are bit-identical to sequential ones, so this
@@ -75,16 +79,23 @@ def collect(files):
     runs = {}
     context = {}
     for path in files:
-        with open(path) as f:
-            doc = json.load(f)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except OSError as e:
+            sys.exit(f"normalize.py: cannot read {path}: {e}")
+        except json.JSONDecodeError as e:
+            sys.exit(f"normalize.py: {path} is not valid JSON: {e}")
         ctx = doc.get("context", {})
         context.setdefault("host_cpus", ctx.get("num_cpus"))
         context.setdefault("library_build_type", ctx.get("library_build_type"))
+        rows = 0
         for b in doc.get("benchmarks", []):
             # With --benchmark_repetitions, keep the per-repetition runs and
             # skip the synthesized mean/median/stddev/cv aggregate rows.
             if b.get("run_type") == "aggregate":
                 continue
+            rows += 1
             family, threads = parse_name(b["name"])
             rec = runs.setdefault((family, threads), {"real_ns": [], "ops": []})
             rec["real_ns"].append(to_ns(b["real_time"], b["time_unit"]))
@@ -93,6 +104,10 @@ def collect(files):
             for key in COUNTER_KEYS:
                 if key in b:
                     rec.setdefault(key, []).append(b[key])
+        if rows == 0:
+            # A bench that built but produced nothing (crashed mid-run,
+            # filtered to zero) must not green-wash the pipeline.
+            sys.exit(f"normalize.py: {path} contains no benchmark runs")
     return runs, context
 
 
@@ -128,6 +143,27 @@ def normalize(runs, context, config):
             ratios[str(threads)] = round(
                 by_variant["lockfree"][threads] / blocking, 3)
 
+    # The backend seam: any family published as both "BM_X/atomic" and
+    # "BM_X/combining" yields a combining-over-atomic throughput ratio per
+    # thread count, keyed "X/threads". > 1.0: the software combining tree
+    # beats the hardware atomic on that workload.
+    backend_pairs = {}
+    for b in benchmarks:
+        if not b["ops_per_sec"]:
+            continue
+        for variant in ("atomic", "combining"):
+            suffix = "/" + variant
+            if b["name"].endswith(suffix):
+                base = b["name"][: -len(suffix)]
+                backend_pairs.setdefault(
+                    (base, b["threads"]), {})[variant] = b["ops_per_sec"]
+    backend_ratios = {}
+    for (base, threads) in sorted(backend_pairs):
+        pair = backend_pairs[(base, threads)]
+        if "atomic" in pair and "combining" in pair:
+            backend_ratios[f"{base}/{threads}"] = round(
+                pair["combining"] / pair["atomic"], 3)
+
     # Whole-machine simulator speedup: BM_MachinePar/k:K/workers:W over
     # BM_MachineSeq/k:K, keyed "k=K/workers=W". The parallel engine is
     # bit-identical to the sequential one, so > 1.0 is the same answer
@@ -152,6 +188,8 @@ def normalize(runs, context, config):
     comparisons = {}
     if ratios:
         comparisons["lockfree_vs_blocking_ops_ratio"] = ratios
+    if backend_ratios:
+        comparisons["combining_vs_atomic_ops_ratio"] = backend_ratios
     if speedups:
         comparisons["machine_parallel_speedup"] = speedups
 
@@ -170,6 +208,11 @@ def main():
     ap.add_argument("--out", required=True, help="normalized output path")
     ap.add_argument("--min-time", default=None)
     ap.add_argument("--repetitions", type=int, default=None)
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="SERIES",
+                    help="fail unless this comparisons series exists and is "
+                         "non-empty (repeatable); the CI bench-smoke job "
+                         "pins its acceptance series with this")
     args = ap.parse_args()
 
     runs, context = collect(args.files)
@@ -181,6 +224,10 @@ def main():
     if args.repetitions is not None:
         config["repetitions"] = args.repetitions
     doc = normalize(runs, context, config)
+    missing = [s for s in args.require if not doc["comparisons"].get(s)]
+    if missing:
+        sys.exit("normalize.py: required comparison series missing or empty: "
+                 + ", ".join(missing))
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")

@@ -33,13 +33,25 @@
 
 namespace krs::core {
 
+/// The minimum a *combining structure* needs from a mapping family: apply
+/// and (possibly declining) composition — a semigroup of mappings. No
+/// identity, no wire encoding: a software combining tree composes mappings
+/// in shared memory and never serializes them, and ad-hoc families (e.g. a
+/// fetch-and-θ closure over an operator with no identity element, like the
+/// tree's own operand adapters) are still combinable. Every full `Rmw`
+/// family below satisfies this automatically.
 template <typename M>
-concept Rmw = std::semiregular<M> &&
+concept CombinableMapping = std::semiregular<M> &&
     requires(const M& f, const M& g, const typename M::value_type& x) {
       typename M::value_type;
       { f.apply(x) } -> std::convertible_to<typename M::value_type>;
-      { compose(f, g) } -> std::convertible_to<M>;
       { try_compose(f, g) } -> std::same_as<std::optional<M>>;
+    };
+
+template <typename M>
+concept Rmw = CombinableMapping<M> &&
+    requires(const M& f, const M& g, const typename M::value_type& x) {
+      { compose(f, g) } -> std::convertible_to<M>;
       { M::identity() } -> std::convertible_to<M>;
       { f.encoded_size_bytes() } -> std::convertible_to<std::size_t>;
     };

@@ -36,6 +36,8 @@ inline void cpu_relax() noexcept {
 /// yield each round. Reset between independent waits.
 class ExpBackoff {
  public:
+  static constexpr std::uint32_t kSpinCap = 64;
+
   void pause() noexcept {
     if (spins_ <= kSpinCap) {
       for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
@@ -45,22 +47,43 @@ class ExpBackoff {
     }
   }
 
+  /// The spin budget the NEXT pause() would use (saturates one doubling
+  /// past the cap, where every further round is a yield). Exposed so the
+  /// doubling/cap schedule is testable without timing a spin loop.
+  [[nodiscard]] std::uint32_t current_spins() const noexcept {
+    return spins_;
+  }
+
+  /// Back to the initial budget — call between independent waits.
+  void reset() noexcept { spins_ = 1; }
+
  private:
-  static constexpr std::uint32_t kSpinCap = 64;
   std::uint32_t spins_ = 1;
 };
 
+// Proportional-backoff schedule constants (exposed for the unit tests).
+inline constexpr std::uint64_t kProportionalSpinsPerWaiter = 48;
+inline constexpr std::uint64_t kProportionalYieldAhead = 16;
+
+/// Pure schedule of proportional_backoff: how many pause instructions a
+/// waiter `ahead` places from service spins before re-reading, or 0 for
+/// the yield regime (and, trivially, at the head of the line).
+constexpr std::uint64_t proportional_spin_count(std::uint64_t ahead) noexcept {
+  return ahead >= kProportionalYieldAhead
+             ? 0
+             : ahead * kProportionalSpinsPerWaiter;
+}
+
 /// Wait roughly proportional to how far back in line we are: `ahead`
 /// waiters will be served first, so there is no point re-reading sooner.
-/// Long waits (deep queues, oversubscription) degrade to a yield.
+/// Long waits (deep queues, oversubscription) degrade to a yield;
+/// ahead == 0 (served next) is a no-op.
 inline void proportional_backoff(std::uint64_t ahead) noexcept {
-  constexpr std::uint64_t kSpinsPerWaiter = 48;
-  constexpr std::uint64_t kYieldAhead = 16;
-  if (ahead >= kYieldAhead) {
+  if (ahead >= kProportionalYieldAhead) {
     std::this_thread::yield();
     return;
   }
-  const std::uint64_t n = ahead * kSpinsPerWaiter;
+  const std::uint64_t n = proportional_spin_count(ahead);
   for (std::uint64_t i = 0; i < n; ++i) cpu_relax();
 }
 

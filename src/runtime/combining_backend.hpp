@@ -1,0 +1,123 @@
+// The software-combining RMW backend: every cell is a
+// MappingCombiningTree<core::AnyRmw>, so concurrent operations on one hot
+// word combine pairwise on the way to the root (§4.2) instead of
+// serializing on the coherence protocol. This is the "no combining
+// hardware, combine in software" point of the paper realized behind the
+// same RmwBackend interface the hardware-atomic backend implements — the
+// §6 algorithms cannot tell the difference.
+//
+// Mapping families pushed through the tree:
+//
+//   fetch_add/or/and/xor → core::FetchTheta<…>   (§5.2, combine = θ on operands)
+//   exchange             → core::LssOp::swap      (§5.1, first table)
+//   store                → core::LssOp::store     (combines; constant mapping)
+//   fetch_rmw(m)         → m verbatim             (any core::AnyRmw; mixed
+//                                                  families decline at the
+//                                                  node and are served
+//                                                  individually — §7)
+//   compare_exchange     → update_at_root          (not a tractable mapping:
+//                                                  the update branches on
+//                                                  the old value, so it
+//                                                  serializes at the root,
+//                                                  linearized against all
+//                                                  combined traffic)
+//   load                 → tree.read()             (atomic root snapshot)
+//
+// Thread→slot assignment uses thread_ordinal() mod width. Slots may
+// collide (more threads than width): the tree's per-node state machine
+// admits at most a first and a second per occupancy and parks later
+// arrivals, so collisions cost waiting, never correctness.
+#pragma once
+
+#include <algorithm>
+
+#include "analysis/instrument.hpp"
+#include "core/any_rmw.hpp"
+#include "core/fetch_theta.hpp"
+#include "core/load_store_swap.hpp"
+#include "runtime/lock_free_combining_tree.hpp"
+#include "runtime/rmw_backend.hpp"
+#include "util/bits.hpp"
+
+namespace krs::runtime {
+
+template <typename Instrument = analysis::DefaultInstrument>
+class BasicCombiningBackend {
+ public:
+  /// `width`: leaf capacity of every cell's tree — rounded up to a power
+  /// of two, ≥ 2. More threads than `width` still work (slots are shared);
+  /// sizing width to the expected thread count maximizes combining.
+  explicit BasicCombiningBackend(unsigned width = kDefaultWidth)
+      : width_(static_cast<unsigned>(
+            util::ceil_pow2(std::max(2u, width)))) {}
+
+  struct Cell {
+    Cell(const BasicCombiningBackend& b, Word initial)
+        : tree(b.width_, initial) {}
+    Cell(const Cell&) = delete;
+    Cell& operator=(const Cell&) = delete;
+
+    MappingCombiningTree<core::AnyRmw, Instrument> tree;
+  };
+
+  Word fetch_add(Cell& c, Word v) const {
+    return c.tree.fetch_rmw(slot(), core::AnyRmw(core::FetchAdd(v)));
+  }
+  Word fetch_or(Cell& c, Word v) const {
+    return c.tree.fetch_rmw(slot(), core::AnyRmw(core::FetchOr(v)));
+  }
+  Word fetch_and(Cell& c, Word v) const {
+    return c.tree.fetch_rmw(slot(), core::AnyRmw(core::FetchAnd(v)));
+  }
+  Word fetch_xor(Cell& c, Word v) const {
+    return c.tree.fetch_rmw(slot(), core::AnyRmw(core::FetchXor(v)));
+  }
+  Word exchange(Cell& c, Word v) const {
+    return c.tree.fetch_rmw(slot(), core::AnyRmw(core::LssOp::swap(v)));
+  }
+
+  Word fetch_rmw(Cell& c, const core::AnyRmw& m) const {
+    return c.tree.fetch_rmw(slot(), m);
+  }
+
+  /// Not a tractable mapping (§5: the update must not branch on the old
+  /// value), so it cannot combine; serialized at the root, linearized
+  /// against every combined operation.
+  bool compare_exchange(Cell& c, Word& expected, Word desired) const {
+    bool ok = false;
+    const Word want = expected;
+    const Word prior = c.tree.update_at_root([&](Word old) {
+      if (old == want) {
+        ok = true;
+        return desired;
+      }
+      return old;
+    });
+    if (!ok) expected = prior;
+    return ok;
+  }
+
+  Word load(const Cell& c) const { return c.tree.read(); }
+
+  void store(Cell& c, Word v) const {
+    c.tree.fetch_rmw(slot(), core::AnyRmw(core::LssOp::store(v)));
+  }
+
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+
+  static constexpr unsigned kDefaultWidth = 16;
+
+ private:
+  [[nodiscard]] unsigned slot() const noexcept {
+    return thread_ordinal() % width_;
+  }
+
+  unsigned width_;
+};
+
+using CombiningBackend = BasicCombiningBackend<>;
+
+static_assert(RmwBackend<BasicCombiningBackend<analysis::NoInstrument>>);
+static_assert(RmwBackend<CombiningBackend>);
+
+}  // namespace krs::runtime

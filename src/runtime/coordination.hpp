@@ -4,7 +4,15 @@
 // critical section; every operation is a constant number of RMW accesses
 // that a combining memory serves in parallel.
 //
-// Every primitive takes an Instrument policy (analysis/instrument.hpp)
+// The algorithms are written against the RmwBackend seam
+// (runtime/rmw_backend.hpp): every hot word is a backend cell, and every
+// RMW on it goes through the backend. Instantiated with AtomicBackend
+// (the default) they are the classic hardware fetch-and-θ algorithms;
+// with CombiningBackend the same code runs with its hot spot served by a
+// software combining tree — the paper's substrate-portability claim as a
+// template parameter.
+//
+// Every primitive also takes an Instrument policy (analysis/instrument.hpp)
 // that publishes its happens-before edges to the race detector; the
 // default policy compiles to nothing.
 #pragma once
@@ -17,39 +25,43 @@
 #include "runtime/backoff.hpp"
 #include "runtime/combining_concept.hpp"
 #include "runtime/fetch_and_op.hpp"
+#include "runtime/rmw_backend.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
 namespace krs::runtime {
 
-/// Centralized fetch-and-add barrier: one fetch-and-add per arrival; the
-/// last arrival resets the count and advances the phase number. With
-/// combining (hardware or the software combining tree) the arrivals
-/// collapse into O(log P) memory operations.
+/// Centralized fetch-and-add barrier: one fetch-and-add per arrival. Each
+/// arrival takes a ticket; ticket/parties is the phase it belongs to, and
+/// the last arrival of a phase (ticket % parties == parties-1) publishes
+/// the next phase number. The count never resets, so the algorithm is
+/// identical under a combining backend (a reset store would race with
+/// in-flight combined adds). With combining, P simultaneous arrivals cost
+/// O(log P) root operations instead of P.
 ///
 /// Phase-numbered rather than sense-reversing so threads carry NO per-
 /// thread state: any `parties` threads (including freshly spawned ones)
 /// can use the barrier at any time — sense-reversing barriers go wrong
 /// when new threads join with a stale sense.
-template <typename Instrument = analysis::DefaultInstrument>
-class BasicFaaBarrier {
+template <RmwBackend Backend = AtomicBackend,
+          typename Instrument = analysis::DefaultInstrument>
+class BasicBarrier {
  public:
-  explicit BasicFaaBarrier(unsigned parties) : parties_(parties) {
+  explicit BasicBarrier(unsigned parties, Backend backend = Backend{})
+      : backend_(std::move(backend)), parties_(parties), count_(backend_, 0) {
     KRS_EXPECTS(parties >= 1);
   }
 
   void arrive_and_wait() {
     // Publish this thread's pre-barrier history before counting in.
     Instrument::release(this);
-    const Word phase = phase_.load(std::memory_order_acquire);
-    if (fetch_and_add(count_, 1) == parties_ - 1) {
-      count_.store(0, std::memory_order_relaxed);
-      phase_.fetch_add(1, std::memory_order_acq_rel);
+    const Word ticket = backend_.fetch_add(count_, 1);
+    const Word my_phase = ticket / parties_;
+    if (ticket % parties_ == parties_ - 1) {
+      phase_.store(my_phase + 1, std::memory_order_release);
     } else {
-      unsigned spins = 0;
-      while (phase_.load(std::memory_order_acquire) == phase) {
-        if (++spins > 64) std::this_thread::yield();
-      }
+      ExpBackoff bo;
+      while (phase_.load(std::memory_order_acquire) <= my_phase) bo.pause();
     }
     // Absorb every party's pre-barrier history on the way out.
     Instrument::acquire(this);
@@ -62,15 +74,21 @@ class BasicFaaBarrier {
     sense = !sense;
   }
 
+  /// Number of completed phases.
   [[nodiscard]] Word phase() const noexcept {
     return phase_.load(std::memory_order_acquire);
   }
 
  private:
+  Backend backend_;
   unsigned parties_;
-  std::atomic<Word> count_{0};
+  typename Backend::Cell count_;
   std::atomic<Word> phase_{0};
 };
+
+/// The historical name: the barrier on hardware fetch-and-add.
+template <typename Instrument = analysis::DefaultInstrument>
+using BasicFaaBarrier = BasicBarrier<AtomicBackend, Instrument>;
 
 using FaaBarrier = BasicFaaBarrier<>;
 
@@ -82,7 +100,10 @@ using FaaBarrier = BasicFaaBarrier<>;
 /// lock-free tree are drop-in interchangeable.
 ///
 /// Callers pass their slot id (< parties, one thread per slot), which the
-/// tree uses to place them on a leaf.
+/// tree uses to place them on a leaf. BasicBarrier<CombiningBackend>
+/// subsumes this (same ticket algorithm, slot derived from
+/// thread_ordinal()); this class remains for callers that want explicit
+/// slot placement or the blocking tree.
 template <CombiningCounter Tree,
           typename Instrument = analysis::DefaultInstrument>
 class BasicCombiningBarrier {
@@ -124,97 +145,114 @@ class BasicCombiningBarrier {
 /// Gottlieb–Lubachevsky–Rudolph: readers announce with fetch-and-add and
 /// retreat if a writer holds the lock; a writer takes a flag with
 /// test-and-set (fetch-and-or) and waits for readers to drain.
-template <typename Instrument = analysis::DefaultInstrument>
-class BasicFaaRwLock {
+template <RmwBackend Backend = AtomicBackend,
+          typename Instrument = analysis::DefaultInstrument>
+class BasicRwLock {
  public:
+  explicit BasicRwLock(Backend backend = Backend{})
+      : backend_(std::move(backend)),
+        readers_(backend_, 0),
+        writer_(backend_, 0) {}
+
   void read_lock() {
-    unsigned spins = 0;
+    ExpBackoff bo;
     for (;;) {
-      fetch_and_add(readers_, 1);
-      if (writer_.load(std::memory_order_acquire) == 0) {
+      backend_.fetch_add(readers_, 1);
+      if (backend_.load(writer_) == 0) {
         Instrument::acquire(this);
         return;
       }
       // A writer is active or arriving: retreat and retry.
-      readers_.fetch_sub(1, std::memory_order_acq_rel);
-      while (writer_.load(std::memory_order_acquire) != 0) {
-        if (++spins > 64) std::this_thread::yield();
-      }
+      backend_.fetch_add(readers_, Word{0} - 1);
+      while (backend_.load(writer_) != 0) bo.pause();
     }
   }
 
   void read_unlock() {
     Instrument::release(this);
-    readers_.fetch_sub(1, std::memory_order_acq_rel);
+    backend_.fetch_add(readers_, Word{0} - 1);
   }
 
   void write_lock() {
-    unsigned spins = 0;
-    while (test_and_set(writer_)) {
-      if (++spins > 64) std::this_thread::yield();
-    }
+    ExpBackoff bo;
+    // test-and-set(X) ≡ fetch-and-OR(X, 1) (§5.2).
+    while ((backend_.fetch_or(writer_, 1) & 1) != 0) bo.pause();
     // Wait for in-flight readers to drain or retreat.
-    while (readers_.load(std::memory_order_acquire) != 0) {
-      if (++spins > 64) std::this_thread::yield();
-    }
+    while (backend_.load(readers_) != 0) bo.pause();
     Instrument::acquire(this);
   }
 
   void write_unlock() {
     Instrument::release(this);
-    writer_.store(0, std::memory_order_release);
+    backend_.store(writer_, 0);
   }
 
  private:
-  std::atomic<Word> readers_{0};
-  std::atomic<Word> writer_{0};
+  Backend backend_;
+  typename Backend::Cell readers_;
+  typename Backend::Cell writer_;
 };
+
+template <typename Instrument = analysis::DefaultInstrument>
+using BasicFaaRwLock = BasicRwLock<AtomicBackend, Instrument>;
 
 using FaaRwLock = BasicFaaRwLock<>;
 
 /// Counting semaphore with busy-waiting P/V on a fetch-and-add counter —
 /// Dijkstra's semaphore implemented the replace-add way: P provisionally
-/// decrements and retreats if the result went negative.
-template <typename Instrument = analysis::DefaultInstrument>
-class BasicFaaSemaphore {
+/// decrements and retreats if the result went negative. The counter lives
+/// in a backend cell as a two's-complement Word (addition mod 2^64 is
+/// sign-agnostic, so the combining FetchAdd family carries negative
+/// deltas unchanged).
+template <RmwBackend Backend = AtomicBackend,
+          typename Instrument = analysis::DefaultInstrument>
+class BasicSemaphore {
  public:
-  explicit BasicFaaSemaphore(std::int64_t initial) : value_(initial) {}
+  explicit BasicSemaphore(std::int64_t initial, Backend backend = Backend{})
+      : backend_(std::move(backend)),
+        value_(backend_, static_cast<Word>(initial)) {}
 
   void p() {
-    unsigned spins = 0;
+    ExpBackoff bo;
     for (;;) {
-      if (value_.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+      if (as_count(backend_.fetch_add(value_, Word{0} - 1)) > 0) {
         Instrument::acquire(this);
         return;
       }
-      value_.fetch_add(1, std::memory_order_acq_rel);  // retreat
-      while (value_.load(std::memory_order_acquire) <= 0) {
-        if (++spins > 64) std::this_thread::yield();
-      }
+      backend_.fetch_add(value_, 1);  // retreat
+      while (as_count(backend_.load(value_)) <= 0) bo.pause();
     }
   }
 
   [[nodiscard]] bool try_p() {
-    if (value_.fetch_sub(1, std::memory_order_acq_rel) > 0) {
+    if (as_count(backend_.fetch_add(value_, Word{0} - 1)) > 0) {
       Instrument::acquire(this);
       return true;
     }
-    value_.fetch_add(1, std::memory_order_acq_rel);
+    backend_.fetch_add(value_, 1);
     return false;
   }
 
   void v() {
     Instrument::release(this);
-    value_.fetch_add(1, std::memory_order_acq_rel);
+    backend_.fetch_add(value_, 1);
   }
 
   [[nodiscard]] std::int64_t value() const {
-    return value_.load(std::memory_order_acquire);
+    return as_count(backend_.load(value_));
   }
 
  private:
-  std::atomic<std::int64_t> value_;
+  static std::int64_t as_count(Word w) noexcept {
+    return static_cast<std::int64_t>(w);
+  }
+
+  Backend backend_;
+  typename Backend::Cell value_;
 };
+
+template <typename Instrument = analysis::DefaultInstrument>
+using BasicFaaSemaphore = BasicSemaphore<AtomicBackend, Instrument>;
 
 using FaaSemaphore = BasicFaaSemaphore<>;
 

@@ -11,6 +11,14 @@
 // to std::this_thread::yield). The cell state machine uses an extra
 // transient state to make the data transfer atomic with the tag flip.
 //
+// The tag word lives in an RmwBackend cell (runtime/rmw_backend.hpp); the
+// tag transitions are conditional (store-if-CLEAR-and-set), so they go
+// through the backend's compare_exchange — on a combining backend that
+// serializes at the tree root, linearized against combined traffic. A
+// swap-based protocol could combine (§5.1), but a swap that loses the
+// probe must write the observed tag back, which would make concurrent
+// try_* probes spuriously fail; the CAS spelling keeps try_* exact.
+//
 // The Instrument policy (analysis/instrument.hpp) publishes the cell's
 // happens-before edges: a successful put/overwrite *releases* the
 // producer's history into the cell while the tag CAS holds it busy (so the
@@ -27,6 +35,7 @@
 
 #include "analysis/instrument.hpp"
 #include "runtime/cacheline.hpp"
+#include "runtime/rmw_backend.hpp"
 
 namespace krs::runtime {
 
@@ -44,32 +53,34 @@ inline void backoff(unsigned& spins) noexcept {
 // case is ARRAYS of tagged cells (one per datum), and adjacent cells
 // touched by different producer/consumer pairs must not share a cache
 // line, or independent handoffs serialize through the coherence protocol.
-template <typename T, typename Instrument = analysis::DefaultInstrument>
+template <typename T, typename Instrument = analysis::DefaultInstrument,
+          RmwBackend Backend = AtomicBackend>
 class alignas(kCacheLine) FullEmptyCell {
  public:
-  FullEmptyCell() = default;
+  explicit FullEmptyCell(Backend backend = Backend{})
+      : backend_(std::move(backend)), state_(backend_, kEmpty) {}
 
-  explicit FullEmptyCell(T initial) : slot_(std::move(initial)) {
-    state_.store(kFull, std::memory_order_release);
-  }
+  explicit FullEmptyCell(T initial, Backend backend = Backend{})
+      : backend_(std::move(backend)),
+        state_(backend_, kFull),
+        slot_(std::move(initial)) {}
 
   FullEmptyCell(const FullEmptyCell&) = delete;
   FullEmptyCell& operator=(const FullEmptyCell&) = delete;
 
   [[nodiscard]] bool full() const noexcept {
-    return state_.load(std::memory_order_acquire) == kFull;
+    return backend_.load(state_) == kFull;
   }
 
   /// store-if-clear-and-set: succeeds only on an empty cell.
   bool try_put(T v) {
-    std::uint8_t expect = kEmpty;
-    if (!state_.compare_exchange_strong(expect, kBusy,
-                                        std::memory_order_acquire)) {
+    Word expect = kEmpty;
+    if (!backend_.compare_exchange(state_, expect, kBusy)) {
       return false;  // negative acknowledgment
     }
     Instrument::release(this);  // recorded while the tag holds the cell
     slot_ = std::move(v);
-    state_.store(kFull, std::memory_order_release);
+    backend_.store(state_, kFull);
     return true;
   }
 
@@ -81,14 +92,13 @@ class alignas(kCacheLine) FullEmptyCell {
 
   /// load-and-clear (conditional on full): empties the cell.
   std::optional<T> try_take() {
-    std::uint8_t expect = kFull;
-    if (!state_.compare_exchange_strong(expect, kBusy,
-                                        std::memory_order_acquire)) {
+    Word expect = kFull;
+    if (!backend_.compare_exchange(state_, expect, kBusy)) {
       return std::nullopt;
     }
     Instrument::acquire(this);  // absorb the producer's published history
     T v = std::move(slot_);
-    state_.store(kEmpty, std::memory_order_release);
+    backend_.store(state_, kEmpty);
     return v;
   }
 
@@ -102,14 +112,13 @@ class alignas(kCacheLine) FullEmptyCell {
 
   /// load (conditional on full): copies without emptying.
   std::optional<T> try_read() {
-    std::uint8_t expect = kFull;
-    if (!state_.compare_exchange_strong(expect, kBusy,
-                                        std::memory_order_acquire)) {
+    Word expect = kFull;
+    if (!backend_.compare_exchange(state_, expect, kBusy)) {
       return std::nullopt;
     }
     Instrument::acquire(this);
     T v = slot_;
-    state_.store(kFull, std::memory_order_release);
+    backend_.store(state_, kFull);
     return v;
   }
 
@@ -125,13 +134,11 @@ class alignas(kCacheLine) FullEmptyCell {
   void overwrite(T v) {
     unsigned spins = 0;
     for (;;) {
-      std::uint8_t s = state_.load(std::memory_order_relaxed);
-      if (s != kBusy &&
-          state_.compare_exchange_strong(s, kBusy,
-                                         std::memory_order_acquire)) {
+      Word s = backend_.load(state_);
+      if (s != kBusy && backend_.compare_exchange(state_, s, kBusy)) {
         Instrument::release(this);
         slot_ = std::move(v);
-        state_.store(kFull, std::memory_order_release);
+        backend_.store(state_, kFull);
         return;
       }
       detail::backoff(spins);
@@ -139,11 +146,12 @@ class alignas(kCacheLine) FullEmptyCell {
   }
 
  private:
-  static constexpr std::uint8_t kEmpty = 0;
-  static constexpr std::uint8_t kFull = 1;
-  static constexpr std::uint8_t kBusy = 2;
+  static constexpr Word kEmpty = 0;
+  static constexpr Word kFull = 1;
+  static constexpr Word kBusy = 2;
 
-  std::atomic<std::uint8_t> state_{kEmpty};
+  Backend backend_;
+  typename Backend::Cell state_;
   T slot_{};
 };
 

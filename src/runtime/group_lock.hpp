@@ -7,7 +7,11 @@
 //
 // State is one word: the active group id (or none) and the member count,
 // updated with compare-exchange (a combinable fetch-and-add suffices on a
-// machine with wide combining; CAS is the portable spelling).
+// machine with wide combining; CAS is the portable spelling). The word
+// lives in an RmwBackend cell (runtime/rmw_backend.hpp) — under
+// AtomicBackend the CAS is the hardware instruction, under
+// CombiningBackend it serializes at the tree root, linearized against
+// combined traffic.
 //
 // The Instrument policy (analysis/instrument.hpp) publishes enter/leave as
 // acquire/release edges on the lock object — conservative (it also orders
@@ -20,28 +24,35 @@
 #include <thread>
 
 #include "analysis/instrument.hpp"
+#include "runtime/rmw_backend.hpp"
 #include "util/assert.hpp"
 
 namespace krs::runtime {
 
-template <typename Instrument = analysis::DefaultInstrument>
+template <typename Instrument = analysis::DefaultInstrument,
+          RmwBackend Backend = AtomicBackend>
 class BasicGroupLock {
  public:
   static constexpr std::uint16_t kMaxGroup = 0xFFFE;
 
+  explicit BasicGroupLock(Backend backend = Backend{})
+      : backend_(std::move(backend)), state_(backend_, 0) {}
+
+  BasicGroupLock(const BasicGroupLock&) = delete;
+  BasicGroupLock& operator=(const BasicGroupLock&) = delete;
+
   /// Enter as a member of `group`; blocks while another group is active.
   void enter(std::uint16_t group) {
     KRS_EXPECTS(group <= kMaxGroup);
-    const std::uint64_t tag = static_cast<std::uint64_t>(group) + 1;
+    const Word tag = static_cast<Word>(group) + 1;
     unsigned spins = 0;
     for (;;) {
-      std::uint64_t s = state_.load(std::memory_order_acquire);
-      const std::uint64_t active = s >> kCountBits;
+      Word s = backend_.load(state_);
+      const Word active = s >> kCountBits;
       if (active == 0 || active == tag) {
-        const std::uint64_t count = s & kCountMask;
-        const std::uint64_t next = (tag << kCountBits) | (count + 1);
-        if (state_.compare_exchange_weak(s, next, std::memory_order_acq_rel,
-                                         std::memory_order_relaxed)) {
+        const Word count = s & kCountMask;
+        const Word next = (tag << kCountBits) | (count + 1);
+        if (backend_.compare_exchange(state_, s, next)) {
           Instrument::acquire(this);
           return;
         }
@@ -53,15 +64,14 @@ class BasicGroupLock {
 
   [[nodiscard]] bool try_enter(std::uint16_t group) {
     KRS_EXPECTS(group <= kMaxGroup);
-    const std::uint64_t tag = static_cast<std::uint64_t>(group) + 1;
-    std::uint64_t s = state_.load(std::memory_order_acquire);
+    const Word tag = static_cast<Word>(group) + 1;
+    Word s = backend_.load(state_);
     for (;;) {
-      const std::uint64_t active = s >> kCountBits;
+      const Word active = s >> kCountBits;
       if (active != 0 && active != tag) return false;
-      const std::uint64_t count = s & kCountMask;
-      const std::uint64_t next = (tag << kCountBits) | (count + 1);
-      if (state_.compare_exchange_weak(s, next, std::memory_order_acq_rel,
-                                       std::memory_order_relaxed)) {
+      const Word count = s & kCountMask;
+      const Word next = (tag << kCountBits) | (count + 1);
+      if (backend_.compare_exchange(state_, s, next)) {
         Instrument::acquire(this);
         return true;
       }
@@ -71,14 +81,12 @@ class BasicGroupLock {
   /// Leave; the last member out frees the lock for any group.
   void leave() {
     Instrument::release(this);
-    std::uint64_t s = state_.load(std::memory_order_relaxed);
+    Word s = backend_.load(state_);
     for (;;) {
-      const std::uint64_t count = s & kCountMask;
+      const Word count = s & kCountMask;
       KRS_ASSERT(count > 0);
-      const std::uint64_t next =
-          count == 1 ? 0 : (s & ~kCountMask) | (count - 1);
-      if (state_.compare_exchange_weak(s, next, std::memory_order_acq_rel,
-                                       std::memory_order_relaxed)) {
+      const Word next = count == 1 ? 0 : (s & ~kCountMask) | (count - 1);
+      if (backend_.compare_exchange(state_, s, next)) {
         return;
       }
     }
@@ -86,20 +94,21 @@ class BasicGroupLock {
 
   /// Active group id, if any (diagnostics; racy).
   [[nodiscard]] std::int32_t active_group() const {
-    const std::uint64_t s = state_.load(std::memory_order_acquire);
-    const std::uint64_t active = s >> kCountBits;
+    const Word s = backend_.load(state_);
+    const Word active = s >> kCountBits;
     return active == 0 ? -1 : static_cast<std::int32_t>(active - 1);
   }
 
   [[nodiscard]] std::uint64_t member_count() const {
-    return state_.load(std::memory_order_acquire) & kCountMask;
+    return backend_.load(state_) & kCountMask;
   }
 
  private:
   static constexpr unsigned kCountBits = 48;
-  static constexpr std::uint64_t kCountMask = (std::uint64_t{1} << kCountBits) - 1;
+  static constexpr Word kCountMask = (Word{1} << kCountBits) - 1;
 
-  std::atomic<std::uint64_t> state_{0};
+  Backend backend_;
+  typename Backend::Cell state_;
 };
 
 using GroupLock = BasicGroupLock<>;

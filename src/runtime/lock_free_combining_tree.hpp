@@ -3,15 +3,34 @@
 // spinning with bounded exponential backoff, and no mutex or condition
 // variable appears anywhere on the operation path.
 //
+// The tree is built in two layers:
+//
+//  * MappingCombiningTree<M> — the general §4.2 mechanism. Node slots hold
+//    ENCODED MAPPINGS of a semigroup family M (core::CombinableMapping):
+//    a second arrival deposits its mapping g, the first folds it in with
+//    compose(f, g) on the way up, the root applies the combined mapping,
+//    and decombination on the way down answers the second with
+//    ⟨id2, f(val)⟩ — the first's accumulated mapping applied to the prior
+//    value, exactly the paper's reply rule. Because composition may
+//    DECLINE (try_compose → nullopt: Möbius overflow, cross-family
+//    core::AnyRmw), a declined second is served individually at the root
+//    during the first's distribute phase — §7's "partial combining is
+//    always correct" realized in the tree.
+//  * LockFreeCombiningTree<T, Op> — the classic fetch-and-θ counter
+//    (getAndIncrement generalized to any associative θ), now a thin
+//    adapter over MappingCombiningTree with the operand family
+//    {θ_a : x ↦ θ(x, a)}; same public surface (CombiningCounter concept)
+//    as always.
+//
 // The blocking tree (combining_tree.hpp) serializes every node transition
 // through a std::mutex + condition_variable — each combine handshake costs
 // kernel-arbitrated sleep/wake pairs, which is why it loses to the very
 // mutex baseline it is meant to beat (bench_combining_tree). This tree
 // keeps the same four-phase protocol (precombine / combine / operate /
-// distribute) and the same decombination rule ⟨id2, f(val)⟩, but runs each
-// node as a word-sized state machine in the style of Goodman-style
-// combining words: second arrivals deposit their operand in a per-node
-// slot and spin-then-yield until the distributed result lands.
+// distribute) but runs each node as a word-sized state machine in the
+// style of Goodman-style combining words: second arrivals deposit their
+// mapping in a per-node slot and spin-then-yield until the distributed
+// result lands.
 //
 // Node status word (64 bits):
 //
@@ -20,29 +39,32 @@
 //
 // Tags: Idle, First (a first arrival passed through, climbing),
 // FirstLocked (the first came back in its combine phase and closed the
-// node against late seconds), SecondPending (a second engaged, operand in
-// flight), SecondReady (operand deposited), SecondCombined (the first
-// absorbed the operand; reply owed), Result (reply delivered), Root. The
-// lock bit is used only on the root word, as the spinlock that serializes
-// the O(P / combine-degree) operations that actually reach the root. The
-// generation count increments on every reset to Idle, so a stalled CAS
-// from a previous occupancy of the node can never succeed against a later
-// one (ABA).
+// node against late seconds), SecondPending (a second engaged, mapping in
+// flight), SecondReady (mapping deposited), SecondCombined (the first
+// inspected the mapping; reply owed — whether composition succeeded or
+// declined is a first-owned flag off the status word), Result (reply
+// delivered), Root. The lock bit is used only on the root word, as the
+// spinlock that serializes the O(P / combine-degree) operations that
+// actually reach the root. The generation count increments on every reset
+// to Idle, so a stalled CAS from a previous occupancy of the node can
+// never succeed against a later one (ABA).
 //
-// Protocol per operation (slot s, operand v):
+// Protocol per operation (slot s, mapping f):
 //   1. precombine — climb from the leaf while CAS Idle→First succeeds;
 //      CAS First→SecondPending stops the climb (we are the second there);
 //      the root always stops the climb.
 //   2. combine — re-walk the path: CAS First→FirstLocked passes through
-//      (no partner), SecondReady folds the deposited operand in
-//      (first ⊕ second, the paper's serial order).
+//      (no partner), SecondReady folds the deposited mapping in with
+//      compose(first, second) — or records a decline.
 //   3. operate — at the root, apply under the root word's lock bit; at a
-//      SecondPending node, deposit the combined operand (store + release
+//      SecondPending node, deposit the combined mapping (store + release
 //      tag flip) and spin-then-yield for the Result tag.
 //   4. distribute — walk back down: FirstLocked resets to Idle(gen+1);
-//      SecondCombined receives result = prior ⊕ first_value — exactly
-//      ⟨id2, f(val)⟩ — and flips to Result; the waiting second picks it up
-//      and resets the node.
+//      SecondCombined receives result = first_map(prior) — exactly
+//      ⟨id2, f(val)⟩ — or, if composition declined, the second's mapping
+//      is applied at the root now and the second receives that prior;
+//      either way the node flips to Result, the waiting second picks the
+//      value up and resets the node.
 //
 // The Instrument policy publishes the same happens-before edges as the
 // blocking tree: an operation acquires the tree's history on entry and
@@ -56,9 +78,13 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "analysis/instrument.hpp"
+#include "core/rmw.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/cacheline.hpp"
 #include "util/assert.hpp"
@@ -66,27 +92,61 @@
 
 namespace krs::runtime {
 
-template <typename T, typename Op = std::plus<T>,
-          typename Instrument = analysis::DefaultInstrument>
-class LockFreeCombiningTree {
- public:
+namespace detail {
+
+/// The operand family {θ_a : x ↦ θ(x, a)} of an associative θ, as a
+/// combinable mapping: θ_a ∘ θ_b = θ_{θ(a,b)}. This is what lets the
+/// operand-style LockFreeCombiningTree<T, Op> ride on the mapping tree.
+template <typename T, typename Op>
+struct OpMapping {
   using value_type = T;
 
+  T operand{};
+  [[no_unique_address]] Op op{};
+
+  [[nodiscard]] T apply(const T& x) const { return op(x, operand); }
+
+  friend OpMapping compose(const OpMapping& f, const OpMapping& g) {
+    // compose(f, g)(x) = g(f(x)) = θ(θ(x, fa), ga) = θ(x, θ(fa, ga)).
+    return OpMapping{f.op(f.operand, g.operand), f.op};
+  }
+  friend std::optional<OpMapping> try_compose(const OpMapping& f,
+                                              const OpMapping& g) {
+    return compose(f, g);
+  }
+};
+
+}  // namespace detail
+
+template <core::CombinableMapping M,
+          typename Instrument = analysis::DefaultInstrument>
+class MappingCombiningTree {
+ public:
+  using value_type = typename M::value_type;
+  using mapping_type = M;
+
+ private:
+  using V = value_type;
+  static_assert(std::is_trivially_copyable_v<V>,
+                "the root cell is a std::atomic<V>");
+
+ public:
   /// `width`: maximum number of threads (power of two, ≥ 2). Thread slots
   /// are 0..width-1; two slots share each leaf.
-  LockFreeCombiningTree(unsigned width, T initial = T{}, Op op = Op{})
-      : width_(width), op_(op), root_value_(initial), nodes_(width) {
+  explicit MappingCombiningTree(unsigned width, V initial = V{})
+      : width_(width), root_(initial), nodes_(width) {
     KRS_EXPECTS(width >= 2 && util::is_pow2(width));
     nodes_[kRootIndex].status.store(kRootWord, std::memory_order_relaxed);
   }
 
-  LockFreeCombiningTree(const LockFreeCombiningTree&) = delete;
-  LockFreeCombiningTree& operator=(const LockFreeCombiningTree&) = delete;
+  MappingCombiningTree(const MappingCombiningTree&) = delete;
+  MappingCombiningTree& operator=(const MappingCombiningTree&) = delete;
 
-  /// Atomically result ← result ⊕ v, returning the prior value, combining
-  /// with concurrent callers on the way up. `slot` must be < width and
-  /// used by at most one thread at a time.
-  T fetch_and_op(unsigned slot, T v) {
+  /// Atomically value ← f(value), returning the prior value, combining
+  /// with concurrent callers on the way up. `slot` must be < width; a slot
+  /// may be shared by threads, but concurrency above two threads per leaf
+  /// degrades to local waiting at that leaf.
+  V fetch_rmw(unsigned slot, M f) {
     KRS_EXPECTS(slot < width_);
     Instrument::acquire(this);
     const unsigned my_leaf = width_ / 2 + slot / 2;  // heap index
@@ -96,18 +156,18 @@ class LockFreeCombiningTree {
     while (precombine(node)) node /= 2;
     const unsigned stop = node;
 
-    // Phase 2: combine — gather operands deposited by second arrivals.
+    // Phase 2: combine — gather mappings deposited by second arrivals.
     unsigned path[kMaxDepth];
     unsigned depth = 0;
-    T combined = v;
+    M combined = std::move(f);
     for (node = my_leaf; node != stop; node /= 2) {
-      combined = combine(node, combined);
+      combined = combine(node, std::move(combined));
       path[depth++] = node;
     }
 
     // Phase 3: operate — at the root, apply; at a SecondPending node,
     // deposit and spin for the distributed result.
-    const T prior = stop == kRootIndex ? apply_at_root(combined)
+    const V prior = stop == kRootIndex ? apply_at_root(combined)
                                        : deposit_and_await(stop, combined);
 
     // Phase 4: distribute results back down our path.
@@ -116,18 +176,33 @@ class LockFreeCombiningTree {
     return prior;
   }
 
-  /// Atomic snapshot of the current value: takes the root word's lock bit
-  /// for the duration of one load — safe concurrently with operations.
-  T read() {
+  /// Serialized escape hatch for updates that are NOT tractable mappings
+  /// (compare-and-swap, arbitrary θ): applies `f` to the root value under
+  /// the root lock bit and returns the prior value. Linearizes with every
+  /// combined operation, but combines with none.
+  template <std::invocable<V> F>
+  V update_at_root(F&& f) {
+    Instrument::acquire(this);
     lock_root();
-    T v = root_value_;
+    const V prior = root_.load(std::memory_order_relaxed);
+    root_.store(std::forward<F>(f)(prior), std::memory_order_release);
     unlock_root();
-    return v;
+    Instrument::release(this);
+    return prior;
   }
 
-  /// Quiescent-only read: no synchronization at all. Callers must ensure
-  /// no fetch_and_op is in flight (e.g. after joining the worker threads).
-  [[nodiscard]] T read_unsynchronized() const { return root_value_; }
+  /// Atomic snapshot of the current value. The root cell is a single
+  /// atomic word updated only under the root lock bit, so a bare acquire
+  /// load is a coherent (and per-reader monotone) snapshot — no lock.
+  [[nodiscard]] V read() const {
+    return root_.load(std::memory_order_acquire);
+  }
+
+  /// Quiescent-only read, kept for CombiningCounter interface parity; on
+  /// this tree it is the same relaxed-cost load as read().
+  [[nodiscard]] V read_unsynchronized() const {
+    return root_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] unsigned width() const noexcept { return width_; }
 
@@ -166,11 +241,15 @@ class LockFreeCombiningTree {
 
   struct alignas(kCacheLine) Node {
     std::atomic<std::uint64_t> status{kIdle};
-    // Operand/reply slots on their own line: the handshake spins on
-    // `status` above, the values move below.
-    alignas(kCacheLine) T first_value{};
-    T second_value{};
-    T result{};
+    // Mapping/reply slots on their own line: the handshake spins on
+    // `status` above, the encoded mappings move below. `first_map` and
+    // `declined` are written by the first in its combine phase and read
+    // back by the same thread in distribute — ownership is handed by the
+    // status word, never contended.
+    alignas(kCacheLine) M first_map{};
+    M second_map{};
+    V result{};
+    bool declined = false;
   };
 
   // ---- phase 1 --------------------------------------------------------------
@@ -210,8 +289,9 @@ class LockFreeCombiningTree {
   // ---- phase 2 --------------------------------------------------------------
 
   /// Called by the FIRST thread on its way up: fold in the second's
-  /// operand if one arrived, closing the node against late seconds.
-  T combine(unsigned n, T c) {
+  /// mapping if one arrived (or record that composition declined),
+  /// closing the node against late seconds.
+  M combine(unsigned n, M c) {
     Node& nd = nodes_[n];
     ExpBackoff bo;
     for (;;) {
@@ -225,16 +305,24 @@ class LockFreeCombiningTree {
           }
           break;
         case kSecondPending:
-          bo.pause();  // second engaged; its operand is still in flight
+          bo.pause();  // second engaged; its mapping is still in flight
           break;
-        case kSecondReady:
+        case kSecondReady: {
           // The acquire load above synchronized with the deposit. Record
-          // the value that arrived at this node for the distribute phase,
-          // then fold: first's operations precede second's.
-          nd.first_value = c;
+          // the mapping that arrived at this node for the distribute
+          // phase, then fold: first's operations precede second's, so the
+          // forwarded mapping is compose(first, second). A declined
+          // composition (nullopt) leaves the second's mapping parked in
+          // the node; distribute() will serve it at the root — partial
+          // combining, always correct (§7).
+          auto folded = try_compose(c, nd.second_map);
+          nd.first_map = std::move(c);
+          nd.declined = !folded.has_value();
           nd.status.store(retag(w, kSecondCombined),
                           std::memory_order_relaxed);
-          return op_(c, nd.second_value);
+          if (folded) return *std::move(folded);
+          return nd.first_map;
+        }
         default:
           KRS_ASSERT(false && "unexpected combine status");
           return c;
@@ -244,22 +332,22 @@ class LockFreeCombiningTree {
 
   // ---- phase 3 --------------------------------------------------------------
 
-  /// Root case: apply the combined operation under the root lock bit.
-  T apply_at_root(const T& c) {
+  /// Root case: apply the combined mapping under the root lock bit.
+  V apply_at_root(const M& c) {
     lock_root();
-    T prior = root_value_;
-    root_value_ = op_(prior, c);
+    const V prior = root_.load(std::memory_order_relaxed);
+    root_.store(c.apply(prior), std::memory_order_release);
     unlock_root();
     return prior;
   }
 
-  /// Second case: deposit the combined operand, then spin-then-yield on
+  /// Second case: deposit the combined mapping, then spin-then-yield on
   /// this node's status word until the first distributes our reply.
-  T deposit_and_await(unsigned n, T c) {
+  V deposit_and_await(unsigned n, M c) {
     Node& nd = nodes_[n];
     std::uint64_t w = nd.status.load(std::memory_order_relaxed);
     KRS_ASSERT(tag_of(w) == kSecondPending);
-    nd.second_value = std::move(c);
+    nd.second_map = std::move(c);
     nd.status.store(retag(w, kSecondReady), std::memory_order_release);
     ExpBackoff bo;
     for (;;) {
@@ -267,7 +355,7 @@ class LockFreeCombiningTree {
       if (tag_of(w) == kResult) break;
       bo.pause();
     }
-    T r = nd.result;
+    V r = nd.result;
     // Release the node for the next pair; new generation kills ABA.
     nd.status.store(idle_next_gen(w), std::memory_order_release);
     return r;
@@ -277,7 +365,7 @@ class LockFreeCombiningTree {
 
   /// Called by the FIRST thread on its way down with the prior value of
   /// everything combined below this node's subtree position.
-  void distribute(unsigned n, const T& prior) {
+  void distribute(unsigned n, const V& prior) {
     Node& nd = nodes_[n];
     const std::uint64_t w = nd.status.load(std::memory_order_relaxed);
     switch (tag_of(w)) {
@@ -286,9 +374,16 @@ class LockFreeCombiningTree {
         nd.status.store(idle_next_gen(w), std::memory_order_release);
         break;
       case kSecondCombined:
-        // The second's reply: prior ⊕ first's contribution — the
-        // decombination rule ⟨id2, f(val)⟩.
-        nd.result = op_(prior, nd.first_value);
+        if (nd.declined) {
+          // Composition declined at this node: the second's mapping never
+          // traveled with ours. Serve it individually at the root now —
+          // it serializes immediately after everything we combined.
+          nd.result = apply_at_root(nd.second_map);
+        } else {
+          // The second's reply: the first's accumulated mapping applied
+          // to the prior — the decombination rule ⟨id2, f(val)⟩.
+          nd.result = nd.first_map.apply(prior);
+        }
         nd.status.store(retag(w, kResult), std::memory_order_release);
         break;
       default:
@@ -318,9 +413,52 @@ class LockFreeCombiningTree {
   }
 
   unsigned width_;
-  Op op_;
-  alignas(kCacheLine) T root_value_;
+  alignas(kCacheLine) std::atomic<V> root_;
   std::vector<Node> nodes_;  // heap layout, nodes_[1..width-1]
+};
+
+/// The operand-style combining counter: atomically result ← result ⊕ v.
+/// An adapter over MappingCombiningTree with the {⊕_v} operand family;
+/// satisfies the CombiningCounter concept alongside BlockingCombiningTree.
+template <typename T, typename Op = std::plus<T>,
+          typename Instrument = analysis::DefaultInstrument>
+class LockFreeCombiningTree {
+ public:
+  using value_type = T;
+
+  /// `width`: maximum number of threads (power of two, ≥ 2). Thread slots
+  /// are 0..width-1; two slots share each leaf.
+  explicit LockFreeCombiningTree(unsigned width, T initial = T{},
+                                 Op op = Op{})
+      : op_(op), tree_(width, initial) {}
+
+  LockFreeCombiningTree(const LockFreeCombiningTree&) = delete;
+  LockFreeCombiningTree& operator=(const LockFreeCombiningTree&) = delete;
+
+  /// Atomically result ← result ⊕ v, returning the prior value, combining
+  /// with concurrent callers on the way up. `slot` must be < width and
+  /// used by at most one thread at a time.
+  T fetch_and_op(unsigned slot, T v) {
+    return tree_.fetch_rmw(slot, Mapping{std::move(v), op_});
+  }
+
+  /// Atomic snapshot of the current value; safe concurrently with
+  /// operations in flight.
+  [[nodiscard]] T read() const { return tree_.read(); }
+
+  /// Quiescent-only read, kept for interface parity with the blocking
+  /// tree; here it costs the same as read().
+  [[nodiscard]] T read_unsynchronized() const {
+    return tree_.read_unsynchronized();
+  }
+
+  [[nodiscard]] unsigned width() const noexcept { return tree_.width(); }
+
+ private:
+  using Mapping = detail::OpMapping<T, Op>;
+
+  [[no_unique_address]] Op op_;
+  MappingCombiningTree<Mapping, Instrument> tree_;
 };
 
 }  // namespace krs::runtime

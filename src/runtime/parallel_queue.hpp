@@ -7,6 +7,16 @@
 // fetch-and-adds are conflict-free, which is precisely why the paper's
 // machine wanted combinable fetch-and-add.
 //
+// The two ticket words live in RmwBackend cells (runtime/rmw_backend.hpp):
+// with AtomicBackend (the default) they are the hardware CAS words of the
+// classic algorithm; with CombiningBackend the ticket traffic funnels
+// through a software combining tree. The bounded variant must claim
+// conditionally (a full queue rejects), so tickets advance by
+// compare_exchange rather than a blind fetch-and-add — on a combining
+// backend that conditional claim serializes at the tree root, linearized
+// against all combined traffic. Per-slot phase tags stay plain atomics:
+// they are spread across slots by construction, never a hot spot.
+//
 // The Instrument policy (analysis/instrument.hpp) publishes per-cell
 // happens-before edges: an enqueue releases the producer's history into
 // its claimed cell before flipping the phase tag, and the dequeue of that
@@ -23,16 +33,22 @@
 
 #include "analysis/instrument.hpp"
 #include "runtime/cacheline.hpp"
+#include "runtime/rmw_backend.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
 namespace krs::runtime {
 
-template <typename T, typename Instrument = analysis::DefaultInstrument>
+template <typename T, typename Instrument = analysis::DefaultInstrument,
+          RmwBackend Backend = AtomicBackend>
 class ParallelQueue {
  public:
   /// Capacity must be a power of two.
-  explicit ParallelQueue(std::size_t capacity) : cells_(capacity) {
+  explicit ParallelQueue(std::size_t capacity, Backend backend = Backend{})
+      : backend_(std::move(backend)),
+        cells_(capacity),
+        tail_(backend_, 0),
+        head_(backend_, 0) {
     KRS_EXPECTS(capacity >= 1 && util::is_pow2(capacity));
     for (std::size_t i = 0; i < capacity; ++i) {
       cells_[i].phase.store(i, std::memory_order_relaxed);
@@ -44,14 +60,13 @@ class ParallelQueue {
 
   /// Non-blocking enqueue; false when the queue is full.
   bool try_enqueue(T v) {
-    std::uint64_t ticket = tail_.load(std::memory_order_relaxed);
+    Word ticket = backend_.load(tail_);
     for (;;) {
       Cell& c = cells_[ticket & (cells_.size() - 1)];
       const std::uint64_t phase = c.phase.load(std::memory_order_acquire);
       if (phase == ticket) {
         // Slot empty for this round: claim the ticket.
-        if (tail_.compare_exchange_weak(ticket, ticket + 1,
-                                        std::memory_order_relaxed)) {
+        if (backend_.compare_exchange(tail_, ticket, ticket + 1)) {
           // Publish before the phase flip: the matching dequeuer cannot
           // succeed (and acquire) until the tag says full-for-its-round.
           Instrument::release(&c);
@@ -59,23 +74,23 @@ class ParallelQueue {
           c.phase.store(ticket + 1, std::memory_order_release);
           return true;
         }
+        // compare_exchange reloaded `ticket` with the current tail.
       } else if (phase < ticket) {
         return false;  // still occupied by the previous round: full
       } else {
-        ticket = tail_.load(std::memory_order_relaxed);
+        ticket = backend_.load(tail_);
       }
     }
   }
 
   /// Non-blocking dequeue; nullopt when the queue is empty.
   std::optional<T> try_dequeue() {
-    std::uint64_t ticket = head_.load(std::memory_order_relaxed);
+    Word ticket = backend_.load(head_);
     for (;;) {
       Cell& c = cells_[ticket & (cells_.size() - 1)];
       const std::uint64_t phase = c.phase.load(std::memory_order_acquire);
       if (phase == ticket + 1) {
-        if (head_.compare_exchange_weak(ticket, ticket + 1,
-                                        std::memory_order_relaxed)) {
+        if (backend_.compare_exchange(head_, ticket, ticket + 1)) {
           Instrument::acquire(&c);
           T v = std::move(c.item);
           c.phase.store(ticket + cells_.size(), std::memory_order_release);
@@ -84,7 +99,7 @@ class ParallelQueue {
       } else if (phase < ticket + 1) {
         return std::nullopt;  // producer not done yet: empty
       } else {
-        ticket = head_.load(std::memory_order_relaxed);
+        ticket = backend_.load(head_);
       }
     }
   }
@@ -108,8 +123,8 @@ class ParallelQueue {
 
   /// Approximate size (racy; exact when quiescent).
   [[nodiscard]] std::size_t size() const noexcept {
-    const auto t = tail_.load(std::memory_order_acquire);
-    const auto h = head_.load(std::memory_order_acquire);
+    const Word t = backend_.load(tail_);
+    const Word h = backend_.load(head_);
     return t >= h ? static_cast<std::size_t>(t - h) : 0;
   }
 
@@ -122,9 +137,10 @@ class ParallelQueue {
     T item{};
   };
 
+  Backend backend_;
   std::vector<Cell> cells_;
-  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
-  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+  typename Backend::Cell tail_;
+  typename Backend::Cell head_;
 };
 
 }  // namespace krs::runtime

@@ -1,0 +1,176 @@
+// The RMW substrate seam: one concept under every §6 algorithm.
+//
+// The paper's coordination algorithms (queues, barriers, readers-writers,
+// semaphores) are written against an abstract machine that executes
+// RMW(X, f) atomically — the algorithms do not care whether f is realized
+// as a hardware fetch-and-θ instruction, a CAS loop, a software combining
+// tree, or a combining network. This header is that seam for the runtime
+// layer: an `RmwBackend` owns word-sized shared cells and executes RMW
+// operations on them; every primitive in src/runtime is templated over a
+// backend and uses only this interface on its hot words.
+//
+// Interface (concept `RmwBackend`):
+//
+//   B::Cell            — a shared word owned by the backend. Cells are not
+//                        movable (they may wrap std::atomic or a combining
+//                        tree); they are constructed in place from
+//                        (const B&, initial_value).
+//   b.fetch_add/or/and/xor(c, v), b.exchange(c, v)
+//                      — the typed fast paths; return the prior value.
+//   b.fetch_rmw(c, m)  — the general path: any tractable mapping, as a
+//                        core::AnyRmw value; returns the prior value.
+//   b.compare_exchange(c, expected, desired)
+//                      — conditional store. Not a tractable mapping (the
+//                        update depends on comparing the old value), so
+//                        backends may serialize it; algorithms that want to
+//                        scale under contention should prefer the fetch
+//                        paths, which combine.
+//   b.load(c), b.store(c, v)
+//
+// Two backends ship:
+//
+//   * AtomicBackend — hardware fetch-and-θ where the instruction exists
+//     (std::atomic fetch_add/fetch_or/...), a CAS loop applying
+//     m.apply(old) otherwise. This is the §2 "memory does the RMW" model
+//     on a real coherence protocol.
+//   * CombiningBackend (combining_backend.hpp) — every operation funnels
+//     through a MappingCombiningTree<core::AnyRmw>, so concurrent
+//     operations on one hot cell combine pairwise on the way to the root
+//     (§4.2) instead of serializing on the coherence protocol.
+//
+// Instrumentation: backends carry the Instrument policy and publish the
+// happens-before edges for their cells — a release before every
+// value-publishing operation and an acquire after every value-observing
+// one, keyed on the cell address. Primitives built on a backend get their
+// cell-mediated HB edges for free and add only their algorithm-specific
+// edges (e.g. a barrier's phase transition).
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+
+#include "analysis/instrument.hpp"
+#include "core/any_rmw.hpp"
+#include "core/types.hpp"
+#include "runtime/cacheline.hpp"
+
+namespace krs::runtime {
+
+using Word = core::Word;
+
+/// Small dense per-thread ordinal (0, 1, 2, ... in first-use order),
+/// process-wide. Backends that need a per-thread slot (the combining tree's
+/// leaf position) derive it from this; callers never pass slot indices
+/// through the backend interface.
+inline unsigned thread_ordinal() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine;
+}
+
+template <typename B>
+concept RmwBackend =
+    std::constructible_from<typename B::Cell, const B&, Word> &&
+    requires(B& b, typename B::Cell& c, const typename B::Cell& cc, Word v,
+             Word& e, const core::AnyRmw& m) {
+      { b.fetch_add(c, v) } -> std::same_as<Word>;
+      { b.fetch_or(c, v) } -> std::same_as<Word>;
+      { b.fetch_and(c, v) } -> std::same_as<Word>;
+      { b.fetch_xor(c, v) } -> std::same_as<Word>;
+      { b.exchange(c, v) } -> std::same_as<Word>;
+      { b.fetch_rmw(c, m) } -> std::same_as<Word>;
+      { b.compare_exchange(c, e, v) } -> std::same_as<bool>;
+      { b.load(cc) } -> std::same_as<Word>;
+      { b.store(c, v) };
+    };
+
+/// Hardware fetch-and-θ backend: each cell is one std::atomic<Word>; the
+/// typed fast paths are the native RMW instructions, and fetch_rmw is a
+/// CAS loop applying m.apply(old) (the §2 semantics when the memory has no
+/// combining support — correct, but a hot cell serializes).
+template <typename Instrument = analysis::DefaultInstrument>
+class BasicAtomicBackend {
+ public:
+  struct Cell {
+    Cell(const BasicAtomicBackend&, Word initial) : word(initial) {}
+    Cell(const Cell&) = delete;
+    Cell& operator=(const Cell&) = delete;
+
+    alignas(kCacheLine) std::atomic<Word> word;
+  };
+
+  Word fetch_add(Cell& c, Word v) const {
+    Instrument::release(&c);
+    Word prior = c.word.fetch_add(v, std::memory_order_acq_rel);
+    Instrument::acquire(&c);
+    return prior;
+  }
+  Word fetch_or(Cell& c, Word v) const {
+    Instrument::release(&c);
+    Word prior = c.word.fetch_or(v, std::memory_order_acq_rel);
+    Instrument::acquire(&c);
+    return prior;
+  }
+  Word fetch_and(Cell& c, Word v) const {
+    Instrument::release(&c);
+    Word prior = c.word.fetch_and(v, std::memory_order_acq_rel);
+    Instrument::acquire(&c);
+    return prior;
+  }
+  Word fetch_xor(Cell& c, Word v) const {
+    Instrument::release(&c);
+    Word prior = c.word.fetch_xor(v, std::memory_order_acq_rel);
+    Instrument::acquire(&c);
+    return prior;
+  }
+  Word exchange(Cell& c, Word v) const {
+    Instrument::release(&c);
+    Word prior = c.word.exchange(v, std::memory_order_acq_rel);
+    Instrument::acquire(&c);
+    return prior;
+  }
+
+  /// The general path: hardware has no "fetch-and-f" for an arbitrary
+  /// mapping, so retry CAS until the old value we applied f to is the old
+  /// value we replaced — the standard emulation, with the typed paths
+  /// above available when the family is known statically.
+  Word fetch_rmw(Cell& c, const core::AnyRmw& m) const {
+    Instrument::release(&c);
+    Word old = c.word.load(std::memory_order_acquire);
+    while (!c.word.compare_exchange_weak(old, m.apply(old),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+    }
+    Instrument::acquire(&c);
+    return old;
+  }
+
+  bool compare_exchange(Cell& c, Word& expected, Word desired) const {
+    Instrument::release(&c);
+    bool ok = c.word.compare_exchange_strong(expected, desired,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire);
+    Instrument::acquire(&c);
+    return ok;
+  }
+
+  Word load(const Cell& c) const {
+    Word v = c.word.load(std::memory_order_acquire);
+    Instrument::acquire(&c);
+    return v;
+  }
+
+  void store(Cell& c, Word v) const {
+    Instrument::release(&c);
+    c.word.store(v, std::memory_order_release);
+  }
+};
+
+using AtomicBackend = BasicAtomicBackend<>;
+
+static_assert(RmwBackend<BasicAtomicBackend<analysis::NoInstrument>>);
+static_assert(RmwBackend<AtomicBackend>);
+
+}  // namespace krs::runtime

@@ -1,0 +1,574 @@
+// The RmwBackend seam (runtime/rmw_backend.hpp, runtime/combining_backend.hpp)
+// and the mapping-generalized combining tree underneath it:
+//
+//  * concept/layout contracts for both backends;
+//  * the MappingCombiningTree combining NON-add families end to end —
+//    fetch-and-or tickets, AnyRmw swaps with §3 decombination, and a
+//    mixed-family stream whose cross-family compositions DECLINE at the
+//    nodes (§7 partial combining);
+//  * cross-backend equivalence: the same workload through AtomicBackend
+//    and CombiningBackend yields identical sum/ticket-set invariants at
+//    2/4/8 threads (mirroring test_lockfree_combining.cpp);
+//  * every §6 primitive (barrier, rw-lock, semaphore, queue, full/empty
+//    cell, group lock) run against BOTH backends;
+//  * a deterministic race_explorer model of the declined-composition
+//    fetch_rmw path, with a control showing the verdict comes from the
+//    modeled edges.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "analysis/instrument.hpp"
+#include "core/any_rmw.hpp"
+#include "core/fetch_theta.hpp"
+#include "core/load_store_swap.hpp"
+#include "runtime/combining_backend.hpp"
+#include "runtime/coordination.hpp"
+#include "runtime/full_empty_cell.hpp"
+#include "runtime/group_lock.hpp"
+#include "runtime/lock_free_combining_tree.hpp"
+#include "runtime/parallel_queue.hpp"
+#include "runtime/rmw_backend.hpp"
+#include "verify/race_explorer.hpp"
+
+namespace {
+
+using namespace krs::runtime;
+using krs::analysis::GlobalInstrument;
+using krs::analysis::NoInstrument;
+using krs::core::AnyRmw;
+using krs::core::FetchAdd;
+using krs::core::FetchOr;
+using krs::core::LssOp;
+
+// --- concept and layout contracts -------------------------------------------
+
+static_assert(RmwBackend<AtomicBackend>);
+static_assert(RmwBackend<CombiningBackend>);
+static_assert(RmwBackend<BasicAtomicBackend<GlobalInstrument>>);
+static_assert(RmwBackend<BasicCombiningBackend<GlobalInstrument>>);
+
+// The instrumentation policy must add no per-object state, to the backend
+// or to the primitives built on it.
+static_assert(sizeof(BasicAtomicBackend<NoInstrument>) ==
+              sizeof(BasicAtomicBackend<GlobalInstrument>));
+static_assert(sizeof(BasicCombiningBackend<NoInstrument>) ==
+              sizeof(BasicCombiningBackend<GlobalInstrument>));
+static_assert(sizeof(BasicBarrier<AtomicBackend, NoInstrument>) ==
+              sizeof(BasicBarrier<AtomicBackend, GlobalInstrument>));
+static_assert(sizeof(BasicRwLock<AtomicBackend, NoInstrument>) ==
+              sizeof(BasicRwLock<AtomicBackend, GlobalInstrument>));
+static_assert(sizeof(BasicSemaphore<AtomicBackend, NoInstrument>) ==
+              sizeof(BasicSemaphore<AtomicBackend, GlobalInstrument>));
+
+// The mapping tree still satisfies the counter concept through its
+// operand adapter.
+static_assert(CombiningCounter<LockFreeCombiningTree<long>>);
+
+// --- single-thread backend semantics ----------------------------------------
+
+// Run the same scripted op sequence through any backend and collect every
+// returned prior: the backends must be observationally identical.
+template <typename B>
+std::vector<Word> scripted_run(B& b) {
+  typename B::Cell c(b, 10);
+  std::vector<Word> out;
+  out.push_back(b.fetch_add(c, 5));                    // 10 → 15
+  out.push_back(b.fetch_or(c, 0xF0));                  // 15 → 0xFF
+  out.push_back(b.fetch_and(c, 0x0F));                 // 0xFF → 0x0F
+  out.push_back(b.fetch_xor(c, 0xFF));                 // 0x0F → 0xF0
+  out.push_back(b.exchange(c, 3));                     // 0xF0 → 3
+  out.push_back(b.fetch_rmw(c, AnyRmw(FetchAdd(4))));  // 3 → 7
+  out.push_back(b.fetch_rmw(c, AnyRmw(LssOp::swap(40))));  // 7 → 40
+  Word expect = 41;  // mismatch: must fail and reload expect
+  EXPECT_FALSE(b.compare_exchange(c, expect, 99));
+  out.push_back(expect);  // reloaded prior: 40
+  EXPECT_TRUE(b.compare_exchange(c, expect, 99));  // 40 → 99
+  out.push_back(b.load(c));                        // 99
+  b.store(c, 7);
+  out.push_back(b.load(c));  // 7
+  return out;
+}
+
+TEST(Backends, ScriptedSequenceIdenticalAcrossBackends) {
+  AtomicBackend ab;
+  CombiningBackend cb(4);
+  const auto a = scripted_run(ab);
+  const auto c = scripted_run(cb);
+  EXPECT_EQ(a, c);
+  const std::vector<Word> expect{10, 15, 0xFF, 0x0F, 0xF0, 3, 7, 40, 99, 7};
+  EXPECT_EQ(a, expect);
+}
+
+// --- non-add families through the mapping tree -------------------------------
+
+TEST(MappingTree, FetchOrCombinesDistinctBits) {
+  // Each thread repeatedly ors its own bit in. Or only sets bits, so every
+  // thread's stream of priors is numerically non-decreasing, the first
+  // prior overall is the initial value for some thread, and the final
+  // value is the union of all bits — regardless of how the tree combined.
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kPer = 200;
+  MappingCombiningTree<AnyRmw> tree(4, 0);
+  std::vector<std::vector<Word>> priors(kThreads);
+  {
+    std::vector<std::jthread> ts;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&, t] {
+        const Word mine = Word{1} << t;
+        for (unsigned i = 0; i < kPer; ++i) {
+          priors[t].push_back(tree.fetch_rmw(t, AnyRmw(FetchOr(mine))));
+        }
+      });
+    }
+  }
+  const Word all = (Word{1} << kThreads) - 1;
+  EXPECT_EQ(tree.read(), all);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(priors[t].size(), kPer);
+    EXPECT_TRUE(std::is_sorted(priors[t].begin(), priors[t].end()));
+    // After a thread's first op its own bit is set, so every later prior
+    // must contain it (M2.3 at the tree level).
+    const Word mine = Word{1} << t;
+    for (unsigned i = 1; i < kPer; ++i) {
+      EXPECT_EQ(priors[t][i] & mine, mine);
+    }
+    // No prior may contain a bit no thread writes.
+    for (const Word p : priors[t]) EXPECT_EQ(p & ~all, 0u);
+  }
+}
+
+TEST(MappingTree, SwapChainConservesValues) {
+  // Every thread swaps in distinct values. Swap composes as the §5.1 table
+  // (I_a then I_b forwards I_b, decombination answers the second with a —
+  // the chain rule), so across any combining pattern the multiset
+  // {initial} ∪ {swapped-in values} must equal {observed priors} ∪
+  // {final value}: every value is handed off exactly once.
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kPer = 150;
+  constexpr Word kInitial = 999'999;
+  MappingCombiningTree<AnyRmw> tree(4, kInitial);
+  std::vector<std::vector<Word>> priors(kThreads);
+  {
+    std::vector<std::jthread> ts;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&, t] {
+        for (unsigned i = 0; i < kPer; ++i) {
+          const Word v = t * kPer + i;  // globally unique
+          priors[t].push_back(tree.fetch_rmw(t, AnyRmw(LssOp::swap(v))));
+        }
+      });
+    }
+  }
+  std::multiset<Word> in{kInitial};
+  std::multiset<Word> out{tree.read()};
+  for (unsigned t = 0; t < kThreads; ++t) {
+    for (unsigned i = 0; i < kPer; ++i) in.insert(t * kPer + i);
+    out.insert(priors[t].begin(), priors[t].end());
+  }
+  EXPECT_EQ(in, out);
+}
+
+TEST(MappingTree, MixedFamiliesDeclineAndStayLinearizable) {
+  // Half the threads add 1 (low bits), half or in high bits. Cross-family
+  // compositions decline at the nodes (§7), so this exercises the
+  // declined-service path under real concurrency. Adds can never carry
+  // into the or-bits (≤ kAdds·kPer < 2^48), so the two families commute
+  // on disjoint bit ranges: the adders' priors, masked to the low range,
+  // must be the distinct tickets 0..N-1, and the final value decomposes
+  // exactly.
+  constexpr unsigned kAdders = 2;
+  constexpr unsigned kOrers = 2;
+  constexpr unsigned kPer = 200;
+  constexpr Word kOrBase = Word{1} << 48;
+  constexpr Word kLowMask = kOrBase - 1;
+  MappingCombiningTree<AnyRmw> tree(4, 0);
+  std::vector<std::vector<Word>> addPriors(kAdders);
+  {
+    std::vector<std::jthread> ts;
+    for (unsigned t = 0; t < kAdders; ++t) {
+      ts.emplace_back([&, t] {
+        for (unsigned i = 0; i < kPer; ++i) {
+          addPriors[t].push_back(tree.fetch_rmw(t, AnyRmw(FetchAdd(1))));
+        }
+      });
+    }
+    for (unsigned t = 0; t < kOrers; ++t) {
+      ts.emplace_back([&, t] {
+        const Word mine = kOrBase << t;
+        for (unsigned i = 0; i < kPer; ++i) {
+          tree.fetch_rmw(kAdders + t, AnyRmw(FetchOr(mine)));
+        }
+      });
+    }
+  }
+  const Word fin = tree.read();
+  EXPECT_EQ(fin & kLowMask, kAdders * kPer);
+  EXPECT_EQ(fin >> 48, (Word{1} << kOrers) - 1);
+  std::set<Word> tickets;
+  for (const auto& v : addPriors) {
+    for (const Word p : v) tickets.insert(p & kLowMask);
+  }
+  EXPECT_EQ(tickets.size(), static_cast<std::size_t>(kAdders) * kPer);
+  EXPECT_EQ(*tickets.begin(), 0u);
+  EXPECT_EQ(*tickets.rbegin(), static_cast<Word>(kAdders * kPer) - 1);
+}
+
+// --- cross-backend equivalence ----------------------------------------------
+
+// The same hotspot-counter workload through any backend: every thread's
+// priors are its tickets; across the run the tickets must be exactly
+// 0..N-1 with per-thread monotonicity and final == N — the invariants
+// test_lockfree_combining.cpp pins for the tree, here pinned for the seam.
+template <typename B>
+void hotspot_counter_invariants(B backend) {
+  for (const unsigned nt : {2u, 4u, 8u}) {
+    B b = backend;
+    typename B::Cell cell(b, 0);
+    constexpr unsigned kPer = 200;
+    std::vector<std::vector<Word>> got(nt);
+    {
+      std::vector<std::jthread> ts;
+      for (unsigned t = 0; t < nt; ++t) {
+        ts.emplace_back([&, t] {
+          for (unsigned i = 0; i < kPer; ++i) {
+            got[t].push_back(b.fetch_add(cell, 1));
+          }
+        });
+      }
+    }
+    std::set<Word> all;
+    for (const auto& v : got) {
+      EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+      all.insert(v.begin(), v.end());
+    }
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(nt) * kPer);
+    EXPECT_EQ(*all.begin(), 0u);
+    EXPECT_EQ(*all.rbegin(), static_cast<Word>(nt) * kPer - 1);
+    EXPECT_EQ(b.load(cell), static_cast<Word>(nt) * kPer);
+  }
+}
+
+TEST(BackendEquivalence, HotspotTicketsAtomic) {
+  hotspot_counter_invariants(AtomicBackend{});
+}
+
+TEST(BackendEquivalence, HotspotTicketsCombining) {
+  hotspot_counter_invariants(CombiningBackend{8});
+}
+
+// --- every §6 primitive on both backends ------------------------------------
+
+template <typename B>
+void barrier_phases(B backend, unsigned nt) {
+  BasicBarrier<B> barrier(nt, backend);
+  constexpr int kPhases = 40;
+  std::vector<int> counters(kPhases, 0);
+  std::atomic<bool> torn{false};
+  {
+    std::vector<std::jthread> ts;
+    for (unsigned t = 0; t < nt; ++t) {
+      ts.emplace_back([&] {
+        for (int ph = 0; ph < kPhases; ++ph) {
+          __atomic_fetch_add(&counters[ph], 1, __ATOMIC_RELAXED);
+          barrier.arrive_and_wait();
+          if (counters[ph] != static_cast<int>(nt)) torn = true;
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(torn.load());
+  EXPECT_EQ(barrier.phase(), static_cast<Word>(kPhases));
+}
+
+TEST(BackendMatrix, BarrierAtomic) { barrier_phases(AtomicBackend{}, 4); }
+TEST(BackendMatrix, BarrierCombining) {
+  barrier_phases(CombiningBackend{4}, 4);
+}
+
+template <typename B>
+void rwlock_excludes(B backend) {
+  BasicRwLock<B> lock(backend);
+  long shared_value = 0;
+  std::atomic<bool> bad{false};
+  constexpr int kWrites = 150;
+  {
+    std::vector<std::jthread> ts;
+    for (int w = 0; w < 2; ++w) {
+      ts.emplace_back([&] {
+        for (int i = 0; i < kWrites; ++i) {
+          lock.write_lock();
+          const long v = shared_value;
+          shared_value = v + 1;  // torn unless writers exclude
+          lock.write_unlock();
+        }
+      });
+    }
+    for (int r = 0; r < 2; ++r) {
+      ts.emplace_back([&] {
+        for (int i = 0; i < 300; ++i) {
+          lock.read_lock();
+          const long v = shared_value;
+          if (v < 0 || v > 2 * kWrites) bad = true;
+          lock.read_unlock();
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(bad.load());
+  EXPECT_EQ(shared_value, 2 * kWrites);
+}
+
+TEST(BackendMatrix, RwLockAtomic) { rwlock_excludes(AtomicBackend{}); }
+TEST(BackendMatrix, RwLockCombining) { rwlock_excludes(CombiningBackend{4}); }
+
+template <typename B>
+void semaphore_bounds_concurrency(B backend) {
+  BasicSemaphore<B> sem(2, backend);
+  std::atomic<int> inside{0};
+  std::atomic<bool> over{false};
+  {
+    std::vector<std::jthread> ts;
+    for (int t = 0; t < 4; ++t) {
+      ts.emplace_back([&] {
+        for (int i = 0; i < 100; ++i) {
+          sem.p();
+          if (inside.fetch_add(1, std::memory_order_acq_rel) >= 2) {
+            over = true;
+          }
+          inside.fetch_sub(1, std::memory_order_acq_rel);
+          sem.v();
+        }
+      });
+    }
+  }
+  EXPECT_FALSE(over.load());
+  EXPECT_EQ(sem.value(), 2);
+}
+
+TEST(BackendMatrix, SemaphoreAtomic) {
+  semaphore_bounds_concurrency(AtomicBackend{});
+}
+TEST(BackendMatrix, SemaphoreCombining) {
+  semaphore_bounds_concurrency(CombiningBackend{4});
+}
+
+template <typename B>
+void queue_conserves_sum(B backend) {
+  ParallelQueue<int, krs::analysis::DefaultInstrument, B> q(16, backend);
+  constexpr int kProducers = 2;
+  constexpr int kPer = 400;
+  std::atomic<long> consumed{0};
+  {
+    std::vector<std::jthread> ts;
+    for (int p = 0; p < kProducers; ++p) {
+      ts.emplace_back([&, p] {
+        for (int i = 1; i <= kPer; ++i) q.enqueue(p * kPer + i);
+      });
+    }
+    ts.emplace_back([&] {
+      for (int i = 0; i < kProducers * kPer; ++i) {
+        consumed.fetch_add(q.dequeue(), std::memory_order_relaxed);
+      }
+    });
+  }
+  long expect = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 1; i <= kPer; ++i) expect += p * kPer + i;
+  }
+  EXPECT_EQ(consumed.load(), expect);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BackendMatrix, QueueAtomic) { queue_conserves_sum(AtomicBackend{}); }
+TEST(BackendMatrix, QueueCombining) {
+  queue_conserves_sum(CombiningBackend{4});
+}
+
+template <typename B>
+void full_empty_ping_pong(B backend) {
+  FullEmptyCell<int, krs::analysis::DefaultInstrument, B> cell(backend);
+  constexpr int kRounds = 300;
+  long got = 0;
+  {
+    std::jthread producer([&] {
+      for (int i = 1; i <= kRounds; ++i) cell.put(i);
+    });
+    std::jthread consumer([&] {
+      for (int i = 1; i <= kRounds; ++i) got += cell.take();
+    });
+  }
+  EXPECT_EQ(got, static_cast<long>(kRounds) * (kRounds + 1) / 2);
+  EXPECT_FALSE(cell.full());
+}
+
+TEST(BackendMatrix, FullEmptyAtomic) { full_empty_ping_pong(AtomicBackend{}); }
+TEST(BackendMatrix, FullEmptyCombining) {
+  full_empty_ping_pong(CombiningBackend{4});
+}
+
+template <typename B>
+void group_lock_excludes_groups(B backend) {
+  BasicGroupLock<krs::analysis::DefaultInstrument, B> lock(backend);
+  std::atomic<int> in_group[2] = {0, 0};
+  std::atomic<bool> mixed{false};
+  {
+    std::vector<std::jthread> ts;
+    for (int g = 0; g < 2; ++g) {
+      for (int m = 0; m < 2; ++m) {
+        ts.emplace_back([&, g] {
+          for (int i = 0; i < 120; ++i) {
+            lock.enter(static_cast<std::uint16_t>(g));
+            in_group[g].fetch_add(1, std::memory_order_acq_rel);
+            if (in_group[1 - g].load(std::memory_order_acquire) != 0) {
+              mixed = true;
+            }
+            in_group[g].fetch_sub(1, std::memory_order_acq_rel);
+            lock.leave();
+          }
+        });
+      }
+    }
+  }
+  EXPECT_FALSE(mixed.load());
+  EXPECT_EQ(lock.member_count(), 0u);
+  EXPECT_EQ(lock.active_group(), -1);
+}
+
+TEST(BackendMatrix, GroupLockAtomic) {
+  group_lock_excludes_groups(AtomicBackend{});
+}
+TEST(BackendMatrix, GroupLockCombining) {
+  group_lock_excludes_groups(CombiningBackend{4});
+}
+
+// --- instrumented HB edges through the backend seam --------------------------
+
+using krs::analysis::ForkHandle;
+
+TEST(BackendAnalysis, CombiningBackendOrdersTemporallySeparatedOps) {
+  // Same experiment test_lockfree_combining.cpp runs on the raw tree, now
+  // through the backend seam: the only detector-visible ordering between
+  // t0's payload write and t1's read is the cell's entry-acquire /
+  // exit-release edge inside fetch_rmw.
+  krs::analysis::RaceDetector det;
+  krs::analysis::ScopedDetector guard(det);
+  BasicCombiningBackend<GlobalInstrument> backend(4);
+  BasicCombiningBackend<GlobalInstrument>::Cell cell(backend, 0);
+  std::atomic<int> payload{0};
+  std::atomic<bool> done{false};
+
+  ForkHandle f0;
+  ForkHandle f1;
+  std::thread t0([&] {
+    f0.adopt();
+    payload.store(7, std::memory_order_relaxed);
+    krs::analysis::shadow_write(&payload, KRS_SITE);
+    backend.fetch_add(cell, 1);
+    done.store(true, std::memory_order_release);
+  });
+  std::thread t1([&] {
+    f1.adopt();
+    while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+    backend.fetch_add(cell, 1);
+    krs::analysis::shadow_read(&payload, KRS_SITE);
+  });
+  t0.join();
+  f0.join();
+  t1.join();
+  f1.join();
+
+  EXPECT_EQ(backend.load(cell), 2u);
+  EXPECT_TRUE(det.clean()) << det.races()[0].to_string();
+}
+
+TEST(BackendAnalysis, AtomicBackendOrdersTemporallySeparatedOps) {
+  krs::analysis::RaceDetector det;
+  krs::analysis::ScopedDetector guard(det);
+  BasicAtomicBackend<GlobalInstrument> backend;
+  BasicAtomicBackend<GlobalInstrument>::Cell cell(backend, 0);
+  std::atomic<int> payload{0};
+  std::atomic<bool> done{false};
+
+  ForkHandle f0;
+  ForkHandle f1;
+  std::thread t0([&] {
+    f0.adopt();
+    payload.store(9, std::memory_order_relaxed);
+    krs::analysis::shadow_write(&payload, KRS_SITE);
+    backend.fetch_rmw(cell, AnyRmw(FetchAdd(1)));
+    done.store(true, std::memory_order_release);
+  });
+  std::thread t1([&] {
+    f1.adopt();
+    while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+    backend.fetch_rmw(cell, AnyRmw(FetchAdd(1)));
+    krs::analysis::shadow_read(&payload, KRS_SITE);
+  });
+  t0.join();
+  f0.join();
+  t1.join();
+  f1.join();
+
+  EXPECT_EQ(backend.load(cell), 2u);
+  EXPECT_TRUE(det.clean()) << det.races()[0].to_string();
+}
+
+// --- deterministic model of the declined-composition path --------------------
+
+using krs::verify::EAcquire;
+using krs::verify::ERead;
+using krs::verify::ERelease;
+using krs::verify::EventProgram;
+using krs::verify::EWrite;
+using krs::verify::explore_races;
+
+TEST(DeclinedCombineModel, RootServiceOfDeclinedSecondIsRaceFree) {
+  // Abstract model of one DECLINED combine: var 0 = the second's deposited
+  // mapping slot, var 1 = the root value, var 2 = the node's result slot;
+  // lock 0 = the node status word, lock 1 = the root lock bit. The first
+  // (thread 0) reads the deposit, finds the composition declined, applies
+  // the second's mapping at the root during distribute, writes the reply.
+  // The second (thread 1) deposits, then picks the reply up. Every edge is
+  // mediated by one of the two locks — no schedule may report a race.
+  EventProgram prog;
+  prog.threads = {
+      // first: combine (acquire status, read deposit) → declined root
+      // service (root lock, read+write root) → distribute reply.
+      {EAcquire{0}, ERead{0}, EAcquire{1}, ERead{1}, EWrite{1}, ERelease{1},
+       EWrite{2}, ERelease{0}},
+      // second: deposit (write mapping, release status) → await (acquire
+      // status, read reply).
+      {EAcquire{0}, EWrite{0}, ERelease{0}, EAcquire{0}, ERead{2},
+       ERelease{0}},
+  };
+  const auto res = explore_races(prog);
+  EXPECT_GT(res.schedules, 0u);
+  EXPECT_TRUE(res.never_racy())
+      << res.racy_schedules << " of " << res.schedules << " schedules racy";
+}
+
+TEST(DeclinedCombineModel, NakedDepositAndPickupAlwaysRaces) {
+  // Control: drop the second's status-word edges. With no release/acquire
+  // pair there is no cross-thread ordering at all, so every schedule must
+  // be flagged — proving the clean verdict above comes from the modeled
+  // handshake, not detector blindness.
+  EventProgram prog;
+  prog.threads = {
+      {EAcquire{0}, ERead{0}, EAcquire{1}, ERead{1}, EWrite{1}, ERelease{1},
+       EWrite{2}, ERelease{0}},
+      {EWrite{0}, ERead{2}},  // naked deposit + naked reply pickup
+  };
+  const auto res = explore_races(prog);
+  EXPECT_GT(res.schedules, 0u);
+  EXPECT_TRUE(res.always_racy())
+      << res.racy_schedules << " of " << res.schedules << " schedules racy";
+}
+
+}  // namespace

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/backoff.hpp"
 #include "runtime/combining_tree.hpp"
 #include "runtime/coordination.hpp"
 #include "runtime/fetch_and_op.hpp"
@@ -26,6 +27,54 @@ using namespace krs::runtime;
 
 unsigned hw_threads() {
   return std::max(2u, std::min(8u, std::thread::hardware_concurrency()));
+}
+
+// --- busy-wait pacing policies ----------------------------------------------
+
+TEST(Backoff, ExpBackoffDoublesToCapThenSaturates) {
+  ExpBackoff bo;
+  // Budget doubles 1, 2, 4, ..., kSpinCap while in the spinning regime.
+  for (std::uint32_t expect = 1; expect <= ExpBackoff::kSpinCap; expect *= 2) {
+    EXPECT_EQ(bo.current_spins(), expect);
+    bo.pause();
+  }
+  // One doubling past the cap parks the budget in the yield regime, where
+  // further pauses no longer grow it.
+  EXPECT_EQ(bo.current_spins(), 2 * ExpBackoff::kSpinCap);
+  bo.pause();
+  EXPECT_EQ(bo.current_spins(), 2 * ExpBackoff::kSpinCap);
+  bo.pause();
+  EXPECT_EQ(bo.current_spins(), 2 * ExpBackoff::kSpinCap);
+}
+
+TEST(Backoff, ExpBackoffResetRestartsTheSchedule) {
+  ExpBackoff bo;
+  for (int i = 0; i < 10; ++i) bo.pause();
+  EXPECT_EQ(bo.current_spins(), 2 * ExpBackoff::kSpinCap);
+  bo.reset();
+  EXPECT_EQ(bo.current_spins(), 1u);
+  bo.pause();
+  EXPECT_EQ(bo.current_spins(), 2u);
+}
+
+TEST(Backoff, ProportionalScheduleIsLinearUntilYieldThreshold) {
+  // ahead == 0 (served next): no wait at all.
+  EXPECT_EQ(proportional_spin_count(0), 0u);
+  EXPECT_EQ(proportional_spin_count(1), kProportionalSpinsPerWaiter);
+  EXPECT_EQ(proportional_spin_count(5), 5 * kProportionalSpinsPerWaiter);
+  EXPECT_EQ(proportional_spin_count(kProportionalYieldAhead - 1),
+            (kProportionalYieldAhead - 1) * kProportionalSpinsPerWaiter);
+  // At the threshold and beyond the waiter yields instead of spinning.
+  EXPECT_EQ(proportional_spin_count(kProportionalYieldAhead), 0u);
+  EXPECT_EQ(proportional_spin_count(1'000'000), 0u);
+}
+
+TEST(Backoff, ProportionalBackoffRunsInAllRegimes) {
+  // The pure schedule above pins the behavior; this just exercises the
+  // side-effecting wrapper in its three regimes (no-op, spin, yield).
+  proportional_backoff(0);
+  proportional_backoff(3);
+  proportional_backoff(kProportionalYieldAhead + 1);
 }
 
 // --- fetch-and-op wrappers ---------------------------------------------------

@@ -5,7 +5,9 @@
 # acceptance comparison series). Two groups:
 #
 #   BENCH_combining.json — contended combining-tree / coordination benches
-#       at 1/2/4/8/16 threads, with the lockfree-vs-blocking ratio.
+#       at 1/2/4/8/16 threads, with the lockfree-vs-blocking ratio and the
+#       combining-vs-atomic RmwBackend ratio (bench_coordination's
+#       BM_*/atomic vs BM_*/combining series).
 #   BENCH_machine.json   — whole-machine Omega simulation (bench_machine):
 #       sequential vs shard-parallel engine at k ∈ {6,8,10}, with the
 #       machine_parallel_speedup series and the cycles_per_op /
@@ -44,11 +46,16 @@ cmake --build "$BUILD" -j "$JOBS" \
 
 JSON_DIR="$BUILD/bench-json"
 
-# run_group <output.json> <bench targets...>: run each bench in JSON mode
-# into a per-group directory, then normalize the group into one document.
+# run_group <output.json> <required series (comma-sep, "" for none)>
+#           <bench targets...>: run each bench in JSON mode into a
+# per-group directory, then normalize the group into one document.
+# normalize.py exits non-zero if a bench produced no runs or a required
+# comparison series came out missing/empty — a broken run cannot
+# green-wash the pipeline.
 run_group() {
   local out="$1"
-  shift
+  local requires="$2"
+  shift 2
   local dir
   dir="$JSON_DIR/$(basename "$out" .json)"
   mkdir -p "$dir"
@@ -61,11 +68,21 @@ run_group() {
       --benchmark_repetitions="$REPS" \
       > "$dir/$b.json"
   done
+  local require_flags=()
+  local s
+  if [[ -n "$requires" ]]; then
+    IFS=',' read -ra _series <<< "$requires"
+    for s in "${_series[@]}"; do
+      require_flags+=(--require "$s")
+    done
+  fi
   python3 bench/harness/normalize.py \
     --out "$out" --min-time "$MIN_TIME" --repetitions "$REPS" \
-    "$dir"/*.json
+    "${require_flags[@]}" "$dir"/*.json
 }
 
-run_group "$OUT" "${COMBINING_BENCHES[@]}"
-run_group "$MACHINE_OUT" "${MACHINE_BENCHES[@]}"
+run_group "$OUT" \
+  "lockfree_vs_blocking_ops_ratio,combining_vs_atomic_ops_ratio" \
+  "${COMBINING_BENCHES[@]}"
+run_group "$MACHINE_OUT" "machine_parallel_speedup" "${MACHINE_BENCHES[@]}"
 echo "=== bench pipeline complete: $OUT $MACHINE_OUT ==="
