@@ -3,18 +3,32 @@
 // queue, each against a mutex/condition-variable baseline. The paper's
 // point: these algorithms have no serial critical section, so they scale
 // with the memory system rather than with lock hand-offs.
+//
+// E17 — the same repertoire's hot-path RMW patterns on the simulated
+// Omega machine (BM_SimCoordination/*): costs in NETWORK CYCLES PER
+// OPERATION rather than host wall-clock. One benchmark iteration = one
+// round of the primitive's §6 traffic pattern injected as simultaneous
+// waves via SimBackend::run_wave, so the reported cycles_per_op is a pure
+// function of the pattern — bit-identical at every --workers count and on
+// every host, comparable against the paper's analytic O(lg n) formulas.
 #include <benchmark/benchmark.h>
 
 #include <barrier>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <vector>
 
+#include "core/any_rmw.hpp"
+#include "core/fetch_theta.hpp"
+#include "core/load_store_swap.hpp"
 #include "runtime/combining_backend.hpp"
 #include "runtime/coordination.hpp"
 #include "runtime/parallel_queue.hpp"
 #include "runtime/rmw_backend.hpp"
+#include "runtime/sim_backend.hpp"
 #include "runtime/ticket_lock.hpp"
 
 using namespace krs::runtime;
@@ -55,6 +69,16 @@ BENCHMARK(BM_BackendCounter_Atomic)
 
 void BM_BackendCounter_Combining(benchmark::State& state) {
   backend_counter_loop(state, g_combining_backend, g_combining_counter);
+  if (state.thread_index() == 0) {
+    // Partial-combining telemetry (§7) for the hot cell, cumulative over
+    // the run: how much traffic folded below the root vs. serialized at
+    // it. A mixed-family regression shows up as served_at_root → 1.0 long
+    // before the wall-clock numbers move on a small host.
+    const CombiningTreeStats ts =
+        g_combining_backend.cell_stats(g_combining_counter);
+    state.counters["combine_rate"] = ts.combine_rate();
+    state.counters["served_at_root_fraction"] = ts.served_at_root_fraction();
+  }
 }
 BENCHMARK(BM_BackendCounter_Combining)
     ->Name("BM_BackendCounter/combining")
@@ -83,6 +107,234 @@ void BM_BackendBarrier_Combining(benchmark::State& state) {
 BENCHMARK(BM_BackendBarrier_Combining)
     ->Name("BM_BackendBarrier/combining")
     ->Threads(4)->UseRealTime();
+
+// The rest of the §6 repertoire as backend twins: the same read-mostly
+// rw-lock, P/V semaphore, and producer/consumer queue traffic once per
+// RmwBackend, completing the bench matrix beyond counter + barrier.
+
+BasicRwLock<AtomicBackend> g_atomic_rwlock(g_atomic_backend);
+BasicRwLock<CombiningBackend> g_combining_rwlock(g_combining_backend);
+long g_backend_rw_value = 0;
+
+template <typename B>
+void backend_rwlock_loop(benchmark::State& state, BasicRwLock<B>& lock) {
+  for (auto _ : state) {
+    if (state.thread_index() == 0) {
+      lock.write_lock();
+      ++g_backend_rw_value;
+      lock.write_unlock();
+    } else {
+      lock.read_lock();
+      benchmark::DoNotOptimize(g_backend_rw_value);
+      lock.read_unlock();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BackendRwLock_Atomic(benchmark::State& state) {
+  backend_rwlock_loop(state, g_atomic_rwlock);
+}
+BENCHMARK(BM_BackendRwLock_Atomic)
+    ->Name("BM_BackendRwLock/atomic")
+    ->Threads(4)->UseRealTime();
+
+void BM_BackendRwLock_Combining(benchmark::State& state) {
+  backend_rwlock_loop(state, g_combining_rwlock);
+}
+BENCHMARK(BM_BackendRwLock_Combining)
+    ->Name("BM_BackendRwLock/combining")
+    ->Threads(4)->UseRealTime();
+
+BasicSemaphore<AtomicBackend> g_atomic_sem(2, g_atomic_backend);
+BasicSemaphore<CombiningBackend> g_combining_sem(2, g_combining_backend);
+
+template <typename B>
+void backend_semaphore_loop(benchmark::State& state, BasicSemaphore<B>& sem) {
+  for (auto _ : state) {
+    sem.p();
+    benchmark::ClobberMemory();
+    sem.v();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BackendSemaphore_Atomic(benchmark::State& state) {
+  backend_semaphore_loop(state, g_atomic_sem);
+}
+BENCHMARK(BM_BackendSemaphore_Atomic)
+    ->Name("BM_BackendSemaphore/atomic")
+    ->Threads(4)->UseRealTime();
+
+void BM_BackendSemaphore_Combining(benchmark::State& state) {
+  backend_semaphore_loop(state, g_combining_sem);
+}
+BENCHMARK(BM_BackendSemaphore_Combining)
+    ->Name("BM_BackendSemaphore/combining")
+    ->Threads(4)->UseRealTime();
+
+ParallelQueue<std::uint64_t, krs::analysis::DefaultInstrument, AtomicBackend>
+    g_atomic_queue(1024, g_atomic_backend);
+ParallelQueue<std::uint64_t, krs::analysis::DefaultInstrument,
+              CombiningBackend>
+    g_combining_queue(1024, g_combining_backend);
+
+template <typename Q>
+void backend_queue_loop(benchmark::State& state, Q& q) {
+  // Even threads produce, odd threads consume (as BM_ParallelQueue).
+  const bool producer = state.thread_index() % 2 == 0;
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    if (producer) {
+      q.enqueue(++v);
+    } else {
+      benchmark::DoNotOptimize(q.dequeue());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BackendQueue_Atomic(benchmark::State& state) {
+  backend_queue_loop(state, g_atomic_queue);
+}
+BENCHMARK(BM_BackendQueue_Atomic)
+    ->Name("BM_BackendQueue/atomic")
+    ->Threads(4)->UseRealTime();
+
+void BM_BackendQueue_Combining(benchmark::State& state) {
+  backend_queue_loop(state, g_combining_queue);
+}
+BENCHMARK(BM_BackendQueue_Combining)
+    ->Name("BM_BackendQueue/combining")
+    ->Threads(4)->UseRealTime();
+
+// --- the sim dimension (E17) -------------------------------------------------
+//
+// Each primitive's hot-path RMW pattern on the simulated Omega machine
+// (n = 8 processors), injected as full waves so the cost is deterministic.
+// Reported counters are PAPER UNITS:
+//   cycles_per_op       — network cycles per completed RMW (cf. the §6
+//                         O(lg n) claims; one uncontended round trip on
+//                         this machine is 2·lg n + 1 + memory latency)
+//   combine_rate        — switch combine events per network op (§4.2)
+//   mean_latency_cycles — mean issue→reply latency
+//   sim_cycles          — total simulated cycles (scales with iterations)
+// The `workers` arg is the ENGINE worker count: it must not change any
+// counter (the parallel engine is bit-identical) — pinned by
+// test_sim_backend.cpp and visible in the JSON as identical rows.
+
+using krs::core::AnyRmw;
+using krs::core::FetchAdd;
+using krs::core::LssOp;
+
+constexpr unsigned kSimLogProcs = 3;  // n = 8
+
+SimBackend make_sim_backend(benchmark::State& state) {
+  return SimBackend(SimBackendConfig{
+      .log2_procs = kSimLogProcs,
+      .engine_workers = static_cast<unsigned>(state.range(0))});
+}
+
+std::vector<SimBackend::WaveOp> full_wave(const SimBackend& b,
+                                          const SimBackend::Cell& cell,
+                                          const AnyRmw& op) {
+  return std::vector<SimBackend::WaveOp>(b.processors(),
+                                         SimBackend::WaveOp{&cell, op});
+}
+
+void report_sim_counters(benchmark::State& state, const SimBackend& b) {
+  const SimBackendStats st = b.stats();
+  state.counters["cycles_per_op"] = st.cycles_per_op();
+  state.counters["combine_rate"] = st.combine_rate();
+  state.counters["mean_latency_cycles"] = st.mean_latency();
+  state.counters["sim_cycles"] = static_cast<double>(st.cycles);
+  state.SetItemsProcessed(static_cast<std::int64_t>(st.ops()));
+}
+
+void BM_SimCounter(benchmark::State& state) {
+  // The hotspot counter: every processor fetch-adds the same cell at once.
+  SimBackend b = make_sim_backend(state);
+  SimBackend::Cell cell(b, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.run_wave(full_wave(b, cell, AnyRmw(FetchAdd(1)))));
+  }
+  report_sim_counters(state, b);
+}
+BENCHMARK(BM_SimCounter)
+    ->Name("BM_SimCoordination/counter")
+    ->ArgNames({"workers"})->Arg(1)->Arg(2);
+
+void BM_SimBarrier(benchmark::State& state) {
+  // One barrier episode: all n increment the arrival count, all n read the
+  // phase word while waiting, the last arriver advances the phase.
+  SimBackend b = make_sim_backend(state);
+  SimBackend::Cell count(b, 0);
+  SimBackend::Cell phase(b, 0);
+  for (auto _ : state) {
+    (void)b.run_wave(full_wave(b, count, AnyRmw(FetchAdd(1))));
+    (void)b.run_wave(full_wave(b, phase, AnyRmw(LssOp::load())));
+    (void)b.run_wave({{&phase, AnyRmw(FetchAdd(1))}});
+  }
+  report_sim_counters(state, b);
+}
+BENCHMARK(BM_SimBarrier)
+    ->Name("BM_SimCoordination/barrier")
+    ->ArgNames({"workers"})->Arg(1)->Arg(2);
+
+void BM_SimRwLock(benchmark::State& state) {
+  // Read-mostly acquire/release: all n join the reader count, all n leave.
+  // (The writer path is the same fetch-add traffic on the same word with a
+  // writer-weight operand, so the reader wave is the cost-carrying shape.)
+  SimBackend b = make_sim_backend(state);
+  SimBackend::Cell word(b, 0);
+  for (auto _ : state) {
+    (void)b.run_wave(full_wave(b, word, AnyRmw(FetchAdd(1))));
+    (void)b.run_wave(full_wave(b, word, AnyRmw(FetchAdd(Word(0) - 1))));
+  }
+  report_sim_counters(state, b);
+}
+BENCHMARK(BM_SimRwLock)
+    ->Name("BM_SimCoordination/rwlock")
+    ->ArgNames({"workers"})->Arg(1)->Arg(2);
+
+void BM_SimSemaphore(benchmark::State& state) {
+  // P then V from every processor: decrement wave, increment wave.
+  SimBackend b = make_sim_backend(state);
+  SimBackend::Cell sem(b, 8);
+  for (auto _ : state) {
+    (void)b.run_wave(full_wave(b, sem, AnyRmw(FetchAdd(Word(0) - 1))));
+    (void)b.run_wave(full_wave(b, sem, AnyRmw(FetchAdd(1))));
+  }
+  report_sim_counters(state, b);
+}
+BENCHMARK(BM_SimSemaphore)
+    ->Name("BM_SimCoordination/semaphore")
+    ->ArgNames({"workers"})->Arg(1)->Arg(2);
+
+void BM_SimQueue(benchmark::State& state) {
+  // The parallel FIFO's traffic: a tail-ticket wave (hot), one swap per
+  // processor into its own slot (conflict-free), then a head-ticket wave.
+  SimBackend b = make_sim_backend(state);
+  SimBackend::Cell tail(b, 0);
+  SimBackend::Cell head(b, 0);
+  std::vector<std::unique_ptr<SimBackend::Cell>> slots;  // cells don't move
+  for (std::uint32_t p = 0; p < b.processors(); ++p) {
+    slots.push_back(std::make_unique<SimBackend::Cell>(b, 0));
+  }
+  for (auto _ : state) {
+    (void)b.run_wave(full_wave(b, tail, AnyRmw(FetchAdd(1))));
+    std::vector<SimBackend::WaveOp> deposit;
+    for (std::uint32_t p = 0; p < b.processors(); ++p) {
+      deposit.push_back({slots[p].get(), AnyRmw(LssOp::swap(p + 1))});
+    }
+    (void)b.run_wave(deposit);
+    (void)b.run_wave(full_wave(b, head, AnyRmw(FetchAdd(1))));
+  }
+  report_sim_counters(state, b);
+}
+BENCHMARK(BM_SimQueue)
+    ->Name("BM_SimCoordination/queue")
+    ->ArgNames({"workers"})->Arg(1)->Arg(2);
 
 // --- barriers ---------------------------------------------------------------
 

@@ -24,9 +24,17 @@ tracks (see docs/PERFORMANCE.md):
       is a pure same-answer-faster ratio. Only meaningful when host_cpus
       in `config` exceeds the worker count — on a single-core host the
       ratio hovers near 1.0 by construction.
+  sim_cycles_per_op — the sim-backend dimension: network cycles per RMW
+      for each BM_SimCoordination/<primitive> row, keyed
+      "primitive/workers=W". Cycle-accounted on the simulated Omega
+      machine, so the values are HOST-INDEPENDENT (and identical across
+      workers=… rows — the parallel engine is bit-identical); these are
+      the numbers to place against the paper's §6 formulas.
 
-User counters emitted by a bench (e.g. bench_machine's cycles_per_op and
-combine_rate) are carried into each record as medians across repetitions.
+User counters emitted by a bench (e.g. bench_machine's cycles_per_op,
+combine_rate, and the sim dimension's served_at_root_fraction,
+sim_cycles, mean_latency_cycles) are carried into each record as medians
+across repetitions.
 
 Percentiles are taken over repetition-level means: google-benchmark does
 not expose per-iteration samples, so with R repetitions p99 is the
@@ -71,7 +79,8 @@ def to_ns(value, unit):
 # google-benchmark serializes user counters (state.counters[...]) as extra
 # top-level numeric keys on each benchmark record. Carry the known ones
 # through to the normalized output.
-COUNTER_KEYS = ("cycles_per_op", "combine_rate")
+COUNTER_KEYS = ("cycles_per_op", "combine_rate", "served_at_root_fraction",
+                "sim_cycles", "mean_latency_cycles")
 
 
 def collect(files):
@@ -185,6 +194,16 @@ def normalize(runs, context, config):
             speedups[f"k={k}/workers={workers}"] = round(
                 par_ops[(k, workers)] / seq_ops[k], 3)
 
+    # The sim-backend dimension: cycle-accounted cost per §6 primitive on
+    # the simulated Omega machine, keyed "primitive/workers=W". These are
+    # paper units — deterministic per pattern, identical across workers.
+    sim_prefix = "BM_SimCoordination/"
+    sim_cycles = {}
+    for b in benchmarks:
+        if b["name"].startswith(sim_prefix) and "cycles_per_op" in b:
+            key = b["name"][len(sim_prefix):].replace("workers:", "workers=")
+            sim_cycles[key] = round(b["cycles_per_op"], 3)
+
     comparisons = {}
     if ratios:
         comparisons["lockfree_vs_blocking_ops_ratio"] = ratios
@@ -192,6 +211,8 @@ def normalize(runs, context, config):
         comparisons["combining_vs_atomic_ops_ratio"] = backend_ratios
     if speedups:
         comparisons["machine_parallel_speedup"] = speedups
+    if sim_cycles:
+        comparisons["sim_cycles_per_op"] = sim_cycles
 
     return {
         "schema": "krs-bench-v1",

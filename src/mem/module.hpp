@@ -200,6 +200,13 @@ class MemoryModule {
     return it == cells_.end() ? initial_ : it->second;
   }
 
+  /// Directly set a cell, outside the simulated clock (no packet, no
+  /// cycle, no access-log entry). Seam for the runtime sim backend: cell
+  /// initialization and its serialized compare-exchange both act on the
+  /// module's serial state between services, so they linearize against
+  /// every in-flight packet by construction.
+  void poke(Addr addr, Value v) { cell_ref(addr) = v; }
+
   [[nodiscard]] const std::vector<AccessRecord>& access_log() const noexcept {
     return access_log_;
   }

@@ -105,6 +105,13 @@ class BasicCombiningBackend {
 
   [[nodiscard]] unsigned width() const noexcept { return width_; }
 
+  /// Partial-combining telemetry for one cell's tree (§7): combine_rate,
+  /// declined folds, served-at-root fraction. Relaxed snapshot; quiesce
+  /// for exact accounting.
+  [[nodiscard]] CombiningTreeStats cell_stats(const Cell& c) const {
+    return c.tree.stats();
+  }
+
   static constexpr unsigned kDefaultWidth = 16;
 
  private:

@@ -118,6 +118,34 @@ struct OpMapping {
 
 }  // namespace detail
 
+/// Partial-combining telemetry (§7): how much of the tree's traffic
+/// actually folded on the way up, and how much reached the root. Without
+/// the declined count, a mixed-family workload that silently stops
+/// combining (every try_compose declining) is indistinguishable from a
+/// perfectly-combining one in the value stream — both are correct; only
+/// the cost differs.
+struct CombiningTreeStats {
+  std::uint64_t ops = 0;            ///< root applications + folded seconds
+  std::uint64_t folds = 0;          ///< successful try_compose folds
+  std::uint64_t declined_folds = 0; ///< cross-family / overflow declines
+  std::uint64_t root_applies = 0;   ///< operations served at the root
+
+  /// Fraction of operations absorbed by a fold below the root (§4.2's
+  /// win). 0 when nothing ran.
+  [[nodiscard]] double combine_rate() const {
+    return ops > 0
+               ? static_cast<double>(folds) / static_cast<double>(ops)
+               : 0.0;
+  }
+  /// Fraction serialized at the root — 1.0 means combining bought nothing
+  /// (the §1 hot-spot regime); (1 - combine_rate) by construction.
+  [[nodiscard]] double served_at_root_fraction() const {
+    return ops > 0 ? static_cast<double>(root_applies) /
+                         static_cast<double>(ops)
+                   : 0.0;
+  }
+};
+
 template <core::CombinableMapping M,
           typename Instrument = analysis::DefaultInstrument>
 class MappingCombiningTree {
@@ -187,6 +215,7 @@ class MappingCombiningTree {
     const V prior = root_.load(std::memory_order_relaxed);
     root_.store(std::forward<F>(f)(prior), std::memory_order_release);
     unlock_root();
+    root_applies_.fetch_add(1, std::memory_order_relaxed);
     Instrument::release(this);
     return prior;
   }
@@ -206,7 +235,33 @@ class MappingCombiningTree {
 
   [[nodiscard]] unsigned width() const noexcept { return width_; }
 
+  /// Aggregate fold/decline/root counters across all nodes. Counters are
+  /// relaxed, so a concurrent snapshot is approximate; quiesce first for
+  /// exact accounting (then ops == root_applies + folds holds exactly:
+  /// every operation either folded into a partner below the root or was
+  /// applied at the root — including declined seconds, which distribute()
+  /// serves with their own root application).
+  [[nodiscard]] CombiningTreeStats stats() const {
+    CombiningTreeStats s;
+    s.root_applies = root_applies_.load(std::memory_order_relaxed);
+    for (const Node& nd : nodes_) {
+      s.folds += nd.folds.load(std::memory_order_relaxed);
+      s.declined_folds += nd.declined_folds.load(std::memory_order_relaxed);
+    }
+    s.ops = s.root_applies + s.folds;
+    return s;
+  }
+
+  /// Declined try_compose folds at one node (heap index), for tests and
+  /// per-node hot-spot attribution.
+  [[nodiscard]] std::uint64_t declined_folds_at(unsigned node) const {
+    KRS_EXPECTS(node < nodes_.size());
+    return nodes_[node].declined_folds.load(std::memory_order_relaxed);
+  }
+
  private:
+  friend struct CombiningTreeTestPeer;
+
   // ---- status word encoding -------------------------------------------------
   enum Tag : std::uint64_t {
     kIdle = 0,
@@ -250,6 +305,12 @@ class MappingCombiningTree {
     M second_map{};
     V result{};
     bool declined = false;
+    // Telemetry (relaxed; read by stats() snapshots): try_compose
+    // outcomes at this node. Incremented only by the first in its combine
+    // phase, which owns the node then — atomics because successive
+    // occupancies are different threads and snapshots race by design.
+    std::atomic<std::uint64_t> folds{0};
+    std::atomic<std::uint64_t> declined_folds{0};
   };
 
   // ---- phase 1 --------------------------------------------------------------
@@ -318,6 +379,11 @@ class MappingCombiningTree {
           auto folded = try_compose(c, nd.second_map);
           nd.first_map = std::move(c);
           nd.declined = !folded.has_value();
+          if (nd.declined) {
+            nd.declined_folds.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            nd.folds.fetch_add(1, std::memory_order_relaxed);
+          }
           nd.status.store(retag(w, kSecondCombined),
                           std::memory_order_relaxed);
           if (folded) return *std::move(folded);
@@ -338,6 +404,7 @@ class MappingCombiningTree {
     const V prior = root_.load(std::memory_order_relaxed);
     root_.store(c.apply(prior), std::memory_order_release);
     unlock_root();
+    root_applies_.fetch_add(1, std::memory_order_relaxed);
     return prior;
   }
 
@@ -414,6 +481,7 @@ class MappingCombiningTree {
 
   unsigned width_;
   alignas(kCacheLine) std::atomic<V> root_;
+  std::atomic<std::uint64_t> root_applies_{0};
   std::vector<Node> nodes_;  // heap layout, nodes_[1..width-1]
 };
 

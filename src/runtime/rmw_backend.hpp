@@ -46,28 +46,105 @@
 // edges (e.g. a barrier's phase transition).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <concepts>
 #include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
 
 #include "analysis/instrument.hpp"
 #include "core/any_rmw.hpp"
 #include "core/types.hpp"
+#include "runtime/backoff.hpp"
 #include "runtime/cacheline.hpp"
 
 namespace krs::runtime {
 
 using Word = core::Word;
 
-/// Small dense per-thread ordinal (0, 1, 2, ... in first-use order),
-/// process-wide. Backends that need a per-thread slot (the combining tree's
-/// leaf position) derive it from this; callers never pass slot indices
-/// through the backend interface.
+namespace detail {
+
+/// Process-wide pool of dense thread ordinals. An exiting thread returns
+/// its ordinal (via the thread-local guard below) and the smallest free
+/// ordinal is handed out next, so a churny process keeps its live threads
+/// dense in 0..peak-1 instead of leaking slots monotonically — otherwise
+/// every combining-tree slot map (combining_backend.hpp slot(), the sim
+/// backend's processor map) degenerates to a few aliased slots over time.
+/// Mutex-guarded: acquire/release run once per thread lifetime, never on
+/// an operation path.
+class OrdinalPool {
+ public:
+  static OrdinalPool& instance() {
+    static OrdinalPool pool;
+    return pool;
+  }
+
+  unsigned acquire() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (free_.empty()) return next_++;
+    std::pop_heap(free_.begin(), free_.end(), std::greater<>{});
+    const unsigned o = free_.back();
+    free_.pop_back();
+    return o;
+  }
+
+  void release(unsigned o) {
+    std::lock_guard<std::mutex> lk(mu_);
+    free_.push_back(o);
+    std::push_heap(free_.begin(), free_.end(), std::greater<>{});
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<unsigned> free_;  // min-heap: smallest ordinal leaves first
+  unsigned next_ = 0;
+};
+
+/// RAII tenancy of one ordinal for the current thread's lifetime. The pool
+/// singleton is constructed before the first guard, so it outlives every
+/// guard's destructor (reverse destruction order), on the main thread and
+/// worker threads alike.
+struct OrdinalGuard {
+  const unsigned ordinal = OrdinalPool::instance().acquire();
+  OrdinalGuard() = default;
+  OrdinalGuard(const OrdinalGuard&) = delete;
+  OrdinalGuard& operator=(const OrdinalGuard&) = delete;
+  ~OrdinalGuard() { OrdinalPool::instance().release(ordinal); }
+};
+
+/// The general fetch_rmw emulation: retry CAS until the old value we
+/// applied f to is the old value we replaced. Every failed CAS pays one
+/// backoff pause — a bare retry loop on a hot word is exactly the §1
+/// hot-spot storm, and on an oversubscribed host the winner may need our
+/// core to retire its store at all. Templated over the atomic and the
+/// backoff policy so the pacing contract (exactly one pause per failure,
+/// fresh schedule per call) is testable with a scripted flaky atomic.
+template <typename AtomicLike, typename Backoff = ExpBackoff>
+Word paced_cas_rmw(AtomicLike& word, const core::AnyRmw& m,
+                   Backoff bo = Backoff{}) {
+  Word old = word.load(std::memory_order_acquire);
+  while (!word.compare_exchange_weak(old, m.apply(old),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+    bo.pause();
+  }
+  return old;
+}
+
+}  // namespace detail
+
+/// Small dense per-thread ordinal, process-wide. Backends that need a
+/// per-thread slot (the combining tree's leaf position, the sim backend's
+/// simulated processor) derive it from this; callers never pass slot
+/// indices through the backend interface. Ordinals are reclaimed when the
+/// owning thread exits, so they stay bounded by the peak number of LIVE
+/// threads — sequential spawn/join churn reuses the same few slots rather
+/// than counting up forever.
 inline unsigned thread_ordinal() noexcept {
-  static std::atomic<unsigned> next{0};
-  thread_local const unsigned mine =
-      next.fetch_add(1, std::memory_order_relaxed);
-  return mine;
+  thread_local const detail::OrdinalGuard guard;
+  return guard.ordinal;
 }
 
 template <typename B>
@@ -135,14 +212,12 @@ class BasicAtomicBackend {
   /// The general path: hardware has no "fetch-and-f" for an arbitrary
   /// mapping, so retry CAS until the old value we applied f to is the old
   /// value we replaced — the standard emulation, with the typed paths
-  /// above available when the family is known statically.
+  /// above available when the family is known statically. Retries are
+  /// paced with a fresh ExpBackoff per call (detail::paced_cas_rmw): a
+  /// bare loop here is the §1 hot-spot storm in miniature.
   Word fetch_rmw(Cell& c, const core::AnyRmw& m) const {
     Instrument::release(&c);
-    Word old = c.word.load(std::memory_order_acquire);
-    while (!c.word.compare_exchange_weak(old, m.apply(old),
-                                         std::memory_order_acq_rel,
-                                         std::memory_order_acquire)) {
-    }
+    const Word old = detail::paced_cas_rmw(c.word, m);
     Instrument::acquire(&c);
     return old;
   }

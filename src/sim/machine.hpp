@@ -249,6 +249,14 @@ class Machine {
     return modules_[module_of(addr)].value_at(addr);
   }
 
+  /// Directly set a memory cell, outside the simulated clock: no packets,
+  /// no cycles, no transcript entry. Seam for the runtime sim backend
+  /// (cell initialization, serialized compare-exchange): the write lands
+  /// in the owning module's serial state between services, so it
+  /// linearizes before every not-yet-serviced request and after every
+  /// serviced one.
+  void poke(Addr addr, Value v) { modules_[module_of(addr)].poke(addr, v); }
+
   [[nodiscard]] MachineStats stats() const {
     // Built as a per-shard reduction through MachineStats::merge — the
     // same reduction a parallel stats pass performs, exercised on every

@@ -6,11 +6,16 @@
 //    fetch-and-or tickets, AnyRmw swaps with §3 decombination, and a
 //    mixed-family stream whose cross-family compositions DECLINE at the
 //    nodes (§7 partial combining);
-//  * cross-backend equivalence: the same workload through AtomicBackend
-//    and CombiningBackend yields identical sum/ticket-set invariants at
+//  * cross-backend equivalence: the same workload through AtomicBackend,
+//    CombiningBackend, and SimBackend (cells in the simulated Omega
+//    machine) yields identical priors and sum/ticket-set invariants at
 //    2/4/8 threads (mirroring test_lockfree_combining.cpp);
 //  * every §6 primitive (barrier, rw-lock, semaphore, queue, full/empty
-//    cell, group lock) run against BOTH backends;
+//    cell, group lock) run against ALL THREE backends;
+//  * partial-combining telemetry (§7): a deterministic single-threaded
+//    drive of the four-phase protocol through CombiningTreeTestPeer pins
+//    the fold/decline counters and the declined second's root-served
+//    reply, value by value;
 //  * a deterministic race_explorer model of the declined-composition
 //    fetch_rmw path, with a control showing the verdict comes from the
 //    modeled edges.
@@ -35,7 +40,56 @@
 #include "runtime/lock_free_combining_tree.hpp"
 #include "runtime/parallel_queue.hpp"
 #include "runtime/rmw_backend.hpp"
+#include "runtime/sim_backend.hpp"
 #include "verify/race_explorer.hpp"
+
+namespace krs::runtime {
+
+// Test-only peer: drives the private four-phase protocol single-threaded
+// so fold/decline telemetry is deterministic (under real concurrency the
+// First→combine window is too narrow to hit reliably on a 1-CPU host).
+struct CombiningTreeTestPeer {
+  template <typename Tree>
+  static bool precombine(Tree& t, unsigned n) {
+    return t.precombine(n);
+  }
+  template <typename Tree, typename M>
+  static M combine(Tree& t, unsigned n, M c) {
+    return t.combine(n, std::move(c));
+  }
+  template <typename Tree, typename M>
+  static typename Tree::value_type apply_at_root(Tree& t, const M& c) {
+    return t.apply_at_root(c);
+  }
+  /// The non-waiting first half of deposit_and_await: plant the second's
+  /// mapping and flip the node to SecondReady.
+  template <typename Tree, typename M>
+  static void deposit_second(Tree& t, unsigned n, M c) {
+    auto& nd = t.nodes_[n];
+    const std::uint64_t w = nd.status.load(std::memory_order_relaxed);
+    ASSERT_EQ(Tree::tag_of(w), Tree::kSecondPending);
+    nd.second_map = std::move(c);
+    nd.status.store(Tree::retag(w, Tree::kSecondReady),
+                    std::memory_order_release);
+  }
+  template <typename Tree>
+  static void distribute(Tree& t, unsigned n,
+                         const typename Tree::value_type& prior) {
+    t.distribute(n, prior);
+  }
+  /// The second's reply pickup (the tail of deposit_and_await).
+  template <typename Tree>
+  static typename Tree::value_type take_result(Tree& t, unsigned n) {
+    auto& nd = t.nodes_[n];
+    const std::uint64_t w = nd.status.load(std::memory_order_acquire);
+    EXPECT_EQ(Tree::tag_of(w), Tree::kResult);
+    const auto r = nd.result;
+    nd.status.store(Tree::idle_next_gen(w), std::memory_order_release);
+    return r;
+  }
+};
+
+}  // namespace krs::runtime
 
 namespace {
 
@@ -51,8 +105,10 @@ using krs::core::LssOp;
 
 static_assert(RmwBackend<AtomicBackend>);
 static_assert(RmwBackend<CombiningBackend>);
+static_assert(RmwBackend<SimBackend>);
 static_assert(RmwBackend<BasicAtomicBackend<GlobalInstrument>>);
 static_assert(RmwBackend<BasicCombiningBackend<GlobalInstrument>>);
+static_assert(RmwBackend<BasicSimBackend<GlobalInstrument>>);
 
 // The instrumentation policy must add no per-object state, to the backend
 // or to the primitives built on it.
@@ -60,6 +116,8 @@ static_assert(sizeof(BasicAtomicBackend<NoInstrument>) ==
               sizeof(BasicAtomicBackend<GlobalInstrument>));
 static_assert(sizeof(BasicCombiningBackend<NoInstrument>) ==
               sizeof(BasicCombiningBackend<GlobalInstrument>));
+static_assert(sizeof(BasicSimBackend<NoInstrument>) ==
+              sizeof(BasicSimBackend<GlobalInstrument>));
 static_assert(sizeof(BasicBarrier<AtomicBackend, NoInstrument>) ==
               sizeof(BasicBarrier<AtomicBackend, GlobalInstrument>));
 static_assert(sizeof(BasicRwLock<AtomicBackend, NoInstrument>) ==
@@ -97,13 +155,25 @@ std::vector<Word> scripted_run(B& b) {
 }
 
 TEST(Backends, ScriptedSequenceIdenticalAcrossBackends) {
+  // The 3-way matrix: hardware atomics, software combining tree, and the
+  // simulated Omega machine must be observationally identical.
   AtomicBackend ab;
   CombiningBackend cb(4);
+  SimBackend sb(SimBackendConfig{.log2_procs = 2});
   const auto a = scripted_run(ab);
   const auto c = scripted_run(cb);
+  const auto s = scripted_run(sb);
   EXPECT_EQ(a, c);
+  EXPECT_EQ(a, s);
   const std::vector<Word> expect{10, 15, 0xFF, 0x0F, 0xF0, 3, 7, 40, 99, 7};
   EXPECT_EQ(a, expect);
+  // The sim run really went through the network: 10 of the 12 scripted
+  // ops are packets (the two compare_exchange serialize at the module).
+  const SimBackendStats st = sb.stats();
+  EXPECT_EQ(st.network_ops, 10u);
+  EXPECT_EQ(st.root_serialized_ops, 2u);
+  EXPECT_GT(st.cycles, 0u);
+  EXPECT_GT(st.cycles_per_op(), 0.0);
 }
 
 // --- non-add families through the mapping tree -------------------------------
@@ -218,6 +288,82 @@ TEST(MappingTree, MixedFamiliesDeclineAndStayLinearizable) {
   EXPECT_EQ(tickets.size(), static_cast<std::size_t>(kAdders) * kPer);
   EXPECT_EQ(*tickets.begin(), 0u);
   EXPECT_EQ(*tickets.rbegin(), static_cast<Word>(kAdders * kPer) - 1);
+  // Quiesced accounting identity: every operation either folded into a
+  // partner below the root or was applied at the root (declined seconds
+  // included — distribute() serves them with their own root application).
+  const CombiningTreeStats st = tree.stats();
+  EXPECT_EQ(st.ops, static_cast<std::uint64_t>(kAdders + kOrers) * kPer);
+  EXPECT_EQ(st.root_applies + st.folds, st.ops);
+  EXPECT_DOUBLE_EQ(st.combine_rate() + st.served_at_root_fraction(), 1.0);
+}
+
+// --- partial-combining telemetry, driven deterministically --------------------
+
+using krs::runtime::CombiningTreeTestPeer;
+using Peer = CombiningTreeTestPeer;
+
+TEST(CombineTelemetry, DeclinedFoldCountedAndServedAtRoot) {
+  // Single-threaded drive of one declined combine in a width-8 tree
+  // (leaves 4..7, root 1; slots 0 and 1 share leaf 4): the first climbs
+  // with FetchAdd(5), the second deposits a cross-family FetchOr(0xF0),
+  // try_compose declines (§7), and distribute() serves the second at the
+  // root AFTER everything the first combined.
+  MappingCombiningTree<AnyRmw> tree(8, 100);
+  // First (slot 0): precombine climbs leaf 4 and node 2, stops at root.
+  EXPECT_TRUE(Peer::precombine(tree, 4));
+  EXPECT_TRUE(Peer::precombine(tree, 2));
+  EXPECT_FALSE(Peer::precombine(tree, 1));
+  // Second (slot 1): engages at the shared leaf and deposits its mapping.
+  EXPECT_FALSE(Peer::precombine(tree, 4));
+  Peer::deposit_second(tree, 4, AnyRmw(FetchOr(0xF0)));
+  // First's combine at the leaf sees SecondReady and declines the fold.
+  AnyRmw combined = Peer::combine(tree, 4, AnyRmw(FetchAdd(5)));
+  EXPECT_EQ(tree.declined_folds_at(4), 1u);
+  combined = Peer::combine(tree, 2, std::move(combined));  // no partner
+  const Word prior = Peer::apply_at_root(tree, combined);
+  EXPECT_EQ(prior, 100u);
+  EXPECT_EQ(tree.read(), 105u);
+  // Distribute back down: node 2 just resets; leaf 4 is the declined
+  // second — served at the root now, its reply is the value it found.
+  Peer::distribute(tree, 2, prior);
+  Peer::distribute(tree, 4, prior);
+  EXPECT_EQ(tree.read(), 105u | 0xF0u);  // or applied after the add
+  EXPECT_EQ(Peer::take_result(tree, 4), 105u);
+  const CombiningTreeStats st = tree.stats();
+  EXPECT_EQ(st.folds, 0u);
+  EXPECT_EQ(st.declined_folds, 1u);
+  EXPECT_EQ(st.root_applies, 2u);  // combined apply + declined service
+  EXPECT_EQ(st.ops, 2u);
+  EXPECT_DOUBLE_EQ(st.combine_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(st.served_at_root_fraction(), 1.0);
+}
+
+TEST(CombineTelemetry, SuccessfulFoldCountedOnceWithDecombinedReply) {
+  // Same dance, same family: the fold succeeds, one root application
+  // carries both operations, and the second's reply is the decombination
+  // rule ⟨id2, f(val)⟩ = prior + first's addend.
+  MappingCombiningTree<AnyRmw> tree(8, 100);
+  EXPECT_TRUE(Peer::precombine(tree, 4));
+  EXPECT_TRUE(Peer::precombine(tree, 2));
+  EXPECT_FALSE(Peer::precombine(tree, 1));
+  EXPECT_FALSE(Peer::precombine(tree, 4));
+  Peer::deposit_second(tree, 4, AnyRmw(FetchAdd(7)));
+  AnyRmw combined = Peer::combine(tree, 4, AnyRmw(FetchAdd(5)));
+  EXPECT_EQ(tree.declined_folds_at(4), 0u);
+  combined = Peer::combine(tree, 2, std::move(combined));
+  const Word prior = Peer::apply_at_root(tree, combined);
+  EXPECT_EQ(prior, 100u);
+  EXPECT_EQ(tree.read(), 112u);  // one application of add-12
+  Peer::distribute(tree, 2, prior);
+  Peer::distribute(tree, 4, prior);
+  EXPECT_EQ(Peer::take_result(tree, 4), 105u);  // prior + first's 5
+  const CombiningTreeStats st = tree.stats();
+  EXPECT_EQ(st.folds, 1u);
+  EXPECT_EQ(st.declined_folds, 0u);
+  EXPECT_EQ(st.root_applies, 1u);
+  EXPECT_EQ(st.ops, 2u);
+  EXPECT_DOUBLE_EQ(st.combine_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(st.served_at_root_fraction(), 0.5);
 }
 
 // --- cross-backend equivalence ----------------------------------------------
@@ -263,6 +409,12 @@ TEST(BackendEquivalence, HotspotTicketsCombining) {
   hotspot_counter_invariants(CombiningBackend{8});
 }
 
+TEST(BackendEquivalence, HotspotTicketsSim) {
+  // Real threads multiplexed onto simulated processors via the mailboxes;
+  // the ticket invariants must survive the indirection.
+  hotspot_counter_invariants(SimBackend{SimBackendConfig{.log2_procs = 3}});
+}
+
 // --- every §6 primitive on both backends ------------------------------------
 
 template <typename B>
@@ -290,6 +442,9 @@ void barrier_phases(B backend, unsigned nt) {
 TEST(BackendMatrix, BarrierAtomic) { barrier_phases(AtomicBackend{}, 4); }
 TEST(BackendMatrix, BarrierCombining) {
   barrier_phases(CombiningBackend{4}, 4);
+}
+TEST(BackendMatrix, BarrierSim) {
+  barrier_phases(SimBackend{SimBackendConfig{.log2_procs = 2}}, 4);
 }
 
 template <typename B>
@@ -327,6 +482,9 @@ void rwlock_excludes(B backend) {
 
 TEST(BackendMatrix, RwLockAtomic) { rwlock_excludes(AtomicBackend{}); }
 TEST(BackendMatrix, RwLockCombining) { rwlock_excludes(CombiningBackend{4}); }
+TEST(BackendMatrix, RwLockSim) {
+  rwlock_excludes(SimBackend{SimBackendConfig{.log2_procs = 2}});
+}
 
 template <typename B>
 void semaphore_bounds_concurrency(B backend) {
@@ -357,6 +515,9 @@ TEST(BackendMatrix, SemaphoreAtomic) {
 }
 TEST(BackendMatrix, SemaphoreCombining) {
   semaphore_bounds_concurrency(CombiningBackend{4});
+}
+TEST(BackendMatrix, SemaphoreSim) {
+  semaphore_bounds_concurrency(SimBackend{SimBackendConfig{.log2_procs = 2}});
 }
 
 template <typename B>
@@ -390,6 +551,9 @@ TEST(BackendMatrix, QueueAtomic) { queue_conserves_sum(AtomicBackend{}); }
 TEST(BackendMatrix, QueueCombining) {
   queue_conserves_sum(CombiningBackend{4});
 }
+TEST(BackendMatrix, QueueSim) {
+  queue_conserves_sum(SimBackend{SimBackendConfig{.log2_procs = 2}});
+}
 
 template <typename B>
 void full_empty_ping_pong(B backend) {
@@ -411,6 +575,9 @@ void full_empty_ping_pong(B backend) {
 TEST(BackendMatrix, FullEmptyAtomic) { full_empty_ping_pong(AtomicBackend{}); }
 TEST(BackendMatrix, FullEmptyCombining) {
   full_empty_ping_pong(CombiningBackend{4});
+}
+TEST(BackendMatrix, FullEmptySim) {
+  full_empty_ping_pong(SimBackend{SimBackendConfig{.log2_procs = 2}});
 }
 
 template <typename B>
@@ -446,6 +613,9 @@ TEST(BackendMatrix, GroupLockAtomic) {
 }
 TEST(BackendMatrix, GroupLockCombining) {
   group_lock_excludes_groups(CombiningBackend{4});
+}
+TEST(BackendMatrix, GroupLockSim) {
+  group_lock_excludes_groups(SimBackend{SimBackendConfig{.log2_procs = 2}});
 }
 
 // --- instrumented HB edges through the backend seam --------------------------

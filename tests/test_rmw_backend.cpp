@@ -1,0 +1,173 @@
+// Regression pins for the two backend-seam defects fixed alongside the
+// sim backend:
+//
+//  * BasicAtomicBackend::fetch_rmw used to spin a BARE
+//    compare_exchange_weak loop — the §1 hot-spot storm in miniature. The
+//    emulation now lives in detail::paced_cas_rmw, templated over the
+//    atomic and the backoff policy, so the pacing contract (exactly one
+//    pause per failed CAS, fresh schedule per call) is pinned here with a
+//    scripted flaky atomic; the real backend is then hammered at 4/8
+//    threads for the ticket invariants.
+//  * thread_ordinal() used to hand out ordinals monotonically and never
+//    reclaim them, so a churny process marched every live thread onto
+//    ever-higher combining-tree slots (all aliasing mod width). Ordinals
+//    are now pooled: sequential spawn/join churn must reuse ONE ordinal,
+//    and concurrent threads must still get distinct ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/any_rmw.hpp"
+#include "core/fetch_theta.hpp"
+#include "runtime/rmw_backend.hpp"
+
+namespace {
+
+using namespace krs::runtime;
+using krs::core::AnyRmw;
+using krs::core::FetchAdd;
+
+// --- the pacing contract of the CAS emulation --------------------------------
+
+// A scripted "atomic" whose CAS fails a fixed number of times, mutating
+// the word in between — deterministic interference.
+struct FlakyWord {
+  Word value;
+  int failures_left;
+
+  [[nodiscard]] Word load(std::memory_order) const { return value; }
+
+  bool compare_exchange_weak(Word& expected, Word desired, std::memory_order,
+                             std::memory_order) {
+    if (failures_left > 0) {
+      --failures_left;
+      ++value;  // another "thread" slipped a mutation in
+      expected = value;
+      return false;
+    }
+    if (expected != value) {
+      expected = value;
+      return false;
+    }
+    value = desired;
+    return true;
+  }
+};
+
+struct CountingBackoff {
+  int* pauses;
+  void pause() { ++*pauses; }
+  void reset() {}
+};
+
+TEST(PacedCasRmw, OnePausePerFailedCas) {
+  // k scripted failures must cost exactly k backoff pauses — no pause on
+  // the success, no unpaced retry. This is the regression the bare loop
+  // failed: zero pauses at any contention level.
+  for (const int k : {0, 1, 3, 17}) {
+    FlakyWord w{100, k};
+    int pauses = 0;
+    const Word prior =
+        detail::paced_cas_rmw(w, AnyRmw(FetchAdd(5)), CountingBackoff{&pauses});
+    EXPECT_EQ(pauses, k);
+    // The applied old value is the one the successful CAS replaced: the
+    // initial value plus one scripted interference per failure.
+    EXPECT_EQ(prior, 100u + static_cast<Word>(k));
+    EXPECT_EQ(w.value, 100u + static_cast<Word>(k) + 5u);
+  }
+}
+
+TEST(PacedCasRmw, FreshScheduleEveryCall) {
+  // The backoff schedule must reset per call: a second call after a
+  // heavily contended one starts from the shortest pause again. Pinned
+  // through ExpBackoff itself via the default argument path.
+  FlakyWord w{0, 40};
+  (void)detail::paced_cas_rmw(w, AnyRmw(FetchAdd(1)));  // contended call
+  int pauses = 0;
+  (void)detail::paced_cas_rmw(w, AnyRmw(FetchAdd(1)),
+                              CountingBackoff{&pauses});
+  EXPECT_EQ(pauses, 0);  // uncontended follow-up: no pause at all
+}
+
+TEST(AtomicBackendContention, FetchRmwTicketsAt4And8Threads) {
+  // The real backend path under real contention: every prior is a ticket;
+  // the union must be exactly 0..N-1 with per-thread monotonicity.
+  for (const unsigned nt : {4u, 8u}) {
+    AtomicBackend b;
+    AtomicBackend::Cell cell(b, 0);
+    constexpr unsigned kPer = 300;
+    std::vector<std::vector<Word>> got(nt);
+    {
+      std::vector<std::jthread> ts;
+      for (unsigned t = 0; t < nt; ++t) {
+        ts.emplace_back([&, t] {
+          for (unsigned i = 0; i < kPer; ++i) {
+            got[t].push_back(b.fetch_rmw(cell, AnyRmw(FetchAdd(1))));
+          }
+        });
+      }
+    }
+    std::set<Word> all;
+    for (const auto& v : got) {
+      EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+      all.insert(v.begin(), v.end());
+    }
+    EXPECT_EQ(all.size(), static_cast<std::size_t>(nt) * kPer);
+    EXPECT_EQ(*all.rbegin(), static_cast<Word>(nt) * kPer - 1);
+    EXPECT_EQ(b.load(cell), static_cast<Word>(nt) * kPer);
+  }
+}
+
+// --- ordinal reclamation ------------------------------------------------------
+
+TEST(ThreadOrdinal, SequentialChurnReusesOneOrdinal) {
+  // 64 spawn/join cycles: each thread's ordinal guard releases on exit
+  // (thread_local destructors run before join() returns), so every
+  // successor must reacquire the SAME ordinal. Pre-fix this walked
+  // 0,1,2,...,63 — far past any tree width.
+  std::set<unsigned> seen;
+  for (int i = 0; i < 64; ++i) {
+    std::jthread([&] { seen.insert(thread_ordinal()); }).join();
+  }
+  EXPECT_EQ(seen.size(), 1u);
+  EXPECT_LT(*seen.begin(), 8u);  // bounded by peak live threads, not churn
+}
+
+TEST(ThreadOrdinal, ConcurrentThreadsGetDistinctDenseOrdinals) {
+  // 8 threads held live simultaneously: ordinals must be pairwise
+  // distinct (correctness: two live threads may never share a slot
+  // spuriously) and dense — bounded by the peak live-thread count, not by
+  // how many threads ever existed.
+  constexpr unsigned kThreads = 8;
+  std::barrier sync(kThreads);
+  std::vector<unsigned> ord(kThreads);
+  {
+    std::vector<std::jthread> ts;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&, t] {
+        ord[t] = thread_ordinal();
+        sync.arrive_and_wait();  // all guards live at once
+      });
+    }
+  }
+  const std::set<unsigned> uniq(ord.begin(), ord.end());
+  EXPECT_EQ(uniq.size(), kThreads);
+  // Dense: with at most main + kThreads guards ever live at once, no
+  // ordinal can reach kThreads + 1.
+  EXPECT_LE(*uniq.rbegin(), kThreads);
+}
+
+TEST(ThreadOrdinal, StableWithinAThread) {
+  std::jthread([] {
+    const unsigned a = thread_ordinal();
+    const unsigned b = thread_ordinal();
+    EXPECT_EQ(a, b);
+  }).join();
+}
+
+}  // namespace

@@ -5,9 +5,12 @@
 # acceptance comparison series). Two groups:
 #
 #   BENCH_combining.json — contended combining-tree / coordination benches
-#       at 1/2/4/8/16 threads, with the lockfree-vs-blocking ratio and the
+#       at 1/2/4/8/16 threads, with the lockfree-vs-blocking ratio, the
 #       combining-vs-atomic RmwBackend ratio (bench_coordination's
-#       BM_*/atomic vs BM_*/combining series).
+#       BM_*/atomic vs BM_*/combining series), and the sim-backend
+#       sim_cycles_per_op series (BM_SimCoordination/*): cycle-accounted,
+#       host-independent costs for counter/barrier/rwlock/semaphore/queue
+#       on the simulated Omega machine.
 #   BENCH_machine.json   — whole-machine Omega simulation (bench_machine):
 #       sequential vs shard-parallel engine at k ∈ {6,8,10}, with the
 #       machine_parallel_speedup series and the cycles_per_op /
@@ -82,7 +85,7 @@ run_group() {
 }
 
 run_group "$OUT" \
-  "lockfree_vs_blocking_ops_ratio,combining_vs_atomic_ops_ratio" \
+  "lockfree_vs_blocking_ops_ratio,combining_vs_atomic_ops_ratio,sim_cycles_per_op" \
   "${COMBINING_BENCHES[@]}"
 run_group "$MACHINE_OUT" "machine_parallel_speedup" "${MACHINE_BENCHES[@]}"
 echo "=== bench pipeline complete: $OUT $MACHINE_OUT ==="
