@@ -31,6 +31,12 @@ tracks (see docs/PERFORMANCE.md):
       workers=… rows — the parallel engine is bit-identical); these are
       the numbers to place against the paper's §6 formulas.
 
+  profiler_hot_lines — contention-profiler acceptance series: hot-line
+      count per backend from a tools/krs_profile --json document (schema
+      "krs-profile-v1", accepted alongside google-benchmark files).
+      Backends with zero hot lines are dropped, so
+      `--require profiler_hot_lines` fails when the profiler goes blind.
+
 User counters emitted by a bench (e.g. bench_machine's cycles_per_op,
 combine_rate, and the sim dimension's served_at_root_fraction,
 sim_cycles, mean_latency_cycles) are carried into each record as medians
@@ -84,9 +90,10 @@ COUNTER_KEYS = ("cycles_per_op", "combine_rate", "served_at_root_fraction",
 
 
 def collect(files):
-    """-> {(family, threads): {"real_ns": [...], "ops": [...], ...}}, context"""
+    """-> runs {(family, threads): {...}}, context, profiles [per-backend]"""
     runs = {}
     context = {}
+    profiles = []
     for path in files:
         try:
             with open(path) as f:
@@ -95,6 +102,22 @@ def collect(files):
             sys.exit(f"normalize.py: cannot read {path}: {e}")
         except json.JSONDecodeError as e:
             sys.exit(f"normalize.py: {path} is not valid JSON: {e}")
+        if doc.get("schema") == "krs-profile-v1":
+            # A krs_profile contention document, not a google-benchmark
+            # run: fold each backend's report into the profiler series.
+            for run in doc.get("runs", []):
+                report = run.get("report", {})
+                profiles.append({
+                    "backend": run.get("backend", "?"),
+                    "threads": doc.get("threads"),
+                    "ops": doc.get("ops"),
+                    "hot_lines": report.get("hot_lines", 0),
+                    "lines_touched": report.get("lines_touched", 0),
+                    "total_conflicts": report.get("total_conflicts", 0),
+                })
+            if not doc.get("runs"):
+                sys.exit(f"normalize.py: {path} contains no profiler runs")
+            continue
         ctx = doc.get("context", {})
         context.setdefault("host_cpus", ctx.get("num_cpus"))
         context.setdefault("library_build_type", ctx.get("library_build_type"))
@@ -117,10 +140,10 @@ def collect(files):
             # A bench that built but produced nothing (crashed mid-run,
             # filtered to zero) must not green-wash the pipeline.
             sys.exit(f"normalize.py: {path} contains no benchmark runs")
-    return runs, context
+    return runs, context, profiles
 
 
-def normalize(runs, context, config):
+def normalize(runs, context, config, profiles=()):
     benchmarks = []
     for (family, threads), rec in sorted(runs.items()):
         real = sorted(rec["real_ns"])
@@ -204,6 +227,15 @@ def normalize(runs, context, config):
             key = b["name"][len(sim_prefix):].replace("workers:", "workers=")
             sim_cycles[key] = round(b["cycles_per_op"], 3)
 
+    # The contention-profiler series: hot lines per profiled backend.
+    # Zero-hot-line entries are DROPPED so `--require profiler_hot_lines`
+    # fails when a profiler run finds nothing — a blind profiler must not
+    # green-wash the pipeline.
+    hot_lines = {}
+    for prof in profiles:
+        if prof["hot_lines"]:
+            hot_lines[prof["backend"]] = prof["hot_lines"]
+
     comparisons = {}
     if ratios:
         comparisons["lockfree_vs_blocking_ops_ratio"] = ratios
@@ -213,12 +245,15 @@ def normalize(runs, context, config):
         comparisons["machine_parallel_speedup"] = speedups
     if sim_cycles:
         comparisons["sim_cycles_per_op"] = sim_cycles
+    if hot_lines:
+        comparisons["profiler_hot_lines"] = hot_lines
 
     return {
         "schema": "krs-bench-v1",
         "generated_by": "tools/run_bench.sh",
         "config": dict(config, **context),
         "benchmarks": benchmarks,
+        "profiles": list(profiles),
         "comparisons": comparisons,
     }
 
@@ -236,15 +271,15 @@ def main():
                          "pins its acceptance series with this")
     args = ap.parse_args()
 
-    runs, context = collect(args.files)
-    if not runs:
+    runs, context, profiles = collect(args.files)
+    if not runs and not profiles:
         sys.exit("normalize.py: no benchmark runs found in inputs")
     config = {}
     if args.min_time is not None:
         config["min_time"] = args.min_time
     if args.repetitions is not None:
         config["repetitions"] = args.repetitions
-    doc = normalize(runs, context, config)
+    doc = normalize(runs, context, config, profiles)
     missing = [s for s in args.require if not doc["comparisons"].get(s)]
     if missing:
         sys.exit("normalize.py: required comparison series missing or empty: "

@@ -21,6 +21,15 @@
 #include "runtime/rmw_backend.hpp"
 #include "runtime/sim_backend.hpp"
 
+#ifdef KRS_ANALYSIS_ENABLED
+// Under -DKRS_ANALYSIS=ON the backends instantiate with GlobalInstrument,
+// so installing a ContentionProfiler here makes this example double as
+// the profiler's smoke workload: tools/run_analysis.sh greps the summary
+// line below and fails when the profiler sees no hot lines.
+#include "analysis/contention_profiler.hpp"
+#include "analysis/instrument.hpp"
+#endif
+
 using namespace krs::runtime;
 
 namespace {
@@ -97,6 +106,11 @@ int main(int argc, char** argv) {
   std::printf("same algorithm, three RMW substrates (%u threads)\n\n",
               threads);
 
+#ifdef KRS_ANALYSIS_ENABLED
+  krs::analysis::ContentionProfiler profiler;
+  krs::analysis::ScopedProfiler profiler_scope(profiler);
+#endif
+
   AtomicBackend atomic_backend;
   CombiningBackend combining_backend(
       static_cast<unsigned>(krs::util::ceil_pow2(std::max(2u, threads))));
@@ -123,6 +137,17 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(st.network_ops),
       static_cast<unsigned long long>(st.cycles), st.cycles_per_op(),
       st.combine_rate(), st.mean_latency());
+
+#ifdef KRS_ANALYSIS_ENABLED
+  const auto report = profiler.report();
+  std::printf(
+      "\nprofiler: hot lines: %zu (%llu cache lines touched, "
+      "%llu shared accesses, %llu conflicts)\n",
+      report.hot_lines, static_cast<unsigned long long>(report.lines.size()),
+      static_cast<unsigned long long>(report.total_accesses),
+      static_cast<unsigned long long>(report.total_conflicts));
+  std::printf("%s\n", report.to_string(3).c_str());
+#endif
 
   std::printf("\n%s\n", ok ? "all invariants hold on all three backends"
                            : "INVARIANT FAILURE");

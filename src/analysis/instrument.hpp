@@ -30,6 +30,7 @@
 
 #include <atomic>
 
+#include "analysis/contention_profiler.hpp"
 #include "analysis/race_detector.hpp"
 
 namespace krs::analysis {
@@ -41,8 +42,26 @@ inline std::atomic<RaceDetector*>& global_slot() noexcept {
   return slot;
 }
 
+inline std::atomic<ContentionProfiler*>& global_profiler_slot() noexcept {
+  static std::atomic<ContentionProfiler*> slot{nullptr};
+  return slot;
+}
+
+/// Generation of the global detector slot: bumped on every ScopedDetector
+/// install AND uninstall. TLS bindings remember the generation they were
+/// made under, so a long-lived thread (a pool worker, main) that carries a
+/// binding across detector scopes re-registers instead of reusing a Tid
+/// that the detector may have RETIRED and handed to another thread in the
+/// meantime (segment merging reuses tids after join) — the stale-binding
+/// aliasing footgun.
+inline std::atomic<std::uint64_t>& binding_generation() noexcept {
+  static std::atomic<std::uint64_t> gen{1};
+  return gen;
+}
+
 struct TlsBinding {
   std::uint64_t detector_uid = 0;
+  std::uint64_t generation = 0;
   Tid tid = 0;
 };
 
@@ -58,27 +77,56 @@ inline RaceDetector* global_detector() noexcept {
   return detail::global_slot().load(std::memory_order_acquire);
 }
 
+/// The contention profiler currently receiving shared-access events
+/// (nullptr: none). Independent of the detector: either, both, or neither
+/// may be installed.
+inline ContentionProfiler* global_profiler() noexcept {
+  return detail::global_profiler_slot().load(std::memory_order_acquire);
+}
+
 /// Install `d` as the global detector for this scope. Not reentrant: one
-/// detector at a time (tests run them serially).
+/// detector at a time (tests run them serially). Both install and
+/// uninstall advance the binding generation, invalidating every TLS tid
+/// cache made under the previous scope.
 class ScopedDetector {
  public:
   explicit ScopedDetector(RaceDetector& d) {
+    detail::binding_generation().fetch_add(1, std::memory_order_relaxed);
     detail::global_slot().store(&d, std::memory_order_release);
   }
   ~ScopedDetector() {
     detail::global_slot().store(nullptr, std::memory_order_release);
+    detail::binding_generation().fetch_add(1, std::memory_order_relaxed);
   }
   ScopedDetector(const ScopedDetector&) = delete;
   ScopedDetector& operator=(const ScopedDetector&) = delete;
 };
 
+/// Install `p` as the global contention profiler for this scope. Same
+/// serial-use contract as ScopedDetector.
+class ScopedProfiler {
+ public:
+  explicit ScopedProfiler(ContentionProfiler& p) {
+    detail::global_profiler_slot().store(&p, std::memory_order_release);
+  }
+  ~ScopedProfiler() {
+    detail::global_profiler_slot().store(nullptr, std::memory_order_release);
+  }
+  ScopedProfiler(const ScopedProfiler&) = delete;
+  ScopedProfiler& operator=(const ScopedProfiler&) = delete;
+};
+
 /// This thread's id under detector `d`, registering a root thread on first
-/// use. The cache is keyed by the detector's uid, so a new detector at a
-/// recycled address does not inherit stale ids.
+/// use. The cache is keyed by the detector's uid AND the binding
+/// generation: a new detector at a recycled address does not inherit
+/// stale ids, and neither does the same detector across scopes — its tid
+/// space may have retired-and-reused slots by then.
 inline Tid self_tid(RaceDetector& d) {
   auto& b = detail::tls_binding();
-  if (b.detector_uid != d.uid()) {
-    b = {d.uid(), d.new_thread()};
+  const std::uint64_t gen =
+      detail::binding_generation().load(std::memory_order_relaxed);
+  if (b.detector_uid != d.uid() || b.generation != gen) {
+    b = {d.uid(), gen, d.new_thread()};
   }
   return b.tid;
 }
@@ -103,7 +151,9 @@ class ForkHandle {
   void adopt() const {
     RaceDetector* d = global_detector();
     if (d == nullptr || d->uid() != detector_uid_) return;
-    detail::tls_binding() = {detector_uid_, child_};
+    detail::tls_binding() = {
+        detector_uid_,
+        detail::binding_generation().load(std::memory_order_relaxed), child_};
   }
 
   /// Called on the parent after joining the child thread.
@@ -141,6 +191,31 @@ inline void shadow_write(const void* addr, AccessSite site = {}) {
   }
 }
 
+// ---- contention-profiler hooks (no-ops when no profiler is installed) ------
+//
+// The shared-traffic hook family: primitives report every access to a
+// SHARED hot word (the word a combining cell could stand in for), tagged
+// with the call site. Orthogonal to the happens-before hooks above — the
+// detector judges ordering, the profiler measures traffic.
+
+inline void profile_rmw(const void* addr, AccessSite site = {}) {
+  if (ContentionProfiler* p = global_profiler()) {
+    p->on_rmw(profile_self_tid(), addr, site);
+  }
+}
+
+inline void profile_load(const void* addr, AccessSite site = {}) {
+  if (ContentionProfiler* p = global_profiler()) {
+    p->on_load(profile_self_tid(), addr, site);
+  }
+}
+
+inline void profile_store(const void* addr, AccessSite site = {}) {
+  if (ContentionProfiler* p = global_profiler()) {
+    p->on_store(profile_self_tid(), addr, site);
+  }
+}
+
 // ---- the two policies ------------------------------------------------------
 
 /// Disabled instrumentation: empty inline hooks the optimizer erases.
@@ -148,16 +223,30 @@ struct NoInstrument {
   static constexpr bool enabled = false;
   static constexpr void acquire(const void*) noexcept {}
   static constexpr void release(const void*) noexcept {}
+  static constexpr void contended_rmw(const void*, AccessSite = {}) noexcept {}
+  static constexpr void shared_load(const void*, AccessSite = {}) noexcept {}
+  static constexpr void shared_store(const void*, AccessSite = {}) noexcept {}
 };
 
-/// Instrumentation wired to the global detector. `acquire(s)`/`release(s)`
-/// are the happens-before edges a primitive publishes: release at every
-/// point that hands state to a successor, acquire at every point that
-/// receives it.
+/// Instrumentation wired to the global detector and profiler.
+/// `acquire(s)`/`release(s)` are the happens-before edges a primitive
+/// publishes: release at every point that hands state to a successor,
+/// acquire at every point that receives it. `contended_rmw` /
+/// `shared_load` / `shared_store` are the traffic events a primitive's
+/// shared words generate, fed to the contention profiler.
 struct GlobalInstrument {
   static constexpr bool enabled = true;
   static void acquire(const void* sync) { hb_acquire(sync); }
   static void release(const void* sync) { hb_release(sync); }
+  static void contended_rmw(const void* addr, AccessSite site = {}) {
+    profile_rmw(addr, site);
+  }
+  static void shared_load(const void* addr, AccessSite site = {}) {
+    profile_load(addr, site);
+  }
+  static void shared_store(const void* addr, AccessSite site = {}) {
+    profile_store(addr, site);
+  }
 };
 
 #ifdef KRS_ANALYSIS_ENABLED

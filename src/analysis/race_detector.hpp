@@ -24,6 +24,7 @@
 // thread ids, making verdicts reproducible without real concurrency.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -83,6 +84,13 @@ struct DetectorStats {
   std::uint64_t read_inflations = 0;  ///< exclusive→shared read promotions
   std::uint64_t acquires = 0;
   std::uint64_t releases = 0;
+  // Segment merging (DRD-style): a joined thread's segment is merged into
+  // its joiner and its Tid slot retired for reuse, so clock state stays
+  // O(peak live threads) under churn instead of O(total threads ever).
+  std::uint64_t segments_merged = 0;  ///< joins that retired a Tid slot
+  std::uint64_t tid_reuses = 0;       ///< registrations served from retired slots
+  std::uint64_t live_threads = 0;     ///< currently registered, not retired
+  std::uint64_t peak_live_threads = 0;
 };
 
 class RaceDetector {
@@ -113,12 +121,24 @@ class RaceDetector {
   }
 
   /// Join edge: everything `child` did happens-before whatever `parent`
-  /// does next.
+  /// does next. The child's segment is now MERGED into the parent's
+  /// history (DRD's segment-merge step), so its Tid slot is retired: a
+  /// later registration whose initial clock covers the child's final
+  /// epoch may reuse the slot, keeping thread/clock state bounded by the
+  /// peak number of LIVE threads under sequential churn.
   void join(Tid parent, Tid child) {
     std::scoped_lock lk(m_);
     KRS_EXPECTS(parent < threads_.size() && child < threads_.size());
+    KRS_EXPECTS(threads_[child].live);
     threads_[parent].clock.join(threads_[child].clock);
     threads_[child].clock.tick(child);
+    threads_[child].live = false;
+    // The reuse guard: the slot's clock component after the tick is
+    // strictly above every epoch the dead segment ever published.
+    threads_[child].retired_at = threads_[child].clock.get(child);
+    free_tids_.push_back(child);
+    ++stats_.segments_merged;
+    --stats_.live_threads;
   }
 
   /// t acquires sync object s: t's clock absorbs every release of s.
@@ -235,9 +255,25 @@ class RaceDetector {
     return stats_;
   }
 
+  /// Thread SLOTS allocated (live + retired-awaiting-reuse). With segment
+  /// merging this is bounded by the peak live-thread count under
+  /// sequential churn, not by the total number of threads ever created.
   [[nodiscard]] std::size_t threads() const {
     std::scoped_lock lk(m_);
     return threads_.size();
+  }
+
+  /// Largest vector-clock component count over all thread slots — the
+  /// memory-bound the segment-merge churn test pins: clock entries stay
+  /// O(peak live threads) because retired slots are reused, never grown
+  /// past.
+  [[nodiscard]] std::size_t clock_entries() const {
+    std::scoped_lock lk(m_);
+    std::size_t n = 0;
+    for (const ThreadState& ts : threads_) {
+      n = std::max(n, ts.clock.components());
+    }
+    return n;
   }
 
   /// Unique per-detector id, used by the thread-local tid cache to survive
@@ -247,6 +283,8 @@ class RaceDetector {
  private:
   struct ThreadState {
     VectorClock clock;
+    bool live = true;
+    ClockVal retired_at = 0;  ///< clock floor a reusing tenant must cover
   };
 
   /// FastTrack shadow word: last write as an epoch; reads as an epoch
@@ -262,9 +300,32 @@ class RaceDetector {
   };
 
   Tid make_thread_locked(VectorClock initial) {
+    // Try to reuse a retired slot — SOUND only when the new thread is
+    // already ordered after everything the dead tenant did, i.e. its
+    // initial clock covers the retired segment's final epoch (true for a
+    // fork whose parent joined the dead thread; never true for a root
+    // thread, whose empty clock covers nothing). Clocks continue from the
+    // retired value, never reset, so epochs c@t of the dead tenant stay
+    // distinguishable from the new one's everywhere in the shadow state.
+    for (std::size_t i = 0; i < free_tids_.size(); ++i) {
+      const Tid t = free_tids_[i];
+      const ClockVal floor_ = threads_[t].retired_at;
+      if (initial.get(t) + 1 < floor_) continue;  // unordered: unsound
+      free_tids_.erase(free_tids_.begin() + static_cast<std::ptrdiff_t>(i));
+      initial.set(t, std::max(initial.get(t), floor_) + 1);
+      threads_[t] = {std::move(initial), true, 0};
+      ++stats_.tid_reuses;
+      ++stats_.live_threads;
+      stats_.peak_live_threads =
+          std::max(stats_.peak_live_threads, stats_.live_threads);
+      return t;
+    }
     const Tid t = static_cast<Tid>(threads_.size());
     initial.set(t, 1);  // clocks start at 1; 0 means "never"
-    threads_.push_back({std::move(initial)});
+    threads_.push_back({std::move(initial), true, 0});
+    ++stats_.live_threads;
+    stats_.peak_live_threads =
+        std::max(stats_.peak_live_threads, stats_.live_threads);
     return t;
   }
 
@@ -289,6 +350,7 @@ class RaceDetector {
   const std::size_t max_reports_;
   const std::uint64_t uid_ = next_uid();
   std::vector<ThreadState> threads_;
+  std::vector<Tid> free_tids_;  ///< retired slots awaiting a covered tenant
   std::unordered_map<const void*, VectorClock> syncs_;
   std::unordered_map<std::uintptr_t, VarState> shadow_;
   std::vector<RaceReport> reports_;

@@ -86,6 +86,16 @@ class VectorClock {
   /// Number of components stored (threads mentioned so far).
   [[nodiscard]] std::size_t size() const noexcept { return c_.size(); }
 
+  /// Number of NONZERO components — the clock's real footprint. Under
+  /// Tid-slot reuse (race-detector segment merging) this stays bounded by
+  /// the peak live-thread count even when thousands of threads churn
+  /// through, which is what DetectorStats' churn accounting asserts.
+  [[nodiscard]] std::size_t components() const noexcept {
+    std::size_t n = 0;
+    for (const ClockVal v : c_) n += v != 0 ? 1 : 0;
+    return n;
+  }
+
   friend bool operator==(const VectorClock& a, const VectorClock& b) {
     const std::size_t n = std::max(a.c_.size(), b.c_.size());
     for (std::size_t i = 0; i < n; ++i) {

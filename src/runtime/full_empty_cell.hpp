@@ -79,6 +79,7 @@ class alignas(kCacheLine) FullEmptyCell {
       return false;  // negative acknowledgment
     }
     Instrument::release(this);  // recorded while the tag holds the cell
+    Instrument::shared_store(&slot_, KRS_SITE);
     slot_ = std::move(v);
     backend_.store(state_, kFull);
     return true;
@@ -97,6 +98,7 @@ class alignas(kCacheLine) FullEmptyCell {
       return std::nullopt;
     }
     Instrument::acquire(this);  // absorb the producer's published history
+    Instrument::shared_load(&slot_, KRS_SITE);
     T v = std::move(slot_);
     backend_.store(state_, kEmpty);
     return v;
@@ -117,6 +119,7 @@ class alignas(kCacheLine) FullEmptyCell {
       return std::nullopt;
     }
     Instrument::acquire(this);
+    Instrument::shared_load(&slot_, KRS_SITE);
     T v = slot_;
     backend_.store(state_, kFull);
     return v;
@@ -137,6 +140,7 @@ class alignas(kCacheLine) FullEmptyCell {
       Word s = backend_.load(state_);
       if (s != kBusy && backend_.compare_exchange(state_, s, kBusy)) {
         Instrument::release(this);
+        Instrument::shared_store(&slot_, KRS_SITE);
         slot_ = std::move(v);
         backend_.store(state_, kFull);
         return;

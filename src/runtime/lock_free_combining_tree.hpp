@@ -75,7 +75,9 @@
 // strategy, and measured crossovers against the blocking tree.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -211,6 +213,7 @@ class MappingCombiningTree {
   template <std::invocable<V> F>
   V update_at_root(F&& f) {
     Instrument::acquire(this);
+    Instrument::contended_rmw(&root_, KRS_SITE);
     lock_root();
     const V prior = root_.load(std::memory_order_relaxed);
     root_.store(std::forward<F>(f)(prior), std::memory_order_release);
@@ -224,6 +227,7 @@ class MappingCombiningTree {
   /// atomic word updated only under the root lock bit, so a bare acquire
   /// load is a coherent (and per-reader monotone) snapshot — no lock.
   [[nodiscard]] V read() const {
+    Instrument::shared_load(&root_, KRS_SITE);
     return root_.load(std::memory_order_acquire);
   }
 
@@ -234,6 +238,11 @@ class MappingCombiningTree {
   }
 
   [[nodiscard]] unsigned width() const noexcept { return width_; }
+
+  /// Address of the root value word — the address the Instrument policy's
+  /// contended_rmw hook reports for root traffic. Lets a profiler caller
+  /// (tools/krs_profile) map "the hot line" back to this tree.
+  [[nodiscard]] const void* root_address() const noexcept { return &root_; }
 
   /// Aggregate fold/decline/root counters across all nodes. Counters are
   /// relaxed, so a concurrent snapshot is approximate; quiesce first for
@@ -257,6 +266,120 @@ class MappingCombiningTree {
   [[nodiscard]] std::uint64_t declined_folds_at(unsigned node) const {
     KRS_EXPECTS(node < nodes_.size());
     return nodes_[node].declined_folds.load(std::memory_order_relaxed);
+  }
+
+  // ---- deterministic batch surface ------------------------------------------
+
+  /// One operation of a single-caller wave: `slot` plays the role a thread
+  /// slot plays on the threaded path. Slots within one wave must be
+  /// DISTINCT — the wave models one simultaneous round of at most `width`
+  /// threads, one per slot.
+  struct WaveOp {
+    unsigned slot;
+    M op;
+  };
+
+  /// Drive every wave[i] through the full four-phase protocol from ONE
+  /// caller, interleaved the way a simultaneous round would run, and
+  /// return the priors in wave order. The caller must be the only thread
+  /// using the tree. Fold/root-apply counts after a wave sequence are a
+  /// pure function of that sequence — this is the deterministic
+  /// measurement surface the contention profiler drives (the threaded
+  /// path's combine rate depends on the host scheduler, useless on a
+  /// 1-CPU CI box).
+  ///
+  /// `on_op(i)` fires each time processing switches to wave[i], BEFORE
+  /// any of its node/root traffic — the hook the profiler uses to retag
+  /// the virtual thread id per operation (analysis::set_profile_tid).
+  ///
+  /// Scheduling: precombine climbs run in wave order; then each
+  /// operation's combine/operate phase runs in DESCENDING stop-node depth
+  /// order, so every second has deposited its mapping before its first
+  /// combines through that node (the second's stop is strictly deeper
+  /// than its first's); finally pending seconds drain as their replies
+  /// land — a dependency forest, so the drain terminates.
+  std::vector<V> run_wave(const std::vector<WaveOp>& wave,
+                          const std::function<void(std::size_t)>& on_op = {}) {
+    KRS_EXPECTS(wave.size() <= width_);
+    std::vector<bool> seen(width_, false);
+    for (const WaveOp& o : wave) {
+      KRS_EXPECTS(o.slot < width_ && !seen[o.slot] &&
+                  "wave slots must be distinct");
+      seen[o.slot] = true;
+    }
+
+    struct Flight {
+      unsigned stop = 0;
+      unsigned depth = 0;                 // of `stop`: root = 0
+      unsigned path[kMaxDepth];           // leaf..below stop
+      unsigned path_len = 0;
+      M combined{};
+      V prior{};
+      bool done = false;
+    };
+    std::vector<Flight> fl(wave.size());
+
+    // Phase 1 for everyone: claim the tree positions.
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      if (on_op) on_op(i);
+      const unsigned my_leaf = width_ / 2 + wave[i].slot / 2;
+      unsigned node = my_leaf;
+      while (precombine(node)) node /= 2;
+      fl[i].stop = node;
+      fl[i].depth = util::log2_floor(node);
+      for (unsigned n = my_leaf; n != node; n /= 2) {
+        fl[i].path[fl[i].path_len++] = n;
+      }
+      fl[i].combined = wave[i].op;
+    }
+
+    // Phases 2+3, deepest stops first: seconds deposit before their
+    // firsts combine through them.
+    std::vector<std::size_t> order(wave.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return fl[a].depth > fl[b].depth;
+                     });
+    for (const std::size_t i : order) {
+      if (on_op) on_op(i);
+      Flight& f = fl[i];
+      for (unsigned d = 0; d < f.path_len; ++d) {
+        f.combined = combine(f.path[d], std::move(f.combined));
+      }
+      if (f.stop == kRootIndex) {
+        f.prior = apply_at_root(f.combined);
+        for (unsigned d = f.path_len; d-- > 0;) distribute(f.path[d], f.prior);
+        f.done = true;
+      } else {
+        plant_second(f.stop, std::move(f.combined));
+      }
+    }
+
+    // Drain the pending seconds as their firsts' distributes cascade.
+    for (;;) {
+      bool progressed = false;
+      bool pending = false;
+      for (const std::size_t i : order) {
+        Flight& f = fl[i];
+        if (f.done) continue;
+        if (!result_ready(f.stop)) {
+          pending = true;
+          continue;
+        }
+        if (on_op) on_op(i);
+        f.prior = take_result(f.stop);
+        for (unsigned d = f.path_len; d-- > 0;) distribute(f.path[d], f.prior);
+        f.done = true;
+        progressed = true;
+      }
+      if (!pending) break;
+      KRS_ASSERT(progressed && "wave drain stalled");
+    }
+
+    std::vector<V> priors(wave.size());
+    for (std::size_t i = 0; i < wave.size(); ++i) priors[i] = fl[i].prior;
+    return priors;
   }
 
  private:
@@ -325,6 +448,7 @@ class MappingCombiningTree {
         case kRoot:
           return false;
         case kIdle:
+          Instrument::contended_rmw(&nd.status, KRS_SITE);
           if (nd.status.compare_exchange_weak(w, retag(w, kFirst),
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
@@ -334,6 +458,7 @@ class MappingCombiningTree {
         case kFirst:
           // A first arrival is already climbing through here; engage as
           // the second and stop the climb.
+          Instrument::contended_rmw(&nd.status, KRS_SITE);
           if (nd.status.compare_exchange_weak(w, retag(w, kSecondPending),
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
@@ -400,6 +525,7 @@ class MappingCombiningTree {
 
   /// Root case: apply the combined mapping under the root lock bit.
   V apply_at_root(const M& c) {
+    Instrument::contended_rmw(&root_, KRS_SITE);
     lock_root();
     const V prior = root_.load(std::memory_order_relaxed);
     root_.store(c.apply(prior), std::memory_order_release);
@@ -408,24 +534,40 @@ class MappingCombiningTree {
     return prior;
   }
 
-  /// Second case: deposit the combined mapping, then spin-then-yield on
-  /// this node's status word until the first distributes our reply.
-  V deposit_and_await(unsigned n, M c) {
+  /// Second case, step 1: deposit the combined mapping for the first to
+  /// fold on its way up.
+  void plant_second(unsigned n, M c) {
     Node& nd = nodes_[n];
-    std::uint64_t w = nd.status.load(std::memory_order_relaxed);
+    const std::uint64_t w = nd.status.load(std::memory_order_relaxed);
     KRS_ASSERT(tag_of(w) == kSecondPending);
     nd.second_map = std::move(c);
     nd.status.store(retag(w, kSecondReady), std::memory_order_release);
-    ExpBackoff bo;
-    for (;;) {
-      w = nd.status.load(std::memory_order_acquire);
-      if (tag_of(w) == kResult) break;
-      bo.pause();
-    }
+  }
+
+  /// Second case, step 2: has the first distributed our reply yet?
+  [[nodiscard]] bool result_ready(unsigned n) const {
+    return tag_of(nodes_[n].status.load(std::memory_order_acquire)) ==
+           kResult;
+  }
+
+  /// Second case, step 3: pick the reply up and release the node for the
+  /// next pair; the new generation kills ABA.
+  V take_result(unsigned n) {
+    Node& nd = nodes_[n];
+    const std::uint64_t w = nd.status.load(std::memory_order_acquire);
+    KRS_ASSERT(tag_of(w) == kResult);
     V r = nd.result;
-    // Release the node for the next pair; new generation kills ABA.
     nd.status.store(idle_next_gen(w), std::memory_order_release);
     return r;
+  }
+
+  /// Second case on the threaded path: deposit, then spin-then-yield on
+  /// this node's status word until the first distributes our reply.
+  V deposit_and_await(unsigned n, M c) {
+    plant_second(n, std::move(c));
+    ExpBackoff bo;
+    while (!result_ready(n)) bo.pause();
+    return take_result(n);
   }
 
   // ---- phase 4 --------------------------------------------------------------

@@ -63,6 +63,7 @@ class ParallelQueue {
     Word ticket = backend_.load(tail_);
     for (;;) {
       Cell& c = cells_[ticket & (cells_.size() - 1)];
+      Instrument::shared_load(&c.phase, KRS_SITE);
       const std::uint64_t phase = c.phase.load(std::memory_order_acquire);
       if (phase == ticket) {
         // Slot empty for this round: claim the ticket.
@@ -71,6 +72,7 @@ class ParallelQueue {
           // succeed (and acquire) until the tag says full-for-its-round.
           Instrument::release(&c);
           c.item = std::move(v);
+          Instrument::shared_store(&c.phase, KRS_SITE);
           c.phase.store(ticket + 1, std::memory_order_release);
           return true;
         }
@@ -88,11 +90,13 @@ class ParallelQueue {
     Word ticket = backend_.load(head_);
     for (;;) {
       Cell& c = cells_[ticket & (cells_.size() - 1)];
+      Instrument::shared_load(&c.phase, KRS_SITE);
       const std::uint64_t phase = c.phase.load(std::memory_order_acquire);
       if (phase == ticket + 1) {
         if (backend_.compare_exchange(head_, ticket, ticket + 1)) {
           Instrument::acquire(&c);
           T v = std::move(c.item);
+          Instrument::shared_store(&c.phase, KRS_SITE);
           c.phase.store(ticket + cells_.size(), std::memory_order_release);
           return v;
         }

@@ -180,30 +180,35 @@ class BasicAtomicBackend {
 
   Word fetch_add(Cell& c, Word v) const {
     Instrument::release(&c);
+    Instrument::contended_rmw(&c.word, KRS_SITE);
     Word prior = c.word.fetch_add(v, std::memory_order_acq_rel);
     Instrument::acquire(&c);
     return prior;
   }
   Word fetch_or(Cell& c, Word v) const {
     Instrument::release(&c);
+    Instrument::contended_rmw(&c.word, KRS_SITE);
     Word prior = c.word.fetch_or(v, std::memory_order_acq_rel);
     Instrument::acquire(&c);
     return prior;
   }
   Word fetch_and(Cell& c, Word v) const {
     Instrument::release(&c);
+    Instrument::contended_rmw(&c.word, KRS_SITE);
     Word prior = c.word.fetch_and(v, std::memory_order_acq_rel);
     Instrument::acquire(&c);
     return prior;
   }
   Word fetch_xor(Cell& c, Word v) const {
     Instrument::release(&c);
+    Instrument::contended_rmw(&c.word, KRS_SITE);
     Word prior = c.word.fetch_xor(v, std::memory_order_acq_rel);
     Instrument::acquire(&c);
     return prior;
   }
   Word exchange(Cell& c, Word v) const {
     Instrument::release(&c);
+    Instrument::contended_rmw(&c.word, KRS_SITE);
     Word prior = c.word.exchange(v, std::memory_order_acq_rel);
     Instrument::acquire(&c);
     return prior;
@@ -217,6 +222,7 @@ class BasicAtomicBackend {
   /// bare loop here is the §1 hot-spot storm in miniature.
   Word fetch_rmw(Cell& c, const core::AnyRmw& m) const {
     Instrument::release(&c);
+    Instrument::contended_rmw(&c.word, KRS_SITE);
     const Word old = detail::paced_cas_rmw(c.word, m);
     Instrument::acquire(&c);
     return old;
@@ -224,6 +230,7 @@ class BasicAtomicBackend {
 
   bool compare_exchange(Cell& c, Word& expected, Word desired) const {
     Instrument::release(&c);
+    Instrument::contended_rmw(&c.word, KRS_SITE);
     bool ok = c.word.compare_exchange_strong(expected, desired,
                                              std::memory_order_acq_rel,
                                              std::memory_order_acquire);
@@ -232,6 +239,7 @@ class BasicAtomicBackend {
   }
 
   Word load(const Cell& c) const {
+    Instrument::shared_load(&c.word, KRS_SITE);
     Word v = c.word.load(std::memory_order_acquire);
     Instrument::acquire(&c);
     return v;
@@ -239,6 +247,7 @@ class BasicAtomicBackend {
 
   void store(Cell& c, Word v) const {
     Instrument::release(&c);
+    Instrument::shared_store(&c.word, KRS_SITE);
     c.word.store(v, std::memory_order_release);
   }
 };

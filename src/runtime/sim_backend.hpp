@@ -183,6 +183,7 @@ class BasicSimBackend {
   /// update_at_root. Charged one uncontended round trip of cycles.
   bool compare_exchange(Cell& c, Word& expected, Word desired) const {
     Instrument::release(&c);
+    Instrument::contended_rmw(&c, KRS_SITE);
     bool ok = false;
     {
       std::lock_guard<std::mutex> lk(s_->mu);
@@ -203,6 +204,7 @@ class BasicSimBackend {
   Word load(const Cell& c) const {
     // A real packet (the identity mapping), not a poke: a load costs a
     // round trip and orders with combined traffic like any other request.
+    Instrument::shared_load(&c, KRS_SITE);
     const Word v = s_->inject(c.addr, core::AnyRmw(core::LssOp::load()));
     Instrument::acquire(&c);
     return v;
@@ -210,6 +212,7 @@ class BasicSimBackend {
 
   void store(Cell& c, Word v) const {
     Instrument::release(&c);
+    Instrument::shared_store(&c, KRS_SITE);
     s_->inject(c.addr, core::AnyRmw(core::LssOp::store(v)));
   }
 
@@ -479,6 +482,7 @@ class BasicSimBackend {
 
   Word mutate(Cell& c, const core::AnyRmw& m) const {
     Instrument::release(&c);
+    Instrument::contended_rmw(&c, KRS_SITE);
     const Word prior = s_->inject(c.addr, m);
     Instrument::acquire(&c);
     return prior;

@@ -26,10 +26,12 @@ template <typename Instrument = analysis::DefaultInstrument>
 class BasicTicketLock {
  public:
   void lock() noexcept(!Instrument::enabled) {
+    Instrument::contended_rmw(&next_, KRS_SITE);
     const std::uint64_t my =
         next_.fetch_add(1, std::memory_order_acq_rel);
     std::uint64_t prev_ahead = ~std::uint64_t{0};
     for (;;) {
+      Instrument::shared_load(&serving_, KRS_SITE);
       const std::uint64_t now = serving_.load(std::memory_order_acquire);
       if (now == my) break;
       // Proportional backoff: my - now waiters are served before us, so
@@ -50,9 +52,11 @@ class BasicTicketLock {
   }
 
   bool try_lock() noexcept(!Instrument::enabled) {
+    Instrument::shared_load(&serving_, KRS_SITE);
     std::uint64_t serving = serving_.load(std::memory_order_acquire);
     std::uint64_t expected = serving;
     // Take a ticket only if it would be served immediately.
+    Instrument::contended_rmw(&next_, KRS_SITE);
     if (next_.compare_exchange_strong(expected, serving + 1,
                                       std::memory_order_acq_rel)) {
       Instrument::acquire(this);
@@ -63,6 +67,7 @@ class BasicTicketLock {
 
   void unlock() noexcept(!Instrument::enabled) {
     Instrument::release(this);
+    Instrument::contended_rmw(&serving_, KRS_SITE);
     serving_.fetch_add(1, std::memory_order_acq_rel);
   }
 

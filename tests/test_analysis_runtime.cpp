@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -373,6 +374,110 @@ TEST(AnalysisRuntime, GroupLockExcludedGroupsAreClean) {
   f1.join();
 
   EXPECT_TRUE(det.clean()) << det.races()[0].to_string();
+}
+
+
+// --- segment merging under real thread churn ---------------------------------
+
+TEST(SegmentChurn, SixtyFourSequentialWorkersKeepDetectorStateBounded) {
+  // 64 real threads churn through one detector, each fork/join-ordered
+  // after the last. Segment merging must keep every resource O(live
+  // threads): one reused child slot, clocks that never mention more than
+  // two tids — not 65 slots with 65-entry clocks.
+  RaceDetector det;
+  ScopedDetector guard(det);
+  std::atomic<int> data{0};
+
+  constexpr unsigned kChurn = 64;
+  for (unsigned i = 0; i < kChurn; ++i) {
+    ForkHandle f;
+    std::thread t([&] {
+      f.adopt();
+      data.fetch_add(1, std::memory_order_relaxed);
+      shadow_write(&data, KRS_SITE);  // ordered against all predecessors
+    });
+    t.join();
+    f.join();
+  }
+  shadow_read(&data, KRS_SITE);  // main, after every join edge
+
+  EXPECT_EQ(data.load(), static_cast<int>(kChurn));
+  EXPECT_TRUE(det.clean()) << det.races()[0].to_string();
+
+  const DetectorStats st = det.stats();
+  EXPECT_EQ(st.segments_merged, kChurn);
+  EXPECT_EQ(st.tid_reuses, kChurn - 1);
+  EXPECT_EQ(st.live_threads, 1u);
+  EXPECT_EQ(st.peak_live_threads, 2u);
+  EXPECT_EQ(det.threads(), 2u);       // main + ONE recycled child slot
+  EXPECT_LE(det.clock_entries(), 2u);  // O(live threads), not O(kChurn)
+}
+
+TEST(Instrument, AdoptedBindingInvalidatedOnDetectorReinstall) {
+  // The stale-binding footgun segment merging creates: a long-lived
+  // worker adopts a Tid in one detector scope; after that scope closes,
+  // its tid is retired and RECYCLED to a different thread in a later
+  // scope of the SAME detector. If the worker's cached binding survived
+  // into the new scope it would alias the new tenant — its unsynchronized
+  // write would ride the recycled tid's epoch and the race below would
+  // vanish. The binding generation (bumped on every install AND
+  // uninstall) forces the worker to re-register as a fresh root instead.
+  RaceDetector det;
+  std::atomic<int> phase{0};
+  std::atomic<int> scope1_data{0};
+  std::atomic<int> scope2_data{0};
+  const auto await = [&](int p) {
+    while (phase.load(std::memory_order_acquire) < p) {
+      std::this_thread::yield();
+    }
+  };
+
+  std::unique_ptr<ForkHandle> handle;
+  std::thread worker;
+  {
+    ScopedDetector guard(det);
+    handle = std::make_unique<ForkHandle>();
+    worker = std::thread([&] {
+      handle->adopt();
+      scope1_data.store(1, std::memory_order_relaxed);
+      shadow_write(&scope1_data, KRS_SITE);  // scope 1, as the forked tid
+      phase.store(1, std::memory_order_release);
+      await(2);
+      // Scope 2 is live now and our old tid belongs to t2's history. With
+      // the generation check this thread re-registers as a root —
+      // unordered with the recycled tid's work, so the write below must
+      // be FLAGGED. A stale binding would ride the recycled tid's own
+      // epoch and silently pass.
+      shadow_write(&scope2_data, KRS_SITE);
+      phase.store(3, std::memory_order_release);
+    });
+    await(1);
+    handle->join();  // the worker issues no further scope-1 events
+
+    // Still in scope 1: a covered fork recycles the worker's retired tid.
+    ForkHandle f2;
+    std::thread t2([&] {
+      f2.adopt();
+      scope2_data.store(2, std::memory_order_relaxed);
+      shadow_write(&scope2_data, KRS_SITE);
+    });
+    t2.join();
+    f2.join();
+    EXPECT_EQ(det.stats().tid_reuses, 1u);
+  }
+  ASSERT_TRUE(det.clean());
+
+  {
+    ScopedDetector guard(det);
+    phase.store(2, std::memory_order_release);
+    await(3);  // the stale worker's write lands inside this scope
+  }
+  worker.join();
+
+  // The worker was re-registered (3 slots: main, the recycled child slot,
+  // the worker's new root), and its write races with t2's.
+  EXPECT_EQ(det.threads(), 3u);
+  EXPECT_EQ(det.race_count(), 1u);
 }
 
 }  // namespace

@@ -267,4 +267,116 @@ TEST(RaceExplorer, WriteThenHandoffViaLockClean) {
   EXPECT_TRUE(res.never_racy());
 }
 
+
+// --- segment merging (DRD-style Tid retirement and reuse) --------------------
+//
+// join() merges the child's segment into the parent and retires the
+// child's Tid slot; a later fork whose snapshot covers the retired
+// segment reuses it. The property pinned here is the one the feature
+// exists for: detector state stays O(peak live threads) under thread
+// churn, with no change to any verdict.
+
+TEST(SegmentMerge, JoinRetiresSlotAndCoveredForkReusesIt) {
+  RaceDetector d;
+  const Tid root = d.new_thread();
+  const Tid c1 = d.fork(root);
+  d.on_write(c1, kAddr);
+  d.join(root, c1);
+
+  DetectorStats st = d.stats();
+  EXPECT_EQ(st.segments_merged, 1u);
+  EXPECT_EQ(st.live_threads, 1u);
+
+  // The parent joined the child, so its next fork snapshot covers the
+  // retired segment: the slot must be recycled, not a fresh one grown.
+  const Tid c2 = d.fork(root);
+  EXPECT_EQ(c2, c1);
+  EXPECT_EQ(d.stats().tid_reuses, 1u);
+  EXPECT_EQ(d.threads(), 2u);
+
+  // The reused slot is genuinely ordered after the dead tenant: writing
+  // the same address is fork/join-ordered, not a race.
+  d.on_write(c2, kAddr);
+  EXPECT_TRUE(d.clean());
+}
+
+TEST(SegmentMerge, RootThreadsNeverReuseRetiredSlots) {
+  RaceDetector d;
+  const Tid root = d.new_thread();
+  const Tid child = d.fork(root);
+  d.on_write(child, kAddr);
+  d.join(root, child);
+
+  // A root registration has an empty clock: it covers nothing, so it must
+  // NOT be given the retired slot — it is unordered with the dead
+  // segment, and aliasing them would hide exactly this race.
+  const Tid stranger = d.new_thread();
+  EXPECT_NE(stranger, child);
+  EXPECT_EQ(d.stats().tid_reuses, 0u);
+  d.on_write(stranger, kAddr);
+  EXPECT_FALSE(d.clean());  // unordered with the dead child's write
+}
+
+TEST(SegmentMerge, SequentialChurnKeepsStateBoundedByLiveThreads) {
+  RaceDetector d;
+  const Tid root = d.new_thread();
+  constexpr unsigned kChurn = 64;
+  for (unsigned i = 0; i < kChurn; ++i) {
+    const Tid c = d.fork(root);
+    d.on_write(c, kAddr);  // each write ordered after the previous by join
+    d.join(root, c);
+  }
+  EXPECT_TRUE(d.clean());
+
+  const DetectorStats st = d.stats();
+  EXPECT_EQ(st.segments_merged, kChurn);
+  EXPECT_EQ(st.tid_reuses, kChurn - 1);  // first fork grows, rest recycle
+  EXPECT_EQ(st.live_threads, 1u);        // only the root remains
+  EXPECT_EQ(st.peak_live_threads, 2u);   // root + one child at a time
+
+  // The O(live threads) bound, in slots and in clock components: 64
+  // sequential threads cost ONE child slot, and no clock ever mentions
+  // more than the two tids that were ever simultaneously live.
+  EXPECT_EQ(d.threads(), 2u);
+  EXPECT_LE(d.clock_entries(), 2u);
+}
+
+TEST(SegmentMerge, ReuseKeepsDeadEpochsDistinguishable) {
+  // A sync clock captured from the dead tenant must not be mistaken for
+  // one of the new tenant's: the reused slot continues from the retired
+  // clock value instead of resetting, so the dead thread's release of a
+  // lock still orders — and ONLY orders — what it actually protected.
+  RaceDetector d;
+  const Tid root = d.new_thread();
+  const Tid c1 = d.fork(root);
+  d.on_write(c1, kAddr);
+  d.on_release(c1, kLock);  // publishes c1's history into the lock
+  d.join(root, c1);
+
+  const Tid c2 = d.fork(root);
+  ASSERT_EQ(c2, c1);  // slot reused
+  d.on_acquire(c2, kLock);
+  d.on_write(c2, kAddr);  // ordered via fork AND via the lock: clean
+  d.join(root, c2);
+  EXPECT_TRUE(d.clean());
+}
+
+TEST(SegmentMerge, TwoLiveChildrenStillRaceAfterUnrelatedChurn) {
+  // Churn must not weaken detection: after many merges, two genuinely
+  // concurrent children racing on one address are still flagged.
+  RaceDetector d;
+  const Tid root = d.new_thread();
+  for (unsigned i = 0; i < 8; ++i) {
+    const Tid c = d.fork(root);
+    d.join(root, c);
+  }
+  const Tid a = d.fork(root);
+  const Tid b = d.fork(root);
+  d.on_write(a, kAddr);
+  d.on_write(b, kAddr);
+  EXPECT_FALSE(d.clean());
+  d.join(root, a);
+  d.join(root, b);
+}
+
 }  // namespace

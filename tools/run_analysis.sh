@@ -39,7 +39,22 @@ for step in "${steps[@]}"; do
     plain)
       build_and_test plain -- ;;
     analysis)
-      build_and_test analysis -- -DKRS_ANALYSIS=ON ;;
+      build_and_test analysis -- -DKRS_ANALYSIS=ON
+      # Contention-profiler smoke: the instrumented example must report a
+      # nonzero hot-line count (a blind profiler is a regression), and the
+      # deterministic krs-profile acceptance gate must hold.
+      echo "--- contention profiler smoke ---"
+      matrix_out="$("$OUT/analysis/examples/backend_matrix" 4 500)"
+      printf '%s\n' "$matrix_out"
+      hot="$(printf '%s\n' "$matrix_out" |
+             sed -n 's/^profiler: hot lines: \([0-9]*\).*/\1/p')"
+      if [ -z "$hot" ] || [ "$hot" -eq 0 ]; then
+        echo "FAIL: profiler reported no hot lines" >&2
+        exit 1
+      fi
+      echo "profiler smoke ok: $hot hot line(s)"
+      "$OUT/analysis/tools/krs-profile" --backend=both --threads=4 \
+        --ops=2048 --check ;;
     thread)
       export TSAN_OPTIONS="suppressions=$ROOT/tools/tsan.supp ${TSAN_OPTIONS:-}"
       build_and_test thread -L tsan -- -DKRS_SANITIZE=thread ;;
