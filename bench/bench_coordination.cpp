@@ -24,6 +24,7 @@
 #include "core/any_rmw.hpp"
 #include "core/fetch_theta.hpp"
 #include "core/load_store_swap.hpp"
+#include "net/switch.hpp"
 #include "runtime/combining_backend.hpp"
 #include "runtime/coordination.hpp"
 #include "runtime/parallel_queue.hpp"
@@ -335,6 +336,38 @@ void BM_SimQueue(benchmark::State& state) {
 BENCHMARK(BM_SimQueue)
     ->Name("BM_SimCoordination/queue")
     ->ArgNames({"workers"})->Arg(1)->Arg(2);
+
+void BM_SimCounterScale(benchmark::State& state) {
+  // The counter hotspot swept over machine size k ∈ {6, 8, 10}
+  // (n = 64 … 1024 processors) × combine policy on/off. With combining
+  // disabled the switches forward every request unmerged and the hot
+  // module serializes all n, so a processor's issue→reply latency grows
+  // LINEARLY in n (mean_latency_cycles ≈ n/2 + network transit — the §1
+  // hot-spot cost); with it on, requests merge in lg n stages and the
+  // latency stays at the 2·lg n + O(1) pipe while cycles_per_op drops by
+  // the absorbed fraction. The normalized series rows
+  // "counter_scale/k=K/combine={0,1}" pin both curves; §4.2's claim is
+  // their widening gap as k grows.
+  const auto k = static_cast<unsigned>(state.range(0));
+  const bool combine = state.range(1) != 0;
+  krs::net::SwitchConfig sw;
+  sw.policy = combine ? krs::net::CombinePolicy::kUnlimited
+                      : krs::net::CombinePolicy::kNone;
+  SimBackend b(SimBackendConfig{
+      .log2_procs = k, .engine_workers = 1, .switch_cfg = sw});
+  SimBackend::Cell cell(b, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        b.run_wave(full_wave(b, cell, AnyRmw(FetchAdd(1)))));
+  }
+  report_sim_counters(state, b);
+}
+BENCHMARK(BM_SimCounterScale)
+    ->Name("BM_SimCoordination/counter_scale")
+    ->ArgNames({"k", "combine"})
+    ->Args({6, 0})->Args({6, 1})
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({10, 0})->Args({10, 1});
 
 // --- barriers ---------------------------------------------------------------
 

@@ -25,11 +25,23 @@ tracks (see docs/PERFORMANCE.md):
       in `config` exceeds the worker count — on a single-core host the
       ratio hovers near 1.0 by construction.
   sim_cycles_per_op — the sim-backend dimension: network cycles per RMW
-      for each BM_SimCoordination/<primitive> row, keyed
-      "primitive/workers=W". Cycle-accounted on the simulated Omega
-      machine, so the values are HOST-INDEPENDENT (and identical across
-      workers=… rows — the parallel engine is bit-identical); these are
-      the numbers to place against the paper's §6 formulas.
+      for each BM_SimCoordination/<primitive> row, keyed by the family
+      suffix with benchmark args folded in ("counter/workers=W",
+      "counter_scale/k=K/combine=C"). Cycle-accounted on the simulated
+      Omega machine, so the values are HOST-INDEPENDENT (and identical
+      across workers=… rows — the parallel engine is bit-identical);
+      these are the numbers to place against the paper's §6 formulas.
+      The counter_scale rows sweep machine size k ∈ {6,8,10} × combine
+      policy on/off — the §4.2 curve pair.
+  flat_vs_tree_ops_ratio — fourth-substrate crossover: throughput of
+      BM_FlatVsTree/flat/w:W over its /tree/w:W twin per thread count,
+      keyed "w=W/threads" (> 1.0 means the flat combiner beats the
+      combining tree at that width/concurrency).
+
+Every comparisons series is wrapped as {"host_cpus": N, "values": {...}}
+so a 1-CPU CI artifact cannot be misread as scaling data — the ratios
+only mean what they appear to mean when host_cpus covers the thread
+counts involved.
 
   profiler_hot_lines — contention-profiler acceptance series: hot-line
       count per backend from a tools/krs_profile --json document (schema
@@ -52,6 +64,7 @@ Stdlib only; no third-party imports.
 import argparse
 import json
 import math
+import os
 import sys
 
 
@@ -86,7 +99,7 @@ def to_ns(value, unit):
 # top-level numeric keys on each benchmark record. Carry the known ones
 # through to the normalized output.
 COUNTER_KEYS = ("cycles_per_op", "combine_rate", "served_at_root_fraction",
-                "sim_cycles", "mean_latency_cycles")
+                "combined_fraction", "sim_cycles", "mean_latency_cycles")
 
 
 def collect(files):
@@ -218,14 +231,35 @@ def normalize(runs, context, config, profiles=()):
                 par_ops[(k, workers)] / seq_ops[k], 3)
 
     # The sim-backend dimension: cycle-accounted cost per §6 primitive on
-    # the simulated Omega machine, keyed "primitive/workers=W". These are
-    # paper units — deterministic per pattern, identical across workers.
+    # the simulated Omega machine, keyed by the family suffix with every
+    # benchmark arg folded in ("counter/workers=W",
+    # "counter_scale/k=K/combine=C"). These are paper units —
+    # deterministic per pattern, identical across workers.
     sim_prefix = "BM_SimCoordination/"
     sim_cycles = {}
     for b in benchmarks:
         if b["name"].startswith(sim_prefix) and "cycles_per_op" in b:
-            key = b["name"][len(sim_prefix):].replace("workers:", "workers=")
+            key = b["name"][len(sim_prefix):].replace(":", "=")
             sim_cycles[key] = round(b["cycles_per_op"], 3)
+
+    # The fourth-substrate crossover: BM_FlatVsTree/flat/w:W throughput
+    # over its /tree/w:W twin per thread count, keyed "w=W/threads".
+    # > 1.0: the flat combiner beats the combining tree at that
+    # width/concurrency (bench/bench_flat_vs_tree.cpp).
+    fvt_prefix = "BM_FlatVsTree/"
+    fvt_pairs = {}
+    for b in benchmarks:
+        if b["name"].startswith(fvt_prefix) and b["ops_per_sec"]:
+            variant, _, warg = b["name"][len(fvt_prefix):].partition("/")
+            fvt_pairs.setdefault(
+                (warg.replace(":", "="), b["threads"]), {})[variant] = \
+                b["ops_per_sec"]
+    flat_vs_tree = {}
+    for (warg, threads) in sorted(fvt_pairs):
+        pair = fvt_pairs[(warg, threads)]
+        if "flat" in pair and "tree" in pair:
+            flat_vs_tree[f"{warg}/{threads}"] = round(
+                pair["flat"] / pair["tree"], 3)
 
     # The contention-profiler series: hot lines per profiled backend.
     # Zero-hot-line entries are DROPPED so `--require profiler_hot_lines`
@@ -236,22 +270,35 @@ def normalize(runs, context, config, profiles=()):
         if prof["hot_lines"]:
             hot_lines[prof["backend"]] = prof["hot_lines"]
 
+    # Every series carries host_cpus alongside its values: most ratios are
+    # only scaling data when the host actually ran the threads in
+    # parallel, and the annotation travels with the series even when the
+    # document's config block is stripped by a downstream consumer.
+    host_cpus = context.get("host_cpus") or os.cpu_count()
+
+    def series(values):
+        return {"host_cpus": host_cpus, "values": values}
+
     comparisons = {}
     if ratios:
-        comparisons["lockfree_vs_blocking_ops_ratio"] = ratios
+        comparisons["lockfree_vs_blocking_ops_ratio"] = series(ratios)
     if backend_ratios:
-        comparisons["combining_vs_atomic_ops_ratio"] = backend_ratios
+        comparisons["combining_vs_atomic_ops_ratio"] = series(backend_ratios)
     if speedups:
-        comparisons["machine_parallel_speedup"] = speedups
+        comparisons["machine_parallel_speedup"] = series(speedups)
     if sim_cycles:
-        comparisons["sim_cycles_per_op"] = sim_cycles
+        comparisons["sim_cycles_per_op"] = series(sim_cycles)
+    if flat_vs_tree:
+        comparisons["flat_vs_tree_ops_ratio"] = series(flat_vs_tree)
     if hot_lines:
-        comparisons["profiler_hot_lines"] = hot_lines
+        comparisons["profiler_hot_lines"] = series(hot_lines)
 
+    cfg = dict(config, **context)
+    cfg["host_cpus"] = host_cpus
     return {
         "schema": "krs-bench-v1",
         "generated_by": "tools/run_bench.sh",
-        "config": dict(config, **context),
+        "config": cfg,
         "benchmarks": benchmarks,
         "profiles": list(profiles),
         "comparisons": comparisons,
@@ -265,10 +312,12 @@ def main():
     ap.add_argument("--min-time", default=None)
     ap.add_argument("--repetitions", type=int, default=None)
     ap.add_argument("--require", action="append", default=[],
-                    metavar="SERIES",
+                    metavar="SERIES[:KEY]",
                     help="fail unless this comparisons series exists and is "
-                         "non-empty (repeatable); the CI bench-smoke job "
-                         "pins its acceptance series with this")
+                         "non-empty (repeatable); with :KEY, additionally "
+                         "require some series key to CONTAIN that substring "
+                         "(e.g. sim_cycles_per_op:k=10). The CI bench-smoke "
+                         "job pins its acceptance series with this")
     args = ap.parse_args()
 
     runs, context, profiles = collect(args.files)
@@ -280,14 +329,19 @@ def main():
     if args.repetitions is not None:
         config["repetitions"] = args.repetitions
     doc = normalize(runs, context, config, profiles)
-    missing = [s for s in args.require if not doc["comparisons"].get(s)]
+    missing = []
+    for req in args.require:
+        name, _, key = req.partition(":")
+        values = doc["comparisons"].get(name, {}).get("values")
+        if not values or (key and not any(key in k for k in values)):
+            missing.append(req)
     if missing:
         sys.exit("normalize.py: required comparison series missing or empty: "
                  + ", ".join(missing))
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
-    summary = "; ".join(f"{name} {series}"
+    summary = "; ".join(f"{name} {series['values']}"
                         for name, series in sorted(doc["comparisons"].items()))
     print(f"wrote {args.out}: {len(doc['benchmarks'])} series"
           + (f"; {summary}" if summary else ""))

@@ -1,11 +1,12 @@
 // The RmwBackend seam, end to end: the SAME hotspot-counter and barrier
 // code instantiated once per backend — hardware fetch-and-θ atomics
-// (AtomicBackend), the software combining tree (CombiningBackend), and
-// the cycle-accurate simulated Omega machine (SimBackend) — with the §2
-// serializability invariants checked after each run. This is the paper's
-// substrate-portability claim as an executable: the algorithm text does
-// not change, only the template argument. The sim row additionally
-// prints its cost in PAPER UNITS (network cycles per op, combine rate).
+// (AtomicBackend), the software combining tree (CombiningBackend), the
+// flat combiner (FlatCombiningBackend), and the cycle-accurate simulated
+// Omega machine (SimBackend) — with the §2 serializability invariants
+// checked after each run. This is the paper's substrate-portability
+// claim as an executable: the algorithm text does not change, only the
+// template argument. The sim row additionally prints its cost in PAPER
+// UNITS (network cycles per op, combine rate).
 //
 // Build & run:   ./examples/backend_matrix [threads] [ops_per_thread]
 // Exits non-zero if any invariant fails on any backend.
@@ -18,6 +19,7 @@
 
 #include "runtime/combining_backend.hpp"
 #include "runtime/coordination.hpp"
+#include "runtime/flat_combining.hpp"
 #include "runtime/rmw_backend.hpp"
 #include "runtime/sim_backend.hpp"
 
@@ -103,7 +105,7 @@ int main(int argc, char** argv) {
   const unsigned per = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2]))
                                 : 2000;
 
-  std::printf("same algorithm, three RMW substrates (%u threads)\n\n",
+  std::printf("same algorithm, four RMW substrates (%u threads)\n\n",
               threads);
 
 #ifdef KRS_ANALYSIS_ENABLED
@@ -114,6 +116,7 @@ int main(int argc, char** argv) {
   AtomicBackend atomic_backend;
   CombiningBackend combining_backend(
       static_cast<unsigned>(krs::util::ceil_pow2(std::max(2u, threads))));
+  FlatCombiningBackend flat_backend(std::max(2u, threads));
   SimBackend sim_backend(SimBackendConfig{.log2_procs = 2});
   // The sim machine steps once per injected op round trip, so keep its
   // share of the workload small enough for an example binary.
@@ -123,11 +126,13 @@ int main(int argc, char** argv) {
   std::printf("hotspot fetch-and-add counter:\n");
   ok &= hotspot_counter("atomic", atomic_backend, threads, per);
   ok &= hotspot_counter("combining", combining_backend, threads, per);
+  ok &= hotspot_counter("flat", flat_backend, threads, per);
   ok &= hotspot_counter("sim", sim_backend, threads, sim_per);
 
   std::printf("\nticket barrier:\n");
   ok &= barrier_phases("atomic", atomic_backend, threads, 50);
   ok &= barrier_phases("combining", combining_backend, threads, 50);
+  ok &= barrier_phases("flat", flat_backend, threads, 50);
   ok &= barrier_phases("sim", sim_backend, threads, 5);
 
   const SimBackendStats st = sim_backend.stats();
@@ -149,7 +154,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n", report.to_string(3).c_str());
 #endif
 
-  std::printf("\n%s\n", ok ? "all invariants hold on all three backends"
+  std::printf("\n%s\n", ok ? "all invariants hold on all four backends"
                            : "INVARIANT FAILURE");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -37,6 +37,7 @@
 #include "core/load_store_swap.hpp"
 #include "runtime/lock_free_combining_tree.hpp"
 #include "runtime/rmw_backend.hpp"
+#include "runtime/topology.hpp"
 #include "util/bits.hpp"
 
 namespace krs::runtime {
@@ -44,16 +45,25 @@ namespace krs::runtime {
 template <typename Instrument = analysis::DefaultInstrument>
 class BasicCombiningBackend {
  public:
-  /// `width`: leaf capacity of every cell's tree — rounded up to a power
-  /// of two, ≥ 2. More threads than `width` still work (slots are shared);
-  /// sizing width to the expected thread count maximizes combining.
+  /// `width`: slot capacity of every cell's tree, ≥ 2 — any value works,
+  /// including odd core counts discovered by CpuTopology (the tree rounds
+  /// its heap up to a power of two internally; the thread→slot modulo
+  /// stays at the requested width so live slots remain dense). More
+  /// threads than `width` still work (slots are shared); sizing width to
+  /// the expected thread count maximizes combining.
   explicit BasicCombiningBackend(unsigned width = kDefaultWidth)
-      : width_(static_cast<unsigned>(
-            util::ceil_pow2(std::max(2u, width)))) {}
+      : BasicCombiningBackend(width, IdentityTopology{}) {}
+
+  /// Topology-aware layout: `topo` decides which slots share tree leaves
+  /// (see runtime/topology.hpp). The SlotMap is computed once here; cells
+  /// share it.
+  template <Topology T>
+  BasicCombiningBackend(unsigned width, const T& topo)
+      : width_(std::max(2u, width)), slot_map_(topo.slot_map(width_)) {}
 
   struct Cell {
     Cell(const BasicCombiningBackend& b, Word initial)
-        : tree(b.width_, initial) {}
+        : tree(b.slot_map_, initial) {}
     Cell(const Cell&) = delete;
     Cell& operator=(const Cell&) = delete;
 
@@ -120,6 +130,7 @@ class BasicCombiningBackend {
   }
 
   unsigned width_;
+  SlotMap slot_map_;
 };
 
 using CombiningBackend = BasicCombiningBackend<>;

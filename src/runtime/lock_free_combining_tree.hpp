@@ -89,6 +89,7 @@
 #include "core/rmw.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/cacheline.hpp"
+#include "runtime/topology.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
@@ -161,12 +162,34 @@ class MappingCombiningTree {
                 "the root cell is a std::atomic<V>");
 
  public:
-  /// `width`: maximum number of threads (power of two, ≥ 2). Thread slots
-  /// are 0..width-1; two slots share each leaf.
+  /// `width`: requested slot capacity, rounded up internally to a power of
+  /// two ≥ 2 (the heap layout needs it; callers sized to odd core counts —
+  /// e.g. from CpuTopology — need not care). Thread slots are
+  /// 0..width()-1, the ROUNDED range; two slots share each leaf.
   explicit MappingCombiningTree(unsigned width, V initial = V{})
-      : width_(width), root_(initial), nodes_(width) {
-    KRS_EXPECTS(width >= 2 && util::is_pow2(width));
+      : width_(rounded_width(width)), root_(initial), nodes_(width_) {
     nodes_[kRootIndex].status.store(kRootWord, std::memory_order_relaxed);
+  }
+
+  /// Topology-aware layout: `order` permutes caller-visible slots into
+  /// internal slots before the slot→leaf map, so adjacent INTERNAL slots —
+  /// and therefore shared leaves — are chosen by the SlotMap (identity
+  /// reproduces the historical pairing; CpuTopology groups cache-cluster
+  /// siblings). Width is ceil_pow2(max(2, order.width())); slots beyond
+  /// order.width() map to themselves, keeping the whole table a
+  /// permutation of 0..width()-1.
+  MappingCombiningTree(const SlotMap& order, V initial)
+      : width_(rounded_width(order.width())),
+        root_(initial),
+        nodes_(width_),
+        order_(width_) {
+    nodes_[kRootIndex].status.store(kRootWord, std::memory_order_relaxed);
+    for (unsigned s = 0; s < width_; ++s) {
+      order_[s] = s < order.width() ? order(s) : s;
+    }
+    bool identity = true;
+    for (unsigned s = 0; s < width_; ++s) identity &= order_[s] == s;
+    if (identity) order_.clear();  // skip the indirection on the hot path
   }
 
   MappingCombiningTree(const MappingCombiningTree&) = delete;
@@ -179,7 +202,7 @@ class MappingCombiningTree {
   V fetch_rmw(unsigned slot, M f) {
     KRS_EXPECTS(slot < width_);
     Instrument::acquire(this);
-    const unsigned my_leaf = width_ / 2 + slot / 2;  // heap index
+    const unsigned my_leaf = leaf_of(slot);  // heap index
 
     // Phase 1: precombine — climb while we are the first to arrive.
     unsigned node = my_leaf;
@@ -322,7 +345,7 @@ class MappingCombiningTree {
     // Phase 1 for everyone: claim the tree positions.
     for (std::size_t i = 0; i < wave.size(); ++i) {
       if (on_op) on_op(i);
-      const unsigned my_leaf = width_ / 2 + wave[i].slot / 2;
+      const unsigned my_leaf = leaf_of(wave[i].slot);
       unsigned node = my_leaf;
       while (precombine(node)) node /= 2;
       fl[i].stop = node;
@@ -384,6 +407,17 @@ class MappingCombiningTree {
 
  private:
   friend struct CombiningTreeTestPeer;
+
+  static constexpr unsigned rounded_width(unsigned width) {
+    return static_cast<unsigned>(util::ceil_pow2(std::max(2u, width)));
+  }
+
+  /// Slot → leaf heap index, through the topology permutation when one was
+  /// given (empty order_ = identity, the common case).
+  [[nodiscard]] unsigned leaf_of(unsigned slot) const {
+    const unsigned internal = order_.empty() ? slot : order_[slot];
+    return width_ / 2 + internal / 2;
+  }
 
   // ---- status word encoding -------------------------------------------------
   enum Tag : std::uint64_t {
@@ -625,6 +659,7 @@ class MappingCombiningTree {
   alignas(kCacheLine) std::atomic<V> root_;
   std::atomic<std::uint64_t> root_applies_{0};
   std::vector<Node> nodes_;  // heap layout, nodes_[1..width-1]
+  std::vector<unsigned> order_;  // topology slot permutation; empty = identity
 };
 
 /// The operand-style combining counter: atomically result ← result ⊕ v.
@@ -636,8 +671,9 @@ class LockFreeCombiningTree {
  public:
   using value_type = T;
 
-  /// `width`: maximum number of threads (power of two, ≥ 2). Thread slots
-  /// are 0..width-1; two slots share each leaf.
+  /// `width`: requested slot capacity, rounded up to a power of two ≥ 2
+  /// like the underlying mapping tree. Thread slots are 0..width()-1; two
+  /// slots share each leaf.
   explicit LockFreeCombiningTree(unsigned width, T initial = T{},
                                  Op op = Op{})
       : op_(op), tree_(width, initial) {}

@@ -1,0 +1,214 @@
+// Topology-aware slot layout for the combining structures.
+//
+// The paper's combining tree pays O(lg n) LOCAL steps per operation, but on
+// a cache-coherent node the constant factor of each step is which cache the
+// partner's leaf line lives in: a combine handshake between two threads on
+// sibling cores inside one L2 cluster is an order of magnitude cheaper than
+// one that crosses sockets. The tree itself is topology-blind — slot s maps
+// to leaf width/2 + s/2, so WHICH threads pair up at a leaf is decided
+// entirely by the slot numbering. This header makes that numbering a
+// policy:
+//
+//   SlotMap            — a permutation of 0..width-1 applied between the
+//                        caller-visible slot (thread_ordinal() mod width)
+//                        and the tree's internal slot; adjacent INTERNAL
+//                        slots share a leaf, so the permutation decides the
+//                        leaf pairing.
+//   IdentityTopology   — the default policy: slot i pairs with slot i^1,
+//                        exactly the historical layout.
+//   CpuTopology        — reads the kernel's cache/cluster groupings from
+//                        sysfs (/sys/devices/system/cpu/cpuN/...) and
+//                        orders slots cluster-major, so slots whose likely
+//                        CPUs share a cache cluster get adjacent internal
+//                        slots and their early combines stay local. On
+//                        hosts where sysfs is absent, unreadable, or
+//                        reports a single flat domain, it degrades to the
+//                        identity layout — the policy can only relayout,
+//                        never break.
+//
+// The mapping is heuristic by design: threads are not pinned, so "slot s
+// runs on CPU s mod ncpus" is an expectation (dense thread_ordinal()s on an
+// idle host), not a guarantee. A wrong guess costs locality, not
+// correctness — the tree's per-node state machine is layout-agnostic.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace krs::runtime {
+
+/// A permutation of 0..width-1: caller-visible slot → internal tree slot.
+/// Validated at construction; identity is the neutral layout.
+class SlotMap {
+ public:
+  static SlotMap identity(unsigned width) {
+    std::vector<unsigned> p(width);
+    std::iota(p.begin(), p.end(), 0u);
+    return SlotMap(std::move(p));
+  }
+
+  explicit SlotMap(std::vector<unsigned> perm) : perm_(std::move(perm)) {
+    std::vector<bool> seen(perm_.size(), false);
+    for (const unsigned v : perm_) {
+      KRS_EXPECTS(v < perm_.size() && !seen[v] &&
+                  "SlotMap requires a permutation of 0..width-1");
+      seen[v] = true;
+    }
+  }
+
+  [[nodiscard]] unsigned operator()(unsigned slot) const {
+    KRS_EXPECTS(slot < perm_.size());
+    return perm_[slot];
+  }
+
+  [[nodiscard]] unsigned width() const noexcept {
+    return static_cast<unsigned>(perm_.size());
+  }
+
+  [[nodiscard]] bool is_identity() const {
+    for (unsigned i = 0; i < perm_.size(); ++i) {
+      if (perm_[i] != i) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<unsigned> perm_;
+};
+
+/// The Topology policy seam: anything that can produce a SlotMap for a
+/// given width. Backends take a policy at construction and build one map
+/// per width, so the sysfs walk runs once, never on an operation path.
+template <typename T>
+concept Topology = requires(const T& t, unsigned width) {
+  { t.slot_map(width) } -> std::same_as<SlotMap>;
+};
+
+/// The historical layout: slot i pairs with slot i^1 at a leaf.
+struct IdentityTopology {
+  [[nodiscard]] SlotMap slot_map(unsigned width) const {
+    return SlotMap::identity(width);
+  }
+};
+
+static_assert(Topology<IdentityTopology>);
+
+/// Cache/cluster-aware layout from sysfs. Grouping key per CPU, by
+/// preference: the L2 sharing set (cache/index2/shared_cpu_list — the
+/// core-cluster granularity modern parts expose), then L3
+/// (cache/index3/...), then topology/core_siblings_list, then
+/// topology/package_id. CPUs with equal keys form one cluster; slot_map()
+/// orders slots cluster-major so same-cluster slots get adjacent internal
+/// slots (and therefore shared leaves). The sysfs root is injectable so
+/// tests can point it at a fabricated hierarchy.
+class CpuTopology {
+ public:
+  explicit CpuTopology(std::string sysfs_root = "/sys/devices/system/cpu")
+      : root_(std::move(sysfs_root)) {
+    discover();
+  }
+
+  /// CPU ids grouped by sharing domain, in first-appearance order. Empty
+  /// when discovery fell back to the flat layout.
+  [[nodiscard]] const std::vector<std::vector<unsigned>>& clusters() const {
+    return clusters_;
+  }
+
+  [[nodiscard]] unsigned cpus() const noexcept {
+    return static_cast<unsigned>(rank_.size());
+  }
+
+  /// True when discovery found at least two distinct sharing domains —
+  /// the only case where relayout can change any pairing.
+  [[nodiscard]] bool discovered() const noexcept {
+    return clusters_.size() >= 2;
+  }
+
+  [[nodiscard]] SlotMap slot_map(unsigned width) const {
+    if (!discovered()) return SlotMap::identity(width);  // flat fallback
+    // Sort slots by the cluster-major rank of their expected CPU
+    // (slot mod ncpus); the sort is stable, so slots keep their relative
+    // order inside a cluster and the wrap-around of width > ncpus stays
+    // deterministic. perm[slot] = position in that order.
+    std::vector<unsigned> slots(width);
+    std::iota(slots.begin(), slots.end(), 0u);
+    std::stable_sort(slots.begin(), slots.end(),
+                     [&](unsigned a, unsigned b) {
+                       return rank_[a % rank_.size()] < rank_[b % rank_.size()];
+                     });
+    std::vector<unsigned> perm(width);
+    for (unsigned pos = 0; pos < width; ++pos) perm[slots[pos]] = pos;
+    return SlotMap(std::move(perm));
+  }
+
+ private:
+  static std::string read_first_line(const std::string& path) {
+    std::ifstream in(path);
+    std::string line;
+    if (!in || !std::getline(in, line)) return {};
+    return line;
+  }
+
+  void discover() {
+    namespace fs = std::filesystem;
+    std::vector<std::string> keys;
+    std::error_code ec;
+    for (unsigned cpu = 0; cpu < kMaxCpus; ++cpu) {
+      const std::string dir = root_ + "/cpu" + std::to_string(cpu);
+      if (!fs::is_directory(dir, ec) || ec) break;  // cpuN is dense
+      std::string key = read_first_line(dir + "/cache/index2/shared_cpu_list");
+      if (key.empty()) {
+        key = read_first_line(dir + "/cache/index3/shared_cpu_list");
+      }
+      if (key.empty()) {
+        key = read_first_line(dir + "/topology/core_siblings_list");
+      }
+      if (key.empty()) {
+        key = read_first_line(dir + "/topology/package_id");
+      }
+      if (key.empty()) {
+        // No grouping info at all for this CPU: a singleton domain.
+        key = "cpu" + std::to_string(cpu);
+      }
+      keys.push_back(std::move(key));
+    }
+    if (keys.size() < 2) return;  // 0/1 CPUs: nothing to lay out
+
+    std::vector<std::string> order;  // distinct keys, first appearance
+    for (unsigned cpu = 0; cpu < keys.size(); ++cpu) {
+      auto it = std::find(order.begin(), order.end(), keys[cpu]);
+      std::size_t ci;
+      if (it == order.end()) {
+        ci = order.size();
+        order.push_back(keys[cpu]);
+        clusters_.emplace_back();
+      } else {
+        ci = static_cast<std::size_t>(it - order.begin());
+      }
+      clusters_[ci].push_back(cpu);
+    }
+    rank_.assign(keys.size(), 0u);
+    unsigned pos = 0;
+    for (const auto& cluster : clusters_) {
+      for (const unsigned cpu : cluster) rank_[cpu] = pos++;
+    }
+  }
+
+  static constexpr unsigned kMaxCpus = 4096;
+
+  std::string root_;
+  std::vector<std::vector<unsigned>> clusters_;
+  std::vector<unsigned> rank_;  ///< cpu → position in cluster-major order
+};
+
+static_assert(Topology<CpuTopology>);
+
+}  // namespace krs::runtime

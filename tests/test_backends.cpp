@@ -7,11 +7,11 @@
 //    mixed-family stream whose cross-family compositions DECLINE at the
 //    nodes (§7 partial combining);
 //  * cross-backend equivalence: the same workload through AtomicBackend,
-//    CombiningBackend, and SimBackend (cells in the simulated Omega
-//    machine) yields identical priors and sum/ticket-set invariants at
-//    2/4/8 threads (mirroring test_lockfree_combining.cpp);
+//    CombiningBackend, FlatCombiningBackend, and SimBackend (cells in the
+//    simulated Omega machine) yields identical priors and sum/ticket-set
+//    invariants at 2/4/8 threads (mirroring test_lockfree_combining.cpp);
 //  * every §6 primitive (barrier, rw-lock, semaphore, queue, full/empty
-//    cell, group lock) run against ALL THREE backends;
+//    cell, group lock) run against ALL FOUR backends;
 //  * partial-combining telemetry (§7): a deterministic single-threaded
 //    drive of the four-phase protocol through CombiningTreeTestPeer pins
 //    the fold/decline counters and the declined second's root-served
@@ -35,6 +35,7 @@
 #include "core/load_store_swap.hpp"
 #include "runtime/combining_backend.hpp"
 #include "runtime/coordination.hpp"
+#include "runtime/flat_combining.hpp"
 #include "runtime/full_empty_cell.hpp"
 #include "runtime/group_lock.hpp"
 #include "runtime/lock_free_combining_tree.hpp"
@@ -105,9 +106,11 @@ using krs::core::LssOp;
 
 static_assert(RmwBackend<AtomicBackend>);
 static_assert(RmwBackend<CombiningBackend>);
+static_assert(RmwBackend<FlatCombiningBackend>);
 static_assert(RmwBackend<SimBackend>);
 static_assert(RmwBackend<BasicAtomicBackend<GlobalInstrument>>);
 static_assert(RmwBackend<BasicCombiningBackend<GlobalInstrument>>);
+static_assert(RmwBackend<BasicFlatCombiningBackend<GlobalInstrument>>);
 static_assert(RmwBackend<BasicSimBackend<GlobalInstrument>>);
 
 // The instrumentation policy must add no per-object state, to the backend
@@ -116,6 +119,8 @@ static_assert(sizeof(BasicAtomicBackend<NoInstrument>) ==
               sizeof(BasicAtomicBackend<GlobalInstrument>));
 static_assert(sizeof(BasicCombiningBackend<NoInstrument>) ==
               sizeof(BasicCombiningBackend<GlobalInstrument>));
+static_assert(sizeof(BasicFlatCombiningBackend<NoInstrument>) ==
+              sizeof(BasicFlatCombiningBackend<GlobalInstrument>));
 static_assert(sizeof(BasicSimBackend<NoInstrument>) ==
               sizeof(BasicSimBackend<GlobalInstrument>));
 static_assert(sizeof(BasicBarrier<AtomicBackend, NoInstrument>) ==
@@ -155,15 +160,19 @@ std::vector<Word> scripted_run(B& b) {
 }
 
 TEST(Backends, ScriptedSequenceIdenticalAcrossBackends) {
-  // The 3-way matrix: hardware atomics, software combining tree, and the
-  // simulated Omega machine must be observationally identical.
+  // The 4-way matrix: hardware atomics, software combining tree, flat
+  // combiner, and the simulated Omega machine must be observationally
+  // identical.
   AtomicBackend ab;
   CombiningBackend cb(4);
+  FlatCombiningBackend fb(4);
   SimBackend sb(SimBackendConfig{.log2_procs = 2});
   const auto a = scripted_run(ab);
   const auto c = scripted_run(cb);
+  const auto f = scripted_run(fb);
   const auto s = scripted_run(sb);
   EXPECT_EQ(a, c);
+  EXPECT_EQ(a, f);
   EXPECT_EQ(a, s);
   const std::vector<Word> expect{10, 15, 0xFF, 0x0F, 0xF0, 3, 7, 40, 99, 7};
   EXPECT_EQ(a, expect);
@@ -409,6 +418,10 @@ TEST(BackendEquivalence, HotspotTicketsCombining) {
   hotspot_counter_invariants(CombiningBackend{8});
 }
 
+TEST(BackendEquivalence, HotspotTicketsFlat) {
+  hotspot_counter_invariants(FlatCombiningBackend{8});
+}
+
 TEST(BackendEquivalence, HotspotTicketsSim) {
   // Real threads multiplexed onto simulated processors via the mailboxes;
   // the ticket invariants must survive the indirection.
@@ -442,6 +455,9 @@ void barrier_phases(B backend, unsigned nt) {
 TEST(BackendMatrix, BarrierAtomic) { barrier_phases(AtomicBackend{}, 4); }
 TEST(BackendMatrix, BarrierCombining) {
   barrier_phases(CombiningBackend{4}, 4);
+}
+TEST(BackendMatrix, BarrierFlat) {
+  barrier_phases(FlatCombiningBackend{4}, 4);
 }
 TEST(BackendMatrix, BarrierSim) {
   barrier_phases(SimBackend{SimBackendConfig{.log2_procs = 2}}, 4);
@@ -482,6 +498,7 @@ void rwlock_excludes(B backend) {
 
 TEST(BackendMatrix, RwLockAtomic) { rwlock_excludes(AtomicBackend{}); }
 TEST(BackendMatrix, RwLockCombining) { rwlock_excludes(CombiningBackend{4}); }
+TEST(BackendMatrix, RwLockFlat) { rwlock_excludes(FlatCombiningBackend{4}); }
 TEST(BackendMatrix, RwLockSim) {
   rwlock_excludes(SimBackend{SimBackendConfig{.log2_procs = 2}});
 }
@@ -515,6 +532,9 @@ TEST(BackendMatrix, SemaphoreAtomic) {
 }
 TEST(BackendMatrix, SemaphoreCombining) {
   semaphore_bounds_concurrency(CombiningBackend{4});
+}
+TEST(BackendMatrix, SemaphoreFlat) {
+  semaphore_bounds_concurrency(FlatCombiningBackend{4});
 }
 TEST(BackendMatrix, SemaphoreSim) {
   semaphore_bounds_concurrency(SimBackend{SimBackendConfig{.log2_procs = 2}});
@@ -551,6 +571,9 @@ TEST(BackendMatrix, QueueAtomic) { queue_conserves_sum(AtomicBackend{}); }
 TEST(BackendMatrix, QueueCombining) {
   queue_conserves_sum(CombiningBackend{4});
 }
+TEST(BackendMatrix, QueueFlat) {
+  queue_conserves_sum(FlatCombiningBackend{4});
+}
 TEST(BackendMatrix, QueueSim) {
   queue_conserves_sum(SimBackend{SimBackendConfig{.log2_procs = 2}});
 }
@@ -575,6 +598,9 @@ void full_empty_ping_pong(B backend) {
 TEST(BackendMatrix, FullEmptyAtomic) { full_empty_ping_pong(AtomicBackend{}); }
 TEST(BackendMatrix, FullEmptyCombining) {
   full_empty_ping_pong(CombiningBackend{4});
+}
+TEST(BackendMatrix, FullEmptyFlat) {
+  full_empty_ping_pong(FlatCombiningBackend{4});
 }
 TEST(BackendMatrix, FullEmptySim) {
   full_empty_ping_pong(SimBackend{SimBackendConfig{.log2_procs = 2}});
@@ -613,6 +639,9 @@ TEST(BackendMatrix, GroupLockAtomic) {
 }
 TEST(BackendMatrix, GroupLockCombining) {
   group_lock_excludes_groups(CombiningBackend{4});
+}
+TEST(BackendMatrix, GroupLockFlat) {
+  group_lock_excludes_groups(FlatCombiningBackend{4});
 }
 TEST(BackendMatrix, GroupLockSim) {
   group_lock_excludes_groups(SimBackend{SimBackendConfig{.log2_procs = 2}});

@@ -1,17 +1,17 @@
 // krs_profile — the contention profiler driven deterministically.
 //
 // Runs the §1 hot-spot scenario (every thread hammering one shared
-// counter) against the hardware-atomic and software-combining backends
-// with the ContentionProfiler installed, and emits the ranked
-// combining-opportunity report for each. The drive is DETERMINISTIC:
-// operations are issued from one thread with a round-robin VIRTUAL
-// profiler tid (analysis::set_profile_tid) standing in for the issuing
-// thread, and the combining run goes through MappingCombiningTree::
-// run_wave — one simultaneous round of all slots per wave — so every
-// count in the report is a pure function of (threads, ops), identical on
-// a 1-CPU CI box and a 128-way host.
+// counter) against the hardware-atomic, software-combining, and
+// flat-combining backends with the ContentionProfiler installed, and
+// emits the ranked combining-opportunity report for each. The drive is
+// DETERMINISTIC: operations are issued from one thread with a
+// round-robin VIRTUAL profiler tid (analysis::set_profile_tid) standing
+// in for the issuing thread, and the combining/flat runs go through the
+// structures' run_wave — one simultaneous round of all slots per wave —
+// so every count in the report is a pure function of (threads, ops),
+// identical on a 1-CPU CI box and a 128-way host.
 //
-// What the two reports show, in the paper's terms:
+// What the reports show, in the paper's terms:
 //
 //  * atomic: all ops reach the shared word; the top line IS the counter,
 //    conflict rate ≈ 1, absorbable ≈ (M−1)/M — the profiler telling you
@@ -20,15 +20,21 @@
 //    two subtree firsts); the root line's conflict count drops by about
 //    half at M = 4 and more at larger widths — the prediction the atomic
 //    report made, realized.
+//  * flat: the combiner serves the whole batch against ONE
+//    read-modify-write of the value word per pass, so the value line
+//    stops conflicting entirely; the conflicts move to the per-slot
+//    PUBLICATION lines (pairwise owner↔combiner handshakes) — the hot
+//    spot inverted rather than merely thinned.
 //
 // Usage:
-//   krs_profile [--backend=atomic|combining|both] [--threads=N]
+//   krs_profile [--backend=atomic|combining|flat|both] [--threads=N]
 //               [--ops=N] [--json=PATH] [--check]
 //
 // --check exits nonzero unless the atomic report ranks the counter's
-// line first with >= 50% absorbable traffic AND the combining run's
-// root-line conflict count is at most half the atomic one — the
-// acceptance gate CI runs.
+// line first with >= 50% absorbable traffic, the combining run's
+// root-line conflict count is at most half the atomic one, AND the flat
+// run's value-word line is conflict-quiet while its publication lines
+// carry the (hot) traffic — the acceptance gate CI runs.
 //
 // The JSON document ("krs-profile-v1") wraps one report per backend;
 // bench/harness/normalize.py folds it into the perf trajectory as the
@@ -44,6 +50,7 @@
 #include "core/any_rmw.hpp"
 #include "core/fetch_theta.hpp"
 #include "runtime/combining_backend.hpp"
+#include "runtime/flat_combining.hpp"
 #include "runtime/rmw_backend.hpp"
 #include "util/bits.hpp"
 
@@ -75,8 +82,8 @@ bool parse_flag(const char* arg, const char* name, const char** value) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--backend=atomic|combining|both] [--threads=N] "
-               "[--ops=N] [--json=PATH] [--check]\n",
+               "usage: %s [--backend=atomic|combining|flat|both] "
+               "[--threads=N] [--ops=N] [--json=PATH] [--check]\n",
                argv0);
   return 2;
 }
@@ -141,6 +148,38 @@ RunResult run_combining(const Options& opt) {
   return r;
 }
 
+/// The flat-combining hot spot: the same op stream through a FlatCombiner
+/// as deterministic waves, the combine phase attributed to the wave's
+/// first op (the thread that would win the election). The combiner batches
+/// the whole wave against one read-modify-write of the value word, so the
+/// value line sees only same-tid traffic (conflict count ~0) while every
+/// publication slot line carries an owner↔combiner handshake per wave —
+/// the conflicts CONCENTRATE on the publication lines instead of the
+/// shared word.
+RunResult run_flat(const Options& opt) {
+  using Fc = krs::runtime::FlatCombiner<GlobalInstrument>;
+  Fc fc(opt.threads, 0);
+  std::vector<Fc::WaveOp> wave;
+  wave.reserve(opt.threads);
+  for (unsigned s = 0; s < opt.threads; ++s) {
+    wave.push_back({s, krs::core::AnyRmw(krs::core::FetchAdd(1))});
+  }
+
+  ContentionProfiler profiler;
+  {
+    ScopedProfiler scope(profiler);
+    const std::uint64_t waves = opt.ops / opt.threads;
+    for (std::uint64_t w = 0; w < waves; ++w) {
+      fc.run_wave(wave, [](std::size_t i) {
+        set_profile_tid(static_cast<std::uint32_t>(i));
+      });
+    }
+    set_profile_tid(krs::analysis::kProfileTidAuto);
+  }
+  RunResult r{"flat", profiler.report(), profiler.line_of(fc.value_address())};
+  return r;
+}
+
 bool write_json(const std::string& path, const Options& opt,
                 const std::vector<RunResult>& runs) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -165,7 +204,7 @@ bool write_json(const std::string& path, const Options& opt,
 
 /// The acceptance gate. Returns the number of failed checks.
 int check(const Options& opt, const RunResult* atomic,
-          const RunResult* combining) {
+          const RunResult* combining, const RunResult* flat) {
   int failures = 0;
   const auto expect = [&failures](bool ok, const char* what) {
     std::printf("check: %s: %s\n", what, ok ? "ok" : "FAIL");
@@ -190,6 +229,23 @@ int check(const Options& opt, const RunResult* atomic,
     expect(c * 2 <= a, "combining at most halves root-word conflicts");
     expect(combining->hot_word.accesses < atomic->hot_word.accesses,
            "combining absorbs traffic before the shared word");
+  }
+  if (flat != nullptr) {
+    expect(flat->report.hot_lines >= 1,
+           "flat run finds hot publication lines");
+    const bool value_not_first =
+        !flat->report.lines.empty() &&
+        flat->report.lines.front().base != flat->hot_word.base;
+    expect(value_not_first,
+           "flat run ranks a publication line above the value word");
+  }
+  if (atomic != nullptr && flat != nullptr) {
+    const std::uint64_t a = atomic->hot_word.conflicts;
+    const std::uint64_t f = flat->hot_word.conflicts;
+    std::printf("check: value-word conflicts: atomic=%llu flat=%llu\n",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(f));
+    expect(f * 4 <= a, "flat quiets the value word to <=1/4 of atomic");
   }
   (void)opt;
   return failures;
@@ -217,7 +273,7 @@ int main(int argc, char** argv) {
   }
   if (opt.threads < 2 || opt.ops < opt.threads ||
       (opt.backend != "atomic" && opt.backend != "combining" &&
-       opt.backend != "both")) {
+       opt.backend != "flat" && opt.backend != "both")) {
     return usage(argv[0]);
   }
   // Whole waves only: the combining drive issues `threads` ops per wave,
@@ -230,6 +286,9 @@ int main(int argc, char** argv) {
   }
   if (opt.backend == "combining" || opt.backend == "both") {
     runs.push_back(run_combining(opt));
+  }
+  if (opt.backend == "flat" || opt.backend == "both") {
+    runs.push_back(run_flat(opt));
   }
 
   for (const RunResult& r : runs) {
@@ -245,11 +304,13 @@ int main(int argc, char** argv) {
   if (opt.check) {
     const RunResult* atomic = nullptr;
     const RunResult* combining = nullptr;
+    const RunResult* flat = nullptr;
     for (const RunResult& r : runs) {
       if (r.backend == "atomic") atomic = &r;
       if (r.backend == "combining") combining = &r;
+      if (r.backend == "flat") flat = &r;
     }
-    const int failures = check(opt, atomic, combining);
+    const int failures = check(opt, atomic, combining, flat);
     if (failures != 0) {
       std::printf("krs_profile: %d check(s) failed\n", failures);
       return 1;

@@ -7,10 +7,13 @@
 #   BENCH_combining.json — contended combining-tree / coordination benches
 #       at 1/2/4/8/16 threads, with the lockfree-vs-blocking ratio, the
 #       combining-vs-atomic RmwBackend ratio (bench_coordination's
-#       BM_*/atomic vs BM_*/combining series), and the sim-backend
+#       BM_*/atomic vs BM_*/combining series), the flat_vs_tree_ops_ratio
+#       crossover (bench_flat_vs_tree: FlatCombiningBackend vs
+#       CombiningBackend per width and thread count), and the sim-backend
 #       sim_cycles_per_op series (BM_SimCoordination/*): cycle-accounted,
 #       host-independent costs for counter/barrier/rwlock/semaphore/queue
-#       on the simulated Omega machine.
+#       on the simulated Omega machine, including the counter_scale sweep
+#       over k ∈ {6,8,10} × combine on/off.
 #   BENCH_machine.json   — whole-machine Omega simulation (bench_machine):
 #       sequential vs shard-parallel engine at k ∈ {6,8,10}, with the
 #       machine_parallel_speedup series and the cycles_per_op /
@@ -40,7 +43,7 @@ OUT="${KRS_BENCH_OUT:-BENCH_combining.json}"
 MACHINE_OUT="${KRS_BENCH_MACHINE_OUT:-BENCH_machine.json}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-COMBINING_BENCHES=(bench_combining_tree bench_coordination)
+COMBINING_BENCHES=(bench_combining_tree bench_coordination bench_flat_vs_tree)
 MACHINE_BENCHES=(bench_machine)
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
@@ -85,7 +88,7 @@ run_group() {
 }
 
 run_group "$OUT" \
-  "lockfree_vs_blocking_ops_ratio,combining_vs_atomic_ops_ratio,sim_cycles_per_op" \
+  "lockfree_vs_blocking_ops_ratio,combining_vs_atomic_ops_ratio,sim_cycles_per_op,sim_cycles_per_op:counter_scale/k=6,sim_cycles_per_op:counter_scale/k=10,sim_cycles_per_op:combine=0,sim_cycles_per_op:combine=1,flat_vs_tree_ops_ratio" \
   "${COMBINING_BENCHES[@]}"
 run_group "$MACHINE_OUT" "machine_parallel_speedup" "${MACHINE_BENCHES[@]}"
 echo "=== bench pipeline complete: $OUT $MACHINE_OUT ==="
