@@ -41,7 +41,9 @@ tracks (see docs/PERFORMANCE.md):
 Every comparisons series is wrapped as {"host_cpus": N, "values": {...}}
 so a 1-CPU CI artifact cannot be misread as scaling data — the ratios
 only mean what they appear to mean when host_cpus covers the thread
-counts involved.
+counts involved. This wrapper is what bumped the document schema from
+krs-bench-v1 (flat {key: value} series) to krs-bench-v2; consumers keying
+on the schema string must read series values through the "values" field.
 
   profiler_hot_lines — contention-profiler acceptance series: hot-line
       count per backend from a tools/krs_profile --json document (schema
@@ -296,7 +298,7 @@ def normalize(runs, context, config, profiles=()):
     cfg = dict(config, **context)
     cfg["host_cpus"] = host_cpus
     return {
-        "schema": "krs-bench-v1",
+        "schema": "krs-bench-v2",
         "generated_by": "tools/run_bench.sh",
         "config": cfg,
         "benchmarks": benchmarks,

@@ -102,7 +102,9 @@ class FlatCombiner {
       : nslots_(slots < 2 ? 2 : slots),
         max_passes_(max_passes < 1 ? 1 : max_passes),
         value_(initial),
-        slots_(nslots_) {}
+        slots_(nslots_) {
+    served_.reserve(nslots_);
+  }
 
   FlatCombiner(const FlatCombiner&) = delete;
   FlatCombiner& operator=(const FlatCombiner&) = delete;
@@ -123,6 +125,13 @@ class FlatCombiner {
     for (;;) {
       if (s.seq.load(std::memory_order_acquire) == kDone) break;
       if (try_lock()) {
+        // A peer's pass may have served this op between the kDone check
+        // and winning the lock — that op was combined, not self-served,
+        // so skip the tenure and keep combined_fraction() honest.
+        if (s.seq.load(std::memory_order_acquire) == kDone) {
+          unlock();
+          break;
+        }
         combine(&s);
         unlock();
         self_served = true;
@@ -151,8 +160,8 @@ class FlatCombiner {
     while (!try_lock()) bo.pause();
     const core::Word prior = value_.load(std::memory_order_relaxed);
     value_.store(std::forward<F>(f)(prior), std::memory_order_release);
+    bump(serialized_updates_);  // under the lock: writers serialized
     unlock();
-    serialized_updates_.fetch_add(1, std::memory_order_relaxed);
     Instrument::release(this);
     return prior;
   }
@@ -291,25 +300,59 @@ class FlatCombiner {
 
   void unlock() { lock_.store(0, std::memory_order_release); }
 
+  /// Increment for counters mutated ONLY while the combiner lock is held:
+  /// writers are mutually excluded, so a relaxed load+store (no RMW, no
+  /// lock prefix) counts exactly; stats() snapshots race benignly.
+  static void bump(std::atomic<std::uint64_t>& counter) {
+    counter.store(counter.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+  }
+
   /// One publication-list scan under the lock: batch-apply every pending
   /// mapping in slot order against a single read-modify-write of the
   /// value word. Each served op's reply is the running prior — the §3
   /// decombination chain evaluated at one site.
-  unsigned serve_pass() {
+  ///
+  /// PEER replies publish in TWO phases: first every result is computed
+  /// and the batched value release-stored, and only then the peers' slots
+  /// flip to kDone. A waiter that observes its reply therefore also
+  /// observes a value_ that already includes its own op — the same order
+  /// the tree enforces by applying at the root before distributing down —
+  /// so a read() after a completed fetch_rmw can never miss that op (the
+  /// rw-lock's reader-increment-then-writer-check handshake depends on
+  /// exactly this). The combiner's OWN slot (`own`, may be null) is the
+  /// one exception: its owner is this very thread, so program order
+  /// already sequences the value store before any subsequent read() and
+  /// the reply can flip inline — keeping the uncontended self-serve pass
+  /// at one sweep.
+  unsigned serve_pass(const Slot* own) {
     Instrument::contended_rmw(&value_, KRS_SITE);
     core::Word v = value_.load(std::memory_order_relaxed);
     unsigned served = 0;
-    for (Slot& s : slots_) {
+    served_.clear();
+    for (unsigned i = 0; i < nslots_; ++i) {
+      Slot& s = slots_[i];
       Instrument::shared_load(&s.seq, KRS_SITE);
       if (s.seq.load(std::memory_order_acquire) != kPending) continue;
       s.result = v;
       v = s.op.apply(v);
-      Instrument::shared_store(&s.seq, KRS_SITE);
-      s.seq.store(kDone, std::memory_order_release);
       ++served;
+      if (&s == own) {
+        Instrument::shared_store(&s.seq, KRS_SITE);
+        s.seq.store(kDone, std::memory_order_release);
+      } else {
+        served_.push_back(i);
+      }
     }
-    if (served != 0) value_.store(v, std::memory_order_release);
-    passes_.fetch_add(1, std::memory_order_relaxed);
+    if (served != 0) {
+      value_.store(v, std::memory_order_release);
+      for (const unsigned i : served_) {
+        Slot& s = slots_[i];
+        Instrument::shared_store(&s.seq, KRS_SITE);
+        s.seq.store(kDone, std::memory_order_release);
+      }
+    }
+    bump(passes_);
     return served;
   }
 
@@ -318,10 +361,10 @@ class FlatCombiner {
   /// caller's slot: the first pass always serves it, so a combiner never
   /// exits with its own op unserved.
   void combine(const Slot* own) {
-    takeovers_.fetch_add(1, std::memory_order_relaxed);
+    bump(takeovers_);
     unsigned passes = 0;
     for (;;) {
-      const unsigned served = serve_pass();
+      const unsigned served = serve_pass(own);
       ++passes;
       if (passes >= max_passes_ || served == 0) break;
     }
@@ -330,7 +373,7 @@ class FlatCombiner {
     if (passes >= max_passes_) {
       for (const Slot& s : slots_) {
         if (s.seq.load(std::memory_order_relaxed) == kPending) {
-          handoffs_.fetch_add(1, std::memory_order_relaxed);
+          bump(handoffs_);
           break;
         }
       }
@@ -342,6 +385,7 @@ class FlatCombiner {
   alignas(kCacheLine) std::atomic<std::uint32_t> lock_{0};
   alignas(kCacheLine) std::atomic<core::Word> value_;
   std::vector<Slot> slots_;
+  std::vector<unsigned> served_;  ///< serve_pass scratch; combiner lock only
 
   // Telemetry (relaxed; snapshots race with operations by design).
   std::atomic<std::uint64_t> ops_{0};

@@ -117,7 +117,9 @@ class CpuTopology {
   }
 
   /// CPU ids grouped by sharing domain, in first-appearance order. Empty
-  /// when discovery fell back to the flat layout.
+  /// exactly when discovery fell back to the flat layout (!discovered())
+  /// — including a multi-CPU host whose CPUs all share one domain, where
+  /// relayout could not change any pairing.
   [[nodiscard]] const std::vector<std::vector<unsigned>>& clusters() const {
     return clusters_;
   }
@@ -200,6 +202,10 @@ class CpuTopology {
     for (const auto& cluster : clusters_) {
       for (const unsigned cpu : cluster) rank_[cpu] = pos++;
     }
+    // One sharing domain is the flat layout too: drop the degenerate
+    // cluster so clusters().empty() and !discovered() agree (rank_ stays
+    // populated — cpus() still reports the host size).
+    if (clusters_.size() < 2) clusters_.clear();
   }
 
   static constexpr unsigned kMaxCpus = 4096;

@@ -166,20 +166,23 @@ TEST(FlatCombinerWave, SparseWaveServesOnlyPublishedSlots) {
 
 // --- the handoff path, deterministically -------------------------------------
 
-// Instrument policy whose shared_load hook runs a test callback: the only
-// way to land a publication into an ALREADY-SCANNED slot mid-pass from a
-// single thread, which is exactly the state the pass cap's handoff branch
-// exists for.
+// Instrument policy whose shared_load/shared_store hooks run test
+// callbacks: the only way to land a publication into an ALREADY-SCANNED
+// slot mid-pass from a single thread (the pass cap's handoff branch), or
+// to observe the combiner's state at the instant a reply publishes.
 struct HookInstrument {
   static constexpr bool enabled = false;
   static inline std::function<void(const void*)> on_shared_load;
+  static inline std::function<void(const void*)> on_shared_store;
   static void acquire(const void*) {}
   static void release(const void*) {}
   static void contended_rmw(const void*, krs::analysis::AccessSite = {}) {}
   static void shared_load(const void* addr, krs::analysis::AccessSite = {}) {
     if (on_shared_load) on_shared_load(addr);
   }
-  static void shared_store(const void*, krs::analysis::AccessSite = {}) {}
+  static void shared_store(const void* addr, krs::analysis::AccessSite = {}) {
+    if (on_shared_store) on_shared_store(addr);
+  }
 };
 
 TEST(FlatCombinerHandoff, PassCapWithPendingWorkCountsAHandoff) {
@@ -220,6 +223,35 @@ TEST(FlatCombinerHandoff, PassCapWithPendingWorkCountsAHandoff) {
   EXPECT_EQ(st.handoffs, 1u);
 }
 
+// --- reply ordering: the value word is batched before replies publish --------
+
+TEST(FlatCombinerReplyOrder, ValueStoredBeforeAnyReplyPublishes) {
+  // Regression: serve_pass once flipped each slot to kDone during the
+  // scan and wrote the batched value only afterwards, so a waiter whose
+  // reply had landed could read() a value missing its own op (breaking
+  // the rw-lock's reader-increment-then-writer-check handshake). The
+  // shared_store hook fires immediately before each kDone reply, so the
+  // value word must ALREADY hold the full batch there.
+  using HFc = FlatCombiner<HookInstrument>;
+  HFc fc(2, 0);
+  Peer::publish(fc, 0, AnyRmw(FetchAdd(3)));
+  Peer::publish(fc, 1, AnyRmw(FetchAdd(5)));
+  unsigned replies = 0;
+  HookInstrument::on_shared_store = [&](const void*) {
+    ++replies;
+    EXPECT_EQ(fc.read(), 8u);  // both ops batched in before any reply
+  };
+  ASSERT_TRUE(Peer::lock(fc));
+  Peer::combine(fc);
+  Peer::unlock(fc);
+  HookInstrument::on_shared_store = nullptr;
+
+  EXPECT_EQ(replies, 2u);  // one reply publication per served slot
+  EXPECT_EQ(Peer::take(fc, 0), 0u);
+  EXPECT_EQ(Peer::take(fc, 1), 3u);
+  EXPECT_EQ(fc.read(), 8u);
+}
+
 // --- concurrent hotspot invariants -------------------------------------------
 
 TEST(FlatCombinerConcurrent, HotspotTicketsDistinctMonotoneComplete) {
@@ -255,6 +287,32 @@ TEST(FlatCombinerConcurrent, HotspotTicketsDistinctMonotoneComplete) {
     EXPECT_GE(st.passes, st.takeovers);
     EXPECT_LE(st.handoffs, st.passes);
   }
+}
+
+TEST(FlatCombinerConcurrent, ReadAfterCompletedOpSeesOwnOp) {
+  // The concurrent face of FlatCombinerReplyOrder: a monotone counter
+  // only grows, so a load() issued after a completed fetch_add must
+  // return MORE than that op's prior — a stale value_ (reply published
+  // before the batch write-back) shows up as read() == prior. This is
+  // exactly the window that let coordination.hpp's rw-lock admit a
+  // writer alongside an already-admitted reader.
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kPer = 300;
+  FlatCombiner<> fc(kThreads);
+  std::atomic<unsigned> stale{0};
+  {
+    std::vector<std::jthread> ts;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&, t] {
+        for (unsigned i = 0; i < kPer; ++i) {
+          const Word prior = fc.fetch_rmw(t, AnyRmw(FetchAdd(1)));
+          if (fc.read() <= prior) stale.fetch_add(1);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(stale.load(), 0u);
+  EXPECT_EQ(fc.read(), static_cast<Word>(kThreads) * kPer);
 }
 
 TEST(FlatCombinerConcurrent, TightPassCapStillCompletesEveryOp) {
@@ -477,6 +535,10 @@ TEST(TopologyMap, UniformSysfsFallsBackFlat) {
   const FakeSysfs sysfs({"0-3", "0-3", "0-3", "0-3"});
   const CpuTopology topo(sysfs.path());
   EXPECT_FALSE(topo.discovered());
+  // clusters().empty() is the same fallback signal as !discovered(): the
+  // degenerate single domain is dropped, while cpus() still sees the host.
+  EXPECT_TRUE(topo.clusters().empty());
+  EXPECT_EQ(topo.cpus(), 4u);
   EXPECT_TRUE(topo.slot_map(4).is_identity());
 }
 
