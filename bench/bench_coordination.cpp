@@ -31,6 +31,8 @@
 #include "runtime/rmw_backend.hpp"
 #include "runtime/sim_backend.hpp"
 #include "runtime/ticket_lock.hpp"
+#include "util/stats.hpp"
+#include "workload/workloads.hpp"
 
 using namespace krs::runtime;
 
@@ -336,6 +338,111 @@ void BM_SimQueue(benchmark::State& state) {
 BENCHMARK(BM_SimQueue)
     ->Name("BM_SimCoordination/queue")
     ->ArgNames({"workers"})->Arg(1)->Arg(2);
+
+// --- stochastic arrival scenarios (the workload dimension) ------------------
+//
+// The wave rows above cost the primitives under SIMULTANEOUS arrivals —
+// the §4.2 best case. These rows cost the same machine under the paper's
+// stochastic arrival models instead, via SimBackend::run_traffic: each
+// simulated processor is fed by a src/workload generator (hot-spot
+// mixture, on/off bursty, closed-loop with think times), so cycles_per_op
+// gains a `scenario` dimension and the per-op latency distribution comes
+// out in machine cycles (latency_p50/p99_cycles). Deterministic like the
+// waves: fixed seeds, fixed poll order, engine-independent.
+
+template <typename MakeSource>
+void sim_scenario_loop(benchmark::State& state, MakeSource make_source) {
+  SimBackend b = make_sim_backend(state);
+  std::vector<std::unique_ptr<SimBackend::Cell>> cells;  // cells don't move
+  for (unsigned i = 0; i < 8; ++i) {
+    cells.push_back(std::make_unique<SimBackend::Cell>(b, 0));
+  }
+  std::uint64_t ops = 0;
+  std::uint64_t cycles = 0;
+  krs::util::LogHistogram lat;
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<krs::proc::TrafficSource<AnyRmw>>> sources;
+    std::vector<krs::proc::TrafficSource<AnyRmw>*> generators;
+    for (std::uint32_t p = 0; p < b.processors(); ++p) {
+      sources.push_back(make_source(p));
+      generators.push_back(sources.back().get());
+    }
+    const SimBackend::TrafficResult res = b.run_traffic(generators, 1 << 20);
+    ops += res.ops;
+    cycles += res.cycles;
+    lat.merge(res.latency);
+  }
+  state.counters["cycles_per_op"] =
+      ops > 0 ? static_cast<double>(cycles) / static_cast<double>(ops) : 0.0;
+  state.counters["latency_p50_cycles"] = lat.percentile(0.50);
+  state.counters["latency_p99_cycles"] = lat.percentile(0.99);
+  state.counters["combine_rate"] = b.stats().combine_rate();
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
+constexpr std::uint64_t kScenarioOpsPerProc = 256;
+
+AnyRmw make_add(krs::util::Xoshiro256&) { return AnyRmw(FetchAdd(1)); }
+
+void BM_SimScenarioHotspot(benchmark::State& state) {
+  // 90% of arrivals hit cell 0, full rate: the Pfister–Norton mixture.
+  sim_scenario_loop(state, [](std::uint32_t p) {
+    return std::make_unique<krs::workload::HotSpotSource<AnyRmw>>(
+        krs::workload::HotSpotSource<AnyRmw>::Params{
+            .total = kScenarioOpsPerProc, .hot_fraction = 0.9,
+            .hot_addr = 0, .addr_space = 8},
+        make_add, 0x5eed0000u + p);
+  });
+}
+BENCHMARK(BM_SimScenarioHotspot)
+    ->Name("BM_SimCoordination/scenario_hotspot")
+    ->ArgNames({"workers"})->Arg(1);
+
+void BM_SimScenarioUniform(benchmark::State& state) {
+  // h = 0: uniform traffic across all eight cells, the contention floor.
+  sim_scenario_loop(state, [](std::uint32_t p) {
+    return std::make_unique<krs::workload::HotSpotSource<AnyRmw>>(
+        krs::workload::HotSpotSource<AnyRmw>::Params{
+            .total = kScenarioOpsPerProc, .hot_fraction = 0.0,
+            .hot_addr = 0, .addr_space = 8},
+        make_add, 0x5eed1000u + p);
+  });
+}
+BENCHMARK(BM_SimScenarioUniform)
+    ->Name("BM_SimCoordination/scenario_uniform")
+    ->ArgNames({"workers"})->Arg(1);
+
+void BM_SimScenarioBursty(benchmark::State& state) {
+  // On/off arrivals, thinned to half rate inside a burst: mean load is
+  // modest but the ON-period spikes queue at the hot module — the shape
+  // that separates the latency tail from the throughput mean.
+  sim_scenario_loop(state, [](std::uint32_t p) {
+    return std::make_unique<krs::workload::BurstySource<AnyRmw>>(
+        krs::workload::BurstySource<AnyRmw>::Params{
+            .total = kScenarioOpsPerProc, .hot_fraction = 0.9,
+            .hot_addr = 0, .addr_space = 8, .rate = 0.5,
+            .mean_on = 64.0, .mean_off = 64.0},
+        make_add, 0x5eed2000u + p);
+  });
+}
+BENCHMARK(BM_SimScenarioBursty)
+    ->Name("BM_SimCoordination/scenario_bursty")
+    ->ArgNames({"workers"})->Arg(1);
+
+void BM_SimScenarioClosed(benchmark::State& state) {
+  // Four logical clients per processor, exponential think times: offered
+  // load self-limits with the machine's service time.
+  sim_scenario_loop(state, [](std::uint32_t p) {
+    return std::make_unique<krs::workload::ClosedLoopSource<AnyRmw>>(
+        krs::workload::ClosedLoopSource<AnyRmw>::Params{
+            .total = kScenarioOpsPerProc, .clients = 4, .think_mean = 16.0,
+            .hot_fraction = 0.9, .hot_addr = 0, .addr_space = 8},
+        make_add, 0x5eed3000u + p);
+  });
+}
+BENCHMARK(BM_SimScenarioClosed)
+    ->Name("BM_SimCoordination/scenario_closed")
+    ->ArgNames({"workers"})->Arg(1);
 
 void BM_SimCounterScale(benchmark::State& state) {
   // The counter hotspot swept over machine size k ∈ {6, 8, 10}

@@ -1,0 +1,130 @@
+// The sharding payoff curve: the same counter hotspot through
+// ShardedBackend<Inner> at S ∈ {1, 4, 8} shards, per inner substrate
+// (hardware atomic, combining tree, flat combiner) and thread count
+// ∈ {1, 2, 4, 8}. All variants run through the sharded wrapper — the
+// S = 1 row ("single") pays identical routing overhead, so the
+// s:S / single quotient isolates the SHARDING effect, not the wrapper.
+//
+// The normalized output pairs BM_Sharded/<inner>/s:S against
+// BM_Sharded/<inner>/single per thread count into the
+// `sharded_vs_single_ops_ratio` series (> 1.0: spreading the hot spot
+// wins). Read it against `host_cpus`. On a single-core runner only the
+// atomic inner clears 1.0 (it has no contention management of its own,
+// so splitting the hot word pays even under timeslicing); the tree and
+// flat inners ALREADY absorb the hot spot by combining, so sharding
+// them is roughly a wash there — combining and interleaving are the
+// paper's two alternative remedies for the same congestion, and this
+// quotient measures one against a substrate that applies the other.
+// The cache-line-spread payoff for the combining inners needs a
+// genuinely multi-core host (see ROADMAP: multicore numbers remain).
+//
+// Tail accounting: every 16th operation is individually timed and fed a
+// thread-local util::LogHistogram; each thread reports its reservoir's
+// p50/p99/p999 as kAvgThreads counters (the cross-thread average of
+// per-thread tails), which normalize.py lifts into the
+// `tail_latency_p99` series. Sampling (rather than timing every op)
+// keeps the clock out of 15/16ths of the measured loop.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "runtime/combining_backend.hpp"
+#include "runtime/flat_combining.hpp"
+#include "runtime/rmw_backend.hpp"
+#include "runtime/sharded_backend.hpp"
+#include "util/stats.hpp"
+
+using namespace krs::runtime;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename B>
+void sharded_loop(benchmark::State& state, B& backend,
+                  typename B::Cell& cell) {
+  krs::util::LogHistogram lat;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    if ((i++ & 15u) == 0) {
+      const auto t0 = Clock::now();
+      benchmark::DoNotOptimize(backend.fetch_add(cell, 1));
+      const auto t1 = Clock::now();
+      lat.add(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+    } else {
+      benchmark::DoNotOptimize(backend.fetch_add(cell, 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  using benchmark::Counter;
+  state.counters["latency_p50_ns"] =
+      Counter(lat.percentile(0.50), Counter::kAvgThreads);
+  state.counters["latency_p99_ns"] =
+      Counter(lat.percentile(0.99), Counter::kAvgThreads);
+  state.counters["latency_p999_ns"] =
+      Counter(lat.percentile(0.999), Counter::kAvgThreads);
+  if (state.thread_index() == 0) {
+    state.counters["shard_max_share"] =
+        Counter(backend.cell_stats(cell).max_share());
+  }
+}
+
+// One backend + cell per (inner, shards) rig, shared across thread counts
+// like the other cross-substrate benches. Inner widths are sized to the
+// largest thread count (8) so the combining structures never alias more
+// threads than they were built for.
+ShardedBackend<AtomicBackend> g_atomic_s1{AtomicBackend{}, 1};
+ShardedBackend<AtomicBackend> g_atomic_s4{AtomicBackend{}, 4};
+ShardedBackend<AtomicBackend> g_atomic_s8{AtomicBackend{}, 8};
+ShardedBackend<CombiningBackend> g_tree_s1{CombiningBackend{8}, 1};
+ShardedBackend<CombiningBackend> g_tree_s4{CombiningBackend{8}, 4};
+ShardedBackend<CombiningBackend> g_tree_s8{CombiningBackend{8}, 8};
+ShardedBackend<FlatCombiningBackend> g_flat_s1{FlatCombiningBackend{8}, 1};
+ShardedBackend<FlatCombiningBackend> g_flat_s4{FlatCombiningBackend{8}, 4};
+ShardedBackend<FlatCombiningBackend> g_flat_s8{FlatCombiningBackend{8}, 8};
+
+ShardedBackend<AtomicBackend>::Cell g_atomic_s1_cell(g_atomic_s1, 0);
+ShardedBackend<AtomicBackend>::Cell g_atomic_s4_cell(g_atomic_s4, 0);
+ShardedBackend<AtomicBackend>::Cell g_atomic_s8_cell(g_atomic_s8, 0);
+ShardedBackend<CombiningBackend>::Cell g_tree_s1_cell(g_tree_s1, 0);
+ShardedBackend<CombiningBackend>::Cell g_tree_s4_cell(g_tree_s4, 0);
+ShardedBackend<CombiningBackend>::Cell g_tree_s8_cell(g_tree_s8, 0);
+ShardedBackend<FlatCombiningBackend>::Cell g_flat_s1_cell(g_flat_s1, 0);
+ShardedBackend<FlatCombiningBackend>::Cell g_flat_s4_cell(g_flat_s4, 0);
+ShardedBackend<FlatCombiningBackend>::Cell g_flat_s8_cell(g_flat_s8, 0);
+
+#define KRS_SHARDED_BENCH(fn, rig, cell, bench_name)            \
+  void fn(benchmark::State& state) {                            \
+    sharded_loop(state, rig, cell);                             \
+  }                                                             \
+  BENCHMARK(fn)                                                 \
+      ->Name(bench_name)                                        \
+      ->Threads(1)->Threads(2)->Threads(4)->Threads(8)          \
+      ->UseRealTime()
+
+KRS_SHARDED_BENCH(BM_ShardedAtomicS1, g_atomic_s1, g_atomic_s1_cell,
+                  "BM_Sharded/atomic/single");
+KRS_SHARDED_BENCH(BM_ShardedAtomicS4, g_atomic_s4, g_atomic_s4_cell,
+                  "BM_Sharded/atomic/s:4");
+KRS_SHARDED_BENCH(BM_ShardedAtomicS8, g_atomic_s8, g_atomic_s8_cell,
+                  "BM_Sharded/atomic/s:8");
+KRS_SHARDED_BENCH(BM_ShardedTreeS1, g_tree_s1, g_tree_s1_cell,
+                  "BM_Sharded/tree/single");
+KRS_SHARDED_BENCH(BM_ShardedTreeS4, g_tree_s4, g_tree_s4_cell,
+                  "BM_Sharded/tree/s:4");
+KRS_SHARDED_BENCH(BM_ShardedTreeS8, g_tree_s8, g_tree_s8_cell,
+                  "BM_Sharded/tree/s:8");
+KRS_SHARDED_BENCH(BM_ShardedFlatS1, g_flat_s1, g_flat_s1_cell,
+                  "BM_Sharded/flat/single");
+KRS_SHARDED_BENCH(BM_ShardedFlatS4, g_flat_s4, g_flat_s4_cell,
+                  "BM_Sharded/flat/s:4");
+KRS_SHARDED_BENCH(BM_ShardedFlatS8, g_flat_s8, g_flat_s8_cell,
+                  "BM_Sharded/flat/s:8");
+
+#undef KRS_SHARDED_BENCH
+
+}  // namespace
+
+BENCHMARK_MAIN();

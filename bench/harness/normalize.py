@@ -37,6 +37,19 @@ tracks (see docs/PERFORMANCE.md):
       BM_FlatVsTree/flat/w:W over its /tree/w:W twin per thread count,
       keyed "w=W/threads" (> 1.0 means the flat combiner beats the
       combining tree at that width/concurrency).
+  sharded_vs_single_ops_ratio — fifth-substrate payoff: throughput of
+      BM_Sharded/<inner>/s:S over its /single twin (the SAME wrapper at
+      one shard, so the quotient isolates sharding, not routing
+      overhead), keyed "<inner>/s=S/threads". > 1.0: spreading the hot
+      word across S shard lines beats one line at that concurrency.
+  tail_latency_p99 — per-op p99 latency in ns. Two sources fold in:
+      BM_Sharded rows' sampled latency_p99_ns counter (keyed
+      "<inner>/<variant>/threads"), and tools/krs_load traffic documents
+      (schema "krs-load-v1", accepted alongside google-benchmark files),
+      whose scenario percentiles land keyed "traffic/<scenario>". The
+      krs_load scenarios come from millions of logical clients
+      multiplexed M:N onto worker threads, so these are the numbers the
+      §3 queueing model's tail predictions compare against.
 
 Every comparisons series is wrapped as {"host_cpus": N, "values": {...}}
 so a 1-CPU CI artifact cannot be misread as scaling data — the ratios
@@ -101,14 +114,18 @@ def to_ns(value, unit):
 # top-level numeric keys on each benchmark record. Carry the known ones
 # through to the normalized output.
 COUNTER_KEYS = ("cycles_per_op", "combine_rate", "served_at_root_fraction",
-                "combined_fraction", "sim_cycles", "mean_latency_cycles")
+                "combined_fraction", "sim_cycles", "mean_latency_cycles",
+                "latency_p50_ns", "latency_p99_ns", "latency_p999_ns",
+                "latency_p50_cycles", "latency_p99_cycles",
+                "shard_max_share")
 
 
 def collect(files):
-    """-> runs {(family, threads): {...}}, context, profiles [per-backend]"""
+    """-> runs {(family, threads)}, context, profiles, traffic scenarios"""
     runs = {}
     context = {}
     profiles = []
+    traffic = []
     for path in files:
         try:
             with open(path) as f:
@@ -133,6 +150,31 @@ def collect(files):
             if not doc.get("runs"):
                 sys.exit(f"normalize.py: {path} contains no profiler runs")
             continue
+        if doc.get("schema") == "krs-load-v1":
+            # A krs_load traffic document: per-scenario tail percentiles
+            # from the M:N logical-client harness. Carried through whole
+            # (the scenarios block is already normalized) and folded into
+            # the tail_latency_p99 series.
+            for sc in doc.get("scenarios", []):
+                traffic.append({
+                    "scenario": sc.get("name", "?"),
+                    "shape": sc.get("shape"),
+                    "clients": doc.get("clients"),
+                    "workers": doc.get("workers"),
+                    "shards": doc.get("shards"),
+                    "inner": doc.get("inner"),
+                    "ops": sc.get("ops"),
+                    "offered": sc.get("offered"),
+                    "throttled": sc.get("throttled"),
+                    "p50_ns": sc.get("p50_ns"),
+                    "p99_ns": sc.get("p99_ns"),
+                    "p999_ns": sc.get("p999_ns"),
+                    "conserved": sc.get("conserved"),
+                })
+            if not doc.get("scenarios"):
+                sys.exit(f"normalize.py: {path} contains no traffic "
+                         "scenarios")
+            continue
         ctx = doc.get("context", {})
         context.setdefault("host_cpus", ctx.get("num_cpus"))
         context.setdefault("library_build_type", ctx.get("library_build_type"))
@@ -155,10 +197,10 @@ def collect(files):
             # A bench that built but produced nothing (crashed mid-run,
             # filtered to zero) must not green-wash the pipeline.
             sys.exit(f"normalize.py: {path} contains no benchmark runs")
-    return runs, context, profiles
+    return runs, context, profiles, traffic
 
 
-def normalize(runs, context, config, profiles=()):
+def normalize(runs, context, config, profiles=(), traffic=()):
     benchmarks = []
     for (family, threads), rec in sorted(runs.items()):
         real = sorted(rec["real_ns"])
@@ -263,6 +305,40 @@ def normalize(runs, context, config, profiles=()):
             flat_vs_tree[f"{warg}/{threads}"] = round(
                 pair["flat"] / pair["tree"], 3)
 
+    # The fifth-substrate payoff: BM_Sharded/<inner>/s:S throughput over
+    # its /single twin per thread count, keyed "<inner>/s=S/threads".
+    # Both rows run through the sharded wrapper (single = one shard), so
+    # > 1.0 is the sharding gain net of routing overhead
+    # (bench/bench_sharded.cpp).
+    sharded_prefix = "BM_Sharded/"
+    sharded_rows = {}
+    for b in benchmarks:
+        if b["name"].startswith(sharded_prefix) and b["ops_per_sec"]:
+            inner, _, variant = b["name"][len(sharded_prefix):].partition("/")
+            sharded_rows[(inner, variant, b["threads"])] = b["ops_per_sec"]
+    sharded_vs_single = {}
+    for (inner, variant, threads) in sorted(sharded_rows):
+        if variant == "single":
+            continue
+        single = sharded_rows.get((inner, "single", threads))
+        if single:
+            sharded_vs_single[
+                f"{inner}/{variant.replace(':', '=')}/{threads}"] = round(
+                sharded_rows[(inner, variant, threads)] / single, 3)
+
+    # Tail accounting: p99 per-op latency in ns, from the sharded bench's
+    # sampled reservoirs and from krs_load traffic scenarios. Zero values
+    # are dropped — an unpopulated reservoir must not green-wash
+    # `--require tail_latency_p99`.
+    tail_p99 = {}
+    for b in benchmarks:
+        if b["name"].startswith(sharded_prefix) and b.get("latency_p99_ns"):
+            key = b["name"][len(sharded_prefix):].replace(":", "=")
+            tail_p99[f"{key}/{b['threads']}"] = round(b["latency_p99_ns"], 1)
+    for t in traffic:
+        if t.get("p99_ns"):
+            tail_p99[f"traffic/{t['scenario']}"] = t["p99_ns"]
+
     # The contention-profiler series: hot lines per profiled backend.
     # Zero-hot-line entries are DROPPED so `--require profiler_hot_lines`
     # fails when a profiler run finds nothing — a blind profiler must not
@@ -292,6 +368,10 @@ def normalize(runs, context, config, profiles=()):
         comparisons["sim_cycles_per_op"] = series(sim_cycles)
     if flat_vs_tree:
         comparisons["flat_vs_tree_ops_ratio"] = series(flat_vs_tree)
+    if sharded_vs_single:
+        comparisons["sharded_vs_single_ops_ratio"] = series(sharded_vs_single)
+    if tail_p99:
+        comparisons["tail_latency_p99"] = series(tail_p99)
     if hot_lines:
         comparisons["profiler_hot_lines"] = series(hot_lines)
 
@@ -303,6 +383,7 @@ def normalize(runs, context, config, profiles=()):
         "config": cfg,
         "benchmarks": benchmarks,
         "profiles": list(profiles),
+        "traffic": list(traffic),
         "comparisons": comparisons,
     }
 
@@ -322,15 +403,15 @@ def main():
                          "job pins its acceptance series with this")
     args = ap.parse_args()
 
-    runs, context, profiles = collect(args.files)
-    if not runs and not profiles:
+    runs, context, profiles, traffic = collect(args.files)
+    if not runs and not profiles and not traffic:
         sys.exit("normalize.py: no benchmark runs found in inputs")
     config = {}
     if args.min_time is not None:
         config["min_time"] = args.min_time
     if args.repetitions is not None:
         config["repetitions"] = args.repetitions
-    doc = normalize(runs, context, config, profiles)
+    doc = normalize(runs, context, config, profiles, traffic)
     missing = []
     for req in args.require:
         name, _, key = req.partition(":")

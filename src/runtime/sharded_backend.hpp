@@ -1,0 +1,331 @@
+// The sharded RMW substrate: spread the hot spot, aggregate on read.
+//
+// The paper's combining collapses a hot word's traffic IN-NETWORK; this
+// header is the dual optimization the Pfister–Norton model equally
+// motivates: spread the load across MANY cells so no single memory module
+// saturates, and fold the pieces back together only when somebody reads.
+// A `ShardedBackend<Inner>::Cell` stripes one logical word across S
+// per-shard `Inner` cells (any substrate: hardware atomics, the combining
+// tree, the flat combiner, the simulated machine), each on its own cache
+// line. Updates touch exactly ONE shard — so they stay combinable inside
+// that shard's own substrate — while `load()` folds the shard values with
+// the cell's semigroup operation (sum for counters, union for flag words):
+// the write-cheap/read-folds structure of a write-and-f-array, with the §3
+// decombination chain run at read time instead of in the switches.
+//
+// Semantics — deliberately RELAXED relative to a single cell:
+//
+//  * fetch_add/or/and/xor/exchange/fetch_rmw apply to the ROUTED shard and
+//    return that shard's prior. Per-shard streams are individually
+//    linearizable (the inner substrate guarantees it), and any
+//    shard-decomposable invariant — the counter's global sum, the or-word's
+//    bit union — holds exactly. What is given up is a TOTAL order across
+//    shards: two clients on different shards can both see prior 0. That is
+//    the price of the spread; callers who need global tickets keep a
+//    single-shard cell (shards = 1 degrades to exactly the inner backend).
+//  * load() is an aggregation read: it folds every shard with the
+//    backend's Aggregation (associative + commutative, identity-initialized
+//    spare shards). Each per-shard read is individually atomic; the fold is
+//    not a global snapshot — it is bounded by the values the shards held
+//    sometime during the read, the standard sharded-counter contract.
+//  * compare_exchange operates on the routed shard (shard-local CAS).
+//  * store() quiesces the cell to v: identity into every shard, v into the
+//    routed one. Like any racing store, concurrent updates may interleave;
+//    use it for initialization/reset, not as a synchronization edge.
+//
+// Routing decides WHICH shard an operation touches:
+//
+//  * kThreadOrdinal — shard = placement(key mod S): consecutive client keys
+//    stripe round-robin across shards (the Ultracomputer's interleaving).
+//  * kHashed — shard = placement(mix64(key) mod S): decorrelates shard
+//    choice from key arithmetic, for key populations with stride patterns.
+//
+// The routing KEY defaults to thread_ordinal(), but a harness multiplexing
+// M logical clients onto N worker threads installs the client's identity
+// with ScopedRouteKey — the shard then follows the CLIENT, not the worker
+// thread, so thread churn (and thread_ordinal() reuse) can never migrate a
+// client's shard mid-sequence.
+//
+// Topology-aware placement: constructed with a Topology policy
+// (runtime/topology.hpp) and an expected key-population width, the backend
+// block-partitions the topology's cluster-major key order across shards,
+// so the threads hitting one shard share a cache cluster and the shard's
+// line ping-pongs inside one L2 instead of across the die.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+#include "analysis/instrument.hpp"
+#include "core/any_rmw.hpp"
+#include "core/types.hpp"
+#include "runtime/cacheline.hpp"
+#include "runtime/rmw_backend.hpp"
+#include "runtime/topology.hpp"
+
+namespace krs::runtime {
+
+namespace detail {
+
+/// SplitMix64 finalizer: the cheap, well-mixed 64→64 hash used for
+/// kHashed routing (same constants as util::SplitMix64's output stage).
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct RouteKeyState {
+  std::uint64_t key = 0;
+  bool active = false;
+};
+
+inline RouteKeyState& route_key_state() noexcept {
+  thread_local RouteKeyState st;
+  return st;
+}
+
+}  // namespace detail
+
+/// The routing key sharded backends resolve for the current thread: the
+/// innermost ScopedRouteKey if one is installed, thread_ordinal()
+/// otherwise.
+inline std::uint64_t route_key() noexcept {
+  const detail::RouteKeyState& st = detail::route_key_state();
+  return st.active ? st.key : thread_ordinal();
+}
+
+/// RAII override of the current thread's routing key. A worker thread
+/// multiplexing logical clients installs the client's id around each of
+/// the client's operations; nesting restores the outer key on exit.
+class ScopedRouteKey {
+ public:
+  explicit ScopedRouteKey(std::uint64_t key) noexcept
+      : saved_(detail::route_key_state()) {
+    detail::route_key_state() = {key, true};
+  }
+  ScopedRouteKey(const ScopedRouteKey&) = delete;
+  ScopedRouteKey& operator=(const ScopedRouteKey&) = delete;
+  ~ScopedRouteKey() { detail::route_key_state() = saved_; }
+
+ private:
+  detail::RouteKeyState saved_;
+};
+
+enum class ShardRouting {
+  kThreadOrdinal,  ///< shard = placement(key mod S) — striped
+  kHashed,         ///< shard = placement(mix64(key) mod S) — decorrelated
+};
+
+/// The semigroup the aggregation read folds shard values with. Must be
+/// associative and commutative with `identity` as neutral element — the
+/// spare shards are initialized to it, so fold(identity, x) == x keeps a
+/// fresh cell's aggregate equal to its initial value.
+struct Aggregation {
+  using Fold = Word (*)(Word, Word);
+  Word identity = 0;
+  Fold fold = nullptr;
+
+  /// Counters / semaphores / tickets: aggregate = Σ shard values.
+  static constexpr Aggregation sum() {
+    return {0, [](Word a, Word b) { return a + b; }};
+  }
+  /// Flag/or words: aggregate = ∪ shard bits.
+  static constexpr Aggregation bit_or() {
+    return {0, [](Word a, Word b) { return a | b; }};
+  }
+  /// Watermarks: aggregate = max shard value.
+  static constexpr Aggregation max() {
+    return {0, [](Word a, Word b) { return a > b ? a : b; }};
+  }
+};
+
+/// Per-cell shard telemetry: operation count routed to each shard.
+/// Relaxed counters — quiesce for exact accounting.
+struct ShardedCellStats {
+  std::vector<std::uint64_t> shard_ops;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return std::accumulate(shard_ops.begin(), shard_ops.end(),
+                           std::uint64_t{0});
+  }
+  /// Largest single shard's share of the routed traffic (1.0 = all ops on
+  /// one shard — the unsharded hot spot reborn; ~1/S = perfect spread).
+  [[nodiscard]] double max_share() const {
+    const std::uint64_t t = total();
+    if (t == 0) return 0.0;
+    std::uint64_t m = 0;
+    for (const std::uint64_t v : shard_ops) m = v > m ? v : m;
+    return static_cast<double>(m) / static_cast<double>(t);
+  }
+};
+
+template <RmwBackend Inner, typename Instrument = analysis::DefaultInstrument>
+class BasicShardedBackend {
+ public:
+  static constexpr unsigned kDefaultShards = 8;
+
+  /// `inner`: the per-shard substrate (copied; SimBackend copies share one
+  /// machine by design). `shards` ≥ 1; 1 degrades to exactly the inner
+  /// backend plus one indirection.
+  explicit BasicShardedBackend(Inner inner, unsigned shards = kDefaultShards,
+                               ShardRouting routing =
+                                   ShardRouting::kThreadOrdinal)
+      : inner_(std::move(inner)),
+        shards_(shards < 1 ? 1 : shards),
+        routing_(routing) {
+    placement_.resize(shards_);
+    std::iota(placement_.begin(), placement_.end(), 0u);
+  }
+
+  /// Topology-aware placement: `width` is the expected routing-key
+  /// population (thread or client count); `topo` orders those keys
+  /// cluster-major and the constructor block-partitions that order across
+  /// shards, so keys sharing a cache cluster share a shard. Falls back to
+  /// the striped identity placement when the topology is flat.
+  template <Topology T>
+  BasicShardedBackend(Inner inner, unsigned shards, ShardRouting routing,
+                      unsigned width, const T& topo)
+      : BasicShardedBackend(std::move(inner), shards, routing) {
+    width = width < shards_ ? shards_ : width;
+    const SlotMap sm = topo.slot_map(width);
+    // sm(k) is key k's position in cluster-major order; equal blocks of
+    // that order map to one shard each, so cluster siblings (adjacent
+    // positions) coalesce onto the same shard.
+    placement_.assign(width, 0u);
+    for (unsigned k = 0; k < width; ++k) {
+      placement_[k] = static_cast<unsigned>(
+          (static_cast<std::uint64_t>(sm(k)) * shards_) / width);
+    }
+  }
+
+  struct Cell {
+    Cell(const BasicShardedBackend& b, Word initial)
+        : home(b.shard_of()), ops(b.shards_) {
+      // Construct the S inner cells in place (inner cells are pinned —
+      // deque never relocates); the initial value lands in the HOME shard
+      // (the shard the constructing context routes to, so a
+      // single-threaded script sees unsharded semantics), identity
+      // elsewhere, keeping the aggregate equal to `initial`.
+      for (unsigned s = 0; s < b.shards_; ++s) {
+        slots.emplace_back(b.inner_,
+                           s == home ? initial : b.agg_.identity);
+      }
+    }
+    Cell(const Cell&) = delete;
+    Cell& operator=(const Cell&) = delete;
+
+    struct alignas(kCacheLine) Slot {
+      Slot(const Inner& b, Word v) : cell(b, v) {}
+      typename Inner::Cell cell;
+    };
+
+    std::deque<Slot> slots;  ///< S cache-line-isolated inner cells
+    unsigned home;           ///< shard holding the initial value
+    std::deque<std::atomic<std::uint64_t>> ops;  ///< per-shard telemetry
+  };
+
+  Word fetch_add(Cell& c, Word v) const {
+    return inner_.fetch_add(routed(c), v);
+  }
+  Word fetch_or(Cell& c, Word v) const { return inner_.fetch_or(routed(c), v); }
+  Word fetch_and(Cell& c, Word v) const {
+    return inner_.fetch_and(routed(c), v);
+  }
+  Word fetch_xor(Cell& c, Word v) const {
+    return inner_.fetch_xor(routed(c), v);
+  }
+  Word exchange(Cell& c, Word v) const { return inner_.exchange(routed(c), v); }
+
+  Word fetch_rmw(Cell& c, const core::AnyRmw& m) const {
+    return inner_.fetch_rmw(routed(c), m);
+  }
+
+  /// Shard-local CAS: conditional on the ROUTED shard's value, linearized
+  /// against that shard's stream only.
+  bool compare_exchange(Cell& c, Word& expected, Word desired) const {
+    return inner_.compare_exchange(routed(c), expected, desired);
+  }
+
+  /// The aggregation read: fold every shard with the backend's semigroup.
+  /// Each per-shard load is atomic in the inner substrate; the fold is the
+  /// §3 decombination chain run at read time.
+  Word load(const Cell& c) const {
+    Word acc = agg_.identity;
+    for (const auto& slot : c.slots) {
+      acc = agg_.fold(acc, inner_.load(slot.cell));
+    }
+    return acc;
+  }
+
+  /// Quiescing reset: identity into every shard, v into the routed one.
+  void store(Cell& c, Word v) const {
+    const unsigned target = shard_of();
+    for (unsigned s = 0; s < shards_; ++s) {
+      inner_.store(c.slots[s].cell, s == target ? v : agg_.identity);
+    }
+  }
+
+  [[nodiscard]] unsigned shards() const noexcept { return shards_; }
+  [[nodiscard]] ShardRouting routing() const noexcept { return routing_; }
+  [[nodiscard]] const Inner& inner() const noexcept { return inner_; }
+
+  /// The shard the given routing key resolves to.
+  [[nodiscard]] unsigned shard_of_key(std::uint64_t key) const noexcept {
+    if (routing_ == ShardRouting::kHashed) key = detail::mix64(key);
+    return placement_[key % placement_.size()];
+  }
+
+  /// The shard the CURRENT context routes to (ScopedRouteKey if installed,
+  /// thread_ordinal() otherwise).
+  [[nodiscard]] unsigned shard_of() const noexcept {
+    return shard_of_key(route_key());
+  }
+
+  void set_aggregation(Aggregation agg) noexcept { agg_ = agg; }
+  [[nodiscard]] const Aggregation& aggregation() const noexcept {
+    return agg_;
+  }
+
+  [[nodiscard]] ShardedCellStats cell_stats(const Cell& c) const {
+    ShardedCellStats out;
+    out.shard_ops.reserve(shards_);
+    for (const auto& n : c.ops) {
+      out.shard_ops.push_back(n.load(std::memory_order_relaxed));
+    }
+    return out;
+  }
+
+  /// Direct shard access for tests and per-shard seeding (e.g. spreading
+  /// a semaphore's permits across shards before the clients arrive).
+  [[nodiscard]] typename Inner::Cell& shard_cell(Cell& c,
+                                                 unsigned s) const {
+    return c.slots[s].cell;
+  }
+
+ private:
+  typename Inner::Cell& routed(Cell& c) const {
+    const unsigned s = shard_of();
+    c.ops[s].fetch_add(1, std::memory_order_relaxed);
+    return c.slots[s].cell;
+  }
+
+  Inner inner_;
+  unsigned shards_;
+  ShardRouting routing_;
+  Aggregation agg_ = Aggregation::sum();
+  std::vector<unsigned> placement_;  ///< key-position → shard
+};
+
+template <RmwBackend Inner>
+using ShardedBackend = BasicShardedBackend<Inner>;
+
+static_assert(RmwBackend<ShardedBackend<AtomicBackend>>);
+static_assert(
+    RmwBackend<BasicShardedBackend<BasicAtomicBackend<analysis::NoInstrument>,
+                                   analysis::NoInstrument>>);
+
+}  // namespace krs::runtime

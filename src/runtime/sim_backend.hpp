@@ -72,6 +72,7 @@
 #include "runtime/rmw_backend.hpp"
 #include "sim/machine.hpp"
 #include "util/assert.hpp"
+#include "util/stats.hpp"
 
 namespace krs::runtime {
 
@@ -255,6 +256,107 @@ class BasicSimBackend {
       mb.state.store(kEmpty, std::memory_order_release);
     }
     return priors;
+  }
+
+  /// Outcome of a run_traffic drive: simulated cycles consumed, logical
+  /// operations completed, and the per-op issue→reply latency distribution
+  /// in machine cycles — the paper-unit analogue of krs_load's wall-clock
+  /// reservoirs.
+  struct TrafficResult {
+    core::Tick cycles = 0;
+    std::uint64_t ops = 0;
+    util::LogHistogram latency;
+  };
+
+  /// Drive the machine under the stochastic arrival models in src/workload:
+  /// generators[p] feeds simulated processor p (at most one in-flight op
+  /// per processor, the mailbox window). Each cycle, every idle processor
+  /// polls its generator — so open-loop sources see their issue_probability
+  /// per machine cycle, bursty sources burst in machine time, and closed-
+  /// loop sources observe true reply timing through on_complete. Generator
+  /// addresses are folded onto allocated cells (addr mod allocated), so a
+  /// source's addr_space spreads uniform traffic across every cell the
+  /// caller created while hot_addr pins the hot spot to one of them.
+  ///
+  /// The caller must be the only thread using the backend (same contract
+  /// as run_wave). Polling order is fixed (processor 0..n-1 each cycle),
+  /// so the result is a pure function of the generator sequence — same
+  /// determinism claim as run_wave, at every engine_workers value.
+  ///
+  /// `max_cycles` bounds the drive (0 = until every generator finishes);
+  /// in-flight operations are drained before returning either way.
+  TrafficResult run_traffic(
+      const std::vector<proc::TrafficSource<core::AnyRmw>*>& generators,
+      core::Tick max_cycles = 0) const {
+    KRS_EXPECTS(generators.size() <= s_->nprocs);
+    std::lock_guard<std::mutex> lk(s_->mu);
+    KRS_EXPECTS(s_->next_addr > 0 &&
+                "run_traffic needs at least one allocated cell");
+    const core::Addr cells = s_->next_addr;
+    const core::Tick start = s_->machine.now();
+
+    struct Flight {
+      core::Tick issued = 0;
+      std::uint32_t seq = 0;
+      bool active = false;
+    };
+    std::vector<Flight> flight(generators.size());
+    TrafficResult out;
+
+    auto reap = [&](std::size_t p) {
+      Mailbox& mb = s_->mailboxes[p];
+      if (!flight[p].active ||
+          mb.state.load(std::memory_order_acquire) != kDone) {
+        return;
+      }
+      const core::Tick now = s_->machine.now();
+      out.latency.add(now - flight[p].issued);
+      ++out.ops;
+      generators[p]->on_complete(
+          core::ReqId{static_cast<std::uint32_t>(p), flight[p].seq},
+          mb.reply, now);
+      flight[p].active = false;
+      mb.state.store(kEmpty, std::memory_order_release);
+    };
+
+    for (;;) {
+      const core::Tick now = s_->machine.now();
+      bool all_done = true;
+      for (std::size_t p = 0; p < generators.size(); ++p) {
+        reap(p);
+        if (flight[p].active) {
+          all_done = false;
+          continue;
+        }
+        if (generators[p]->finished()) continue;
+        all_done = false;
+        if (auto op = generators[p]->next(now, 0)) {
+          Mailbox& mb = s_->mailboxes[p];
+          unsigned expect = kEmpty;
+          const bool claimed = mb.state.compare_exchange_strong(
+              expect, kClaimed, std::memory_order_acquire,
+              std::memory_order_relaxed);
+          KRS_EXPECTS(claimed &&
+                      "run_traffic requires an otherwise idle backend");
+          mb.addr = op->first % cells;
+          mb.op = op->second;
+          mb.state.store(kPosted, std::memory_order_release);
+          flight[p].issued = now;
+          flight[p].seq++;
+          flight[p].active = true;
+        }
+      }
+      if (all_done) break;
+      if (max_cycles != 0 && now - start >= max_cycles) {
+        // Out of budget: drain what is in flight, reap, and stop.
+        s_->drive_until_drained_locked();
+        for (std::size_t p = 0; p < generators.size(); ++p) reap(p);
+        break;
+      }
+      s_->machine.tick();
+    }
+    out.cycles = s_->machine.now() - start;
+    return out;
   }
 
   // --- accounting ----------------------------------------------------------

@@ -79,6 +79,45 @@ class LogHistogram {
                   : 0.0;
   }
 
+  /// The q-quantile (q ∈ [0, 1]) with linear interpolation inside the
+  /// covering bucket: the nearest-rank sample is located in its bucket
+  /// and placed at its fractional position across the bucket's value
+  /// range [lo, hi]. Exactly bucket-resolution accurate — and because
+  /// merge() is bucket-exact, merging per-worker histograms yields the
+  /// SAME percentile as one histogram fed every sample, so parallel
+  /// reservoirs reduce without quantile drift. Compare quantile_bound(),
+  /// which only reports the covering bucket's upper bound.
+  [[nodiscard]] double percentile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    // Nearest-rank target: the ceil(q·n)-th sample (1-based), clamped so
+    // q=0 means the first sample.
+    const double scaled = q * static_cast<double>(count_);
+    std::uint64_t rank = static_cast<std::uint64_t>(scaled);
+    if (static_cast<double>(rank) < scaled) ++rank;
+    if (rank == 0) rank = 1;
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      if (seen + buckets_[b] >= rank) {
+        const double lo = b == 0 ? 0.0
+                                 : static_cast<double>(std::uint64_t{1} << b);
+        const double hi = b == 0
+            ? 1.0
+            : static_cast<double>((std::uint64_t{1} << (b + 1)) - 1);
+        // Position of the target inside this bucket, mid-sample rule: the
+        // i-th of n samples sits at (i - 0.5)/n across [lo, hi].
+        const double frac =
+            (static_cast<double>(rank - seen) - 0.5) /
+            static_cast<double>(buckets_[b]);
+        return lo + frac * (hi - lo);
+      }
+      seen += buckets_[b];
+    }
+    return static_cast<double>(sum_) /
+           static_cast<double>(count_);  // unreachable: counts are consistent
+  }
+
   /// Smallest bucket upper bound covering the q-quantile (approximate).
   [[nodiscard]] std::uint64_t quantile_bound(double q) const noexcept {
     if (count_ == 0) return 0;

@@ -7,11 +7,13 @@
 // network because the tree of switches feeding the hot module saturates.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "core/rmw.hpp"
 #include "core/types.hpp"
@@ -24,9 +26,32 @@ namespace krs::workload {
 using core::Addr;
 using core::Tick;
 
+/// Issued-vs-offered accounting, common to the rate-controlled sources.
+/// `offered` counts the polls where the source HAD work pending (the
+/// requested arrival opportunities); `issued` the ops actually released;
+/// `throttled` the offered polls the rate gate (open-loop thinning) or the
+/// on/off modulation withheld. offered == issued + throttled, so a harness
+/// can report achieved vs requested load: under saturation the consumer
+/// polls less often, and the shortfall shows up here instead of silently
+/// stretching the run.
+struct SourceStats {
+  std::uint64_t offered = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t throttled = 0;
+
+  /// Fraction of offered load actually released (1.0 = unthrottled).
+  [[nodiscard]] double issue_fraction() const {
+    return offered > 0
+               ? static_cast<double>(issued) / static_cast<double>(offered)
+               : 0.0;
+  }
+};
+
 /// Produces `op_factory(rng)` operations at hot/uniform addresses, one per
 /// call, `total` in all; optionally throttled to an issue probability per
-/// cycle (open-loop rate control).
+/// cycle (open-loop rate control). stats() exposes issued-vs-offered
+/// counts so the harness can report achieved against requested arrival
+/// rate.
 template <core::Rmw M>
 class HotSpotSource final : public proc::TrafficSource<M> {
  public:
@@ -45,24 +70,196 @@ class HotSpotSource final : public proc::TrafficSource<M> {
   }
 
   std::optional<std::pair<Addr, M>> next(Tick, unsigned) override {
-    if (issued_ >= p_.total) return std::nullopt;
+    if (stats_.issued >= p_.total) return std::nullopt;
+    ++stats_.offered;  // work was pending this poll
     if (p_.issue_probability < 1.0 && !rng_.chance(p_.issue_probability)) {
+      ++stats_.throttled;
       return std::nullopt;
     }
-    ++issued_;
+    ++stats_.issued;
     const Addr addr = rng_.chance(p_.hot_fraction)
                           ? p_.hot_addr
                           : rng_.below(p_.addr_space);
     return std::make_pair(addr, op_factory_(rng_));
   }
 
-  [[nodiscard]] bool finished() const override { return issued_ >= p_.total; }
+  [[nodiscard]] bool finished() const override {
+    return stats_.issued >= p_.total;
+  }
+
+  [[nodiscard]] const SourceStats& stats() const noexcept { return stats_; }
 
  private:
   Params p_;
   std::function<M(util::Xoshiro256&)> op_factory_;
   util::Xoshiro256 rng_;
-  std::uint64_t issued_ = 0;
+  SourceStats stats_;
+};
+
+/// Bursty open-loop arrivals: an on/off (interrupted-Poisson) modulation of
+/// the hot-spot mixture. The source alternates ON and OFF periods with
+/// exponentially distributed durations (mean_on / mean_off cycles — the
+/// memoryless on/off Markov model); while ON, each poll issues with
+/// probability `rate` (Poisson thinning), while OFF nothing issues and
+/// nothing is offered. The burst structure is what separates tail latency
+/// from throughput: mean load can be modest while ON-period arrival spikes
+/// queue at the hot module exactly as §3's model predicts.
+template <core::Rmw M>
+class BurstySource final : public proc::TrafficSource<M> {
+ public:
+  struct Params {
+    std::uint64_t total = 1000;   ///< operations to issue
+    double hot_fraction = 0.0;    ///< probability of targeting hot_addr
+    Addr hot_addr = 0;
+    Addr addr_space = 1 << 16;    ///< uniform addresses in [0, addr_space)
+    double rate = 1.0;            ///< per-poll issue probability while ON
+    double mean_on = 64.0;        ///< mean ON-period length, cycles
+    double mean_off = 64.0;       ///< mean OFF-period length, cycles
+  };
+
+  BurstySource(Params p, std::function<M(util::Xoshiro256&)> op_factory,
+               std::uint64_t seed)
+      : p_(p), op_factory_(std::move(op_factory)), rng_(seed) {
+    KRS_EXPECTS(p_.addr_space >= 1);
+    KRS_EXPECTS(p_.mean_on >= 1.0 && p_.mean_off >= 0.0);
+    phase_end_ = draw_duration(p_.mean_on);  // start ON at tick 0
+  }
+
+  std::optional<std::pair<Addr, M>> next(Tick now, unsigned) override {
+    if (stats_.issued >= p_.total) return std::nullopt;
+    advance_phase(now);
+    if (!on_) return std::nullopt;  // OFF: nothing offered, nothing issued
+    ++stats_.offered;
+    if (p_.rate < 1.0 && !rng_.chance(p_.rate)) {
+      ++stats_.throttled;  // thinned within the burst
+      return std::nullopt;
+    }
+    ++stats_.issued;
+    const Addr addr = rng_.chance(p_.hot_fraction)
+                          ? p_.hot_addr
+                          : rng_.below(p_.addr_space);
+    return std::make_pair(addr, op_factory_(rng_));
+  }
+
+  [[nodiscard]] bool finished() const override {
+    return stats_.issued >= p_.total;
+  }
+
+  [[nodiscard]] const SourceStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool on() const noexcept { return on_; }
+
+ private:
+  void advance_phase(Tick now) {
+    while (now >= phase_end_) {
+      on_ = !on_;
+      phase_end_ += draw_duration(on_ ? p_.mean_on : p_.mean_off);
+    }
+  }
+
+  /// Exponentially distributed duration with the given mean, ≥ 1 cycle.
+  Tick draw_duration(double mean) {
+    if (mean <= 1.0) return 1;
+    const double u = rng_.uniform();  // [0, 1); guard keeps log() finite
+    const double d = -mean * std::log(u > 0.0 ? u : 1e-12);
+    return d < 1.0 ? Tick{1} : static_cast<Tick>(d);
+  }
+
+  Params p_;
+  std::function<M(util::Xoshiro256&)> op_factory_;
+  util::Xoshiro256 rng_;
+  SourceStats stats_;
+  bool on_ = true;
+  Tick phase_end_ = 0;
+};
+
+/// Closed-loop arrivals: `clients` logical clients multiplexed onto this
+/// source (one simulated processor), each cycling issue → wait for the
+/// reply → think (exponential, mean think_mean cycles) → reissue. Offered
+/// load self-limits with service time — the defining closed-loop property:
+/// a saturated server slows the clients down instead of growing an
+/// unbounded queue, so tail latency and throughput couple through the
+/// number of clients, not an external rate knob. Completions are matched
+/// to clients FIFO (the per-processor window keeps in-flight ops ordered).
+template <core::Rmw M>
+class ClosedLoopSource final : public proc::TrafficSource<M> {
+ public:
+  struct Params {
+    std::uint64_t total = 1000;  ///< operations to issue across all clients
+    unsigned clients = 1;        ///< logical clients on this processor
+    double think_mean = 0.0;     ///< mean think time between ops, cycles
+    double hot_fraction = 1.0;   ///< probability of targeting hot_addr
+    Addr hot_addr = 0;
+    Addr addr_space = 1;         ///< uniform addresses in [0, addr_space)
+  };
+
+  ClosedLoopSource(Params p, std::function<M(util::Xoshiro256&)> op_factory,
+                   std::uint64_t seed)
+      : p_(p), op_factory_(std::move(op_factory)), rng_(seed),
+        ready_at_(p_.clients < 1 ? 1 : p_.clients, Tick{0}),
+        waiting_(ready_at_.size(), false) {
+    KRS_EXPECTS(p_.addr_space >= 1);
+  }
+
+  std::optional<std::pair<Addr, M>> next(Tick now, unsigned) override {
+    if (stats_.issued >= p_.total) return std::nullopt;
+    // A client offers work iff it is neither thinking nor awaiting a reply;
+    // round-robin scan keeps issue order fair across clients.
+    const std::size_t n = ready_at_.size();
+    for (std::size_t probe = 0; probe < n; ++probe) {
+      const std::size_t c = (next_client_ + probe) % n;
+      if (waiting_[c] || ready_at_[c] > now) continue;
+      ++stats_.offered;
+      ++stats_.issued;  // closed loop: an offering client always issues
+      waiting_[c] = true;
+      pending_.push_back(c);
+      next_client_ = (c + 1) % n;
+      const Addr addr = rng_.chance(p_.hot_fraction)
+                            ? p_.hot_addr
+                            : rng_.below(p_.addr_space);
+      return std::make_pair(addr, op_factory_(rng_));
+    }
+    return std::nullopt;
+  }
+
+  void on_complete(core::ReqId, const typename M::value_type&,
+                   Tick now) override {
+    // Replies return in issue order within one processor's window, so the
+    // FIFO of in-flight clients matches completions to issuers.
+    KRS_EXPECTS(!pending_.empty());
+    const std::size_t c = pending_.front();
+    pending_.pop_front();
+    waiting_[c] = false;
+    ++stats_.completed;
+    ready_at_[c] = now + draw_think();
+  }
+
+  [[nodiscard]] bool finished() const override {
+    return stats_.issued >= p_.total && pending_.empty();
+  }
+
+  struct ClosedLoopStats : SourceStats {
+    std::uint64_t completed = 0;
+  };
+  [[nodiscard]] const ClosedLoopStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  Tick draw_think() {
+    if (p_.think_mean <= 0.0) return 0;
+    const double u = rng_.uniform();
+    const double d = -p_.think_mean * std::log(u > 0.0 ? u : 1e-12);
+    return static_cast<Tick>(d);
+  }
+
+  Params p_;
+  std::function<M(util::Xoshiro256&)> op_factory_;
+  util::Xoshiro256 rng_;
+  ClosedLoopStats stats_;
+  std::vector<Tick> ready_at_;       ///< per-client think-until tick
+  std::vector<bool> waiting_;        ///< per-client awaiting-reply flag
+  std::deque<std::size_t> pending_;  ///< in-flight clients, FIFO
+  std::size_t next_client_ = 0;
 };
 
 /// Every operation goes to the same address — the pure hot-spot used for

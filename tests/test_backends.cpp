@@ -41,6 +41,7 @@
 #include "runtime/lock_free_combining_tree.hpp"
 #include "runtime/parallel_queue.hpp"
 #include "runtime/rmw_backend.hpp"
+#include "runtime/sharded_backend.hpp"
 #include "runtime/sim_backend.hpp"
 #include "verify/race_explorer.hpp"
 
@@ -108,6 +109,10 @@ static_assert(RmwBackend<AtomicBackend>);
 static_assert(RmwBackend<CombiningBackend>);
 static_assert(RmwBackend<FlatCombiningBackend>);
 static_assert(RmwBackend<SimBackend>);
+static_assert(RmwBackend<ShardedBackend<AtomicBackend>>);
+static_assert(RmwBackend<ShardedBackend<CombiningBackend>>);
+static_assert(RmwBackend<ShardedBackend<FlatCombiningBackend>>);
+static_assert(RmwBackend<ShardedBackend<SimBackend>>);
 static_assert(RmwBackend<BasicAtomicBackend<GlobalInstrument>>);
 static_assert(RmwBackend<BasicCombiningBackend<GlobalInstrument>>);
 static_assert(RmwBackend<BasicFlatCombiningBackend<GlobalInstrument>>);
@@ -183,6 +188,30 @@ TEST(Backends, ScriptedSequenceIdenticalAcrossBackends) {
   EXPECT_EQ(st.root_serialized_ops, 2u);
   EXPECT_GT(st.cycles, 0u);
   EXPECT_GT(st.cycles_per_op(), 0.0);
+}
+
+TEST(Backends, ScriptedSequenceIdenticalShardedOverEveryInner) {
+  // The fifth substrate, the 5-way equivalence row: sharding over the
+  // hardware-atomic, combining-tree, and flat-combining inners (plus the
+  // hashed-routing variant) against the unsharded atomic baseline. The
+  // script runs single-threaded, so every operation routes to the cell's
+  // HOME shard — the shard holding the initial value — and the relaxed
+  // sharded semantics degrade to exactly the inner backend's, priors,
+  // compare_exchange reloads, aggregation reads, and store/reset included.
+  AtomicBackend ab;
+  ShardedBackend<AtomicBackend> sharded_atomic{AtomicBackend{}, 4};
+  ShardedBackend<CombiningBackend> sharded_tree{CombiningBackend{4}, 4};
+  ShardedBackend<FlatCombiningBackend> sharded_flat{FlatCombiningBackend{4},
+                                                    4};
+  ShardedBackend<AtomicBackend> sharded_hashed{AtomicBackend{}, 8,
+                                               ShardRouting::kHashed};
+  const auto base = scripted_run(ab);
+  EXPECT_EQ(scripted_run(sharded_atomic), base);
+  EXPECT_EQ(scripted_run(sharded_tree), base);
+  EXPECT_EQ(scripted_run(sharded_flat), base);
+  EXPECT_EQ(scripted_run(sharded_hashed), base);
+  const std::vector<Word> expect{10, 15, 0xFF, 0x0F, 0xF0, 3, 7, 40, 99, 7};
+  EXPECT_EQ(base, expect);
 }
 
 // --- non-add families through the mapping tree -------------------------------

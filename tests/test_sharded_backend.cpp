@@ -1,0 +1,338 @@
+// The sharded substrate's OWN contract, beyond the cross-backend
+// equivalence rows in test_backends.cpp:
+//
+//  * routing determinism — a logical client pinned with ScopedRouteKey
+//    keeps its shard across worker-thread churn (spawn/join waves that
+//    recycle thread ordinals), the property the M:N traffic harness
+//    depends on;
+//  * striped vs hashed key→shard maps, and topology-aware placement
+//    coalescing cache-cluster siblings (fabricated sysfs, mirroring
+//    test_flat_combining.cpp's FakeSysfs) onto shared shards;
+//  * the relaxed-semantics invariants that DO survive sharding: sum
+//    conservation under concurrent clients, aggregation folds (sum /
+//    bit_or / max), store()-quiescing, per-shard telemetry shares;
+//  * shards = 1 degrading to exactly the inner backend (globally
+//    distinct fetch_add tickets);
+//  * a race_explorer model of the aggregation read: per-shard reads
+//    mediated by per-shard synchronization are race-free on EVERY
+//    schedule with no global lock — plus a naked-read control proving
+//    the verdict comes from the modeled per-shard edges.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/combining_backend.hpp"
+#include "runtime/flat_combining.hpp"
+#include "runtime/rmw_backend.hpp"
+#include "runtime/sharded_backend.hpp"
+#include "runtime/topology.hpp"
+#include "verify/race_explorer.hpp"
+
+namespace {
+
+using namespace krs::runtime;
+using Word = krs::core::Word;
+
+// --- routing determinism -----------------------------------------------------
+
+TEST(ShardedRouting, ScopedRouteKeyPinsShardAcrossThreadChurn) {
+  // Three waves of short-lived worker threads; each wave re-resolves the
+  // shard of the same 16 logical clients under ScopedRouteKey. Thread
+  // ordinals are recycled wave to wave, so any dependence on the WORKER
+  // identity (rather than the installed client key) would move a client's
+  // shard between waves.
+  constexpr unsigned kShards = 4;
+  constexpr unsigned kClients = 16;
+  ShardedBackend<AtomicBackend> b{AtomicBackend{}, kShards};
+  ShardedBackend<AtomicBackend>::Cell cell(b, 0);
+
+  std::vector<std::vector<unsigned>> wave_shards;
+  for (int wave = 0; wave < 3; ++wave) {
+    std::vector<unsigned> shards(kClients, ~0u);
+    std::thread worker([&] {
+      for (unsigned c = 0; c < kClients; ++c) {
+        ScopedRouteKey route(c);
+        shards[c] = b.shard_of();
+        b.fetch_add(cell, 1);
+      }
+    });
+    worker.join();
+    wave_shards.push_back(std::move(shards));
+  }
+  for (unsigned c = 0; c < kClients; ++c) {
+    EXPECT_EQ(wave_shards[0][c], b.shard_of_key(c)) << "client " << c;
+    EXPECT_EQ(wave_shards[1][c], wave_shards[0][c]) << "client " << c;
+    EXPECT_EQ(wave_shards[2][c], wave_shards[0][c]) << "client " << c;
+  }
+  // 3 waves × 16 striped clients → 12 ops in each of the 4 shards, and
+  // the shard cells hold exactly the traffic their clients deposited.
+  for (unsigned s = 0; s < kShards; ++s) {
+    EXPECT_EQ(b.inner().load(b.shard_cell(cell, s)), 12u) << "shard " << s;
+  }
+  EXPECT_EQ(b.load(cell), 48u);
+}
+
+TEST(ShardedRouting, ScopedRouteKeyNestsAndRestores) {
+  ShardedBackend<AtomicBackend> b{AtomicBackend{}, 4};
+  {
+    ScopedRouteKey outer(1);
+    EXPECT_EQ(b.shard_of(), b.shard_of_key(1));
+    {
+      ScopedRouteKey inner(2);
+      EXPECT_EQ(b.shard_of(), b.shard_of_key(2));
+    }
+    EXPECT_EQ(b.shard_of(), b.shard_of_key(1));
+  }
+  // With no override the key falls back to the worker's thread ordinal.
+  EXPECT_EQ(b.shard_of(), b.shard_of_key(thread_ordinal()));
+}
+
+TEST(ShardedRouting, StripedAndHashedKeyMaps) {
+  constexpr unsigned kShards = 8;
+  ShardedBackend<AtomicBackend> striped{AtomicBackend{}, kShards};
+  ShardedBackend<AtomicBackend> hashed{AtomicBackend{}, kShards,
+                                       ShardRouting::kHashed};
+  std::set<unsigned> hashed_hits;
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    // Striped: consecutive keys round-robin (the Ultracomputer stripe).
+    EXPECT_EQ(striped.shard_of_key(k), k % kShards);
+    // Hashed: deterministic per key, and the population covers all shards.
+    EXPECT_EQ(hashed.shard_of_key(k), hashed.shard_of_key(k));
+    EXPECT_LT(hashed.shard_of_key(k), kShards);
+    hashed_hits.insert(hashed.shard_of_key(k));
+  }
+  EXPECT_EQ(hashed_hits.size(), kShards);
+}
+
+// --- topology-aware placement ------------------------------------------------
+
+// Fabricated /sys/devices/system/cpu (same shape as test_flat_combining's
+// helper): 4 CPUs in two INTERLEAVED L2 clusters {0,2} and {1,3}.
+class FakeSysfs {
+ public:
+  explicit FakeSysfs(const std::vector<std::string>& shared_lists) {
+    namespace fs = std::filesystem;
+    root_ = fs::path(testing::TempDir()) /
+            ("krs-shard-sysfs-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+    for (unsigned cpu = 0; cpu < shared_lists.size(); ++cpu) {
+      const fs::path dir =
+          root_ / ("cpu" + std::to_string(cpu)) / "cache" / "index2";
+      fs::create_directories(dir);
+      std::ofstream(dir / "shared_cpu_list") << shared_lists[cpu] << "\n";
+    }
+  }
+  ~FakeSysfs() {
+    std::error_code ec;
+    std::filesystem::remove_all(root_, ec);
+  }
+  [[nodiscard]] std::string path() const { return root_.string(); }
+
+ private:
+  static inline unsigned counter_ = 0;
+  std::filesystem::path root_;
+};
+
+TEST(ShardedTopology, IdentityTopologyBlockPartitionsKeys) {
+  // Flat topology, width 8 over 4 shards: equal blocks of the identity
+  // order — keys {0,1}→0, {2,3}→1, {4,5}→2, {6,7}→3, wrapping mod 8.
+  ShardedBackend<AtomicBackend> b{AtomicBackend{}, 4,
+                                  ShardRouting::kThreadOrdinal, 8,
+                                  IdentityTopology{}};
+  for (unsigned k = 0; k < 8; ++k) {
+    EXPECT_EQ(b.shard_of_key(k), k / 2) << "key " << k;
+    EXPECT_EQ(b.shard_of_key(k + 8), k / 2) << "wrapped key " << k + 8;
+  }
+}
+
+TEST(ShardedTopology, CpuTopologyCoalescesClusterSiblingsOntoOneShard) {
+  // Interleaved clusters {0,2} / {1,3}: cluster-major order is 0,2,1,3,
+  // so with 2 shards the block partition puts cluster siblings — NOT key
+  // neighbors — on the same shard. The striped fallback would split both
+  // clusters across both shards.
+  const FakeSysfs sysfs({"0,2", "1,3", "0,2", "1,3"});
+  const CpuTopology topo(sysfs.path());
+  ASSERT_TRUE(topo.discovered());
+  ShardedBackend<AtomicBackend> b{AtomicBackend{}, 2,
+                                  ShardRouting::kThreadOrdinal, 4, topo};
+  EXPECT_EQ(b.shard_of_key(0), b.shard_of_key(2));
+  EXPECT_EQ(b.shard_of_key(1), b.shard_of_key(3));
+  EXPECT_NE(b.shard_of_key(0), b.shard_of_key(1));
+}
+
+// --- relaxed-semantics invariants -------------------------------------------
+
+template <typename B>
+void sum_conservation(B backend, unsigned nthreads) {
+  typename B::Cell cell(backend, 0);
+  constexpr std::uint64_t kOpsPerClient = 512;
+  const unsigned clients = nthreads * 3;  // M logical clients on N workers
+  std::vector<std::thread> ts;
+  ts.reserve(nthreads);
+  for (unsigned w = 0; w < nthreads; ++w) {
+    ts.emplace_back([&, w] {
+      for (unsigned c = w; c < clients; c += nthreads) {
+        ScopedRouteKey route(c);
+        for (std::uint64_t i = 0; i < kOpsPerClient; ++i) {
+          backend.fetch_add(cell, 1);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  // The shard-decomposable invariant survives: aggregate == total adds.
+  EXPECT_EQ(backend.load(cell), clients * kOpsPerClient);
+  const auto stats = backend.cell_stats(cell);
+  EXPECT_EQ(stats.total(), clients * kOpsPerClient);
+  // Striped clients spread evenly; no shard hoards the traffic (the
+  // krs-profile acceptance shape: worst share ≤ 2/S).
+  EXPECT_LE(stats.max_share(), 2.0 / backend.shards());
+}
+
+TEST(ShardedSemantics, SumConservedAcrossInnersAndThreadCounts) {
+  for (const unsigned n : {2u, 4u, 8u}) {
+    sum_conservation(ShardedBackend<AtomicBackend>{AtomicBackend{}, 4}, n);
+  }
+  sum_conservation(ShardedBackend<CombiningBackend>{CombiningBackend{8}, 4},
+                   4);
+  sum_conservation(
+      ShardedBackend<FlatCombiningBackend>{FlatCombiningBackend{8}, 4}, 4);
+}
+
+TEST(ShardedSemantics, SingleShardDegradesToGloballyDistinctTickets) {
+  // shards = 1: every client routes to the one inner cell, so fetch_add
+  // priors are globally distinct tickets again — the escape hatch the
+  // header promises callers who need a total order.
+  ShardedBackend<AtomicBackend> b{AtomicBackend{}, 1};
+  ShardedBackend<AtomicBackend>::Cell cell(b, 0);
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kOps = 1024;
+  std::vector<std::vector<Word>> priors(kThreads);
+  std::vector<std::thread> ts;
+  for (unsigned w = 0; w < kThreads; ++w) {
+    ts.emplace_back([&, w] {
+      ScopedRouteKey route(w);
+      priors[w].reserve(kOps);
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        priors[w].push_back(b.fetch_add(cell, 1));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  std::set<Word> seen;
+  for (const auto& p : priors) seen.insert(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), kThreads * kOps);
+  EXPECT_EQ(*seen.rbegin(), kThreads * kOps - 1);
+  EXPECT_EQ(b.load(cell), kThreads * kOps);
+}
+
+TEST(ShardedSemantics, AggregationFoldsAndStoreQuiesces) {
+  ShardedBackend<AtomicBackend> b{AtomicBackend{}, 4};
+
+  // bit_or: each client contributes its flag bit from its own shard;
+  // load() is the union, and a fresh cell's aggregate is its initial.
+  b.set_aggregation(Aggregation::bit_or());
+  ShardedBackend<AtomicBackend>::Cell flags(b, 0x100);
+  EXPECT_EQ(b.load(flags), 0x100u);
+  for (unsigned c = 0; c < 4; ++c) {
+    ScopedRouteKey route(c);
+    b.fetch_or(flags, Word{1} << c);
+  }
+  EXPECT_EQ(b.load(flags), 0x10Fu);
+
+  // max: a watermark folds to the largest shard value.
+  b.set_aggregation(Aggregation::max());
+  ShardedBackend<AtomicBackend>::Cell peak(b, 7);
+  for (unsigned c = 0; c < 4; ++c) {
+    ScopedRouteKey route(c);
+    b.exchange(peak, 10 * c);
+  }
+  EXPECT_EQ(b.load(peak), 30u);
+
+  // store() quiesces: identity everywhere, v at the routed shard, so the
+  // aggregate is exactly v no matter what the shards held before.
+  b.set_aggregation(Aggregation::sum());
+  ShardedBackend<AtomicBackend>::Cell counter(b, 0);
+  for (unsigned c = 0; c < 8; ++c) {
+    ScopedRouteKey route(c);
+    b.fetch_add(counter, 100);
+  }
+  EXPECT_EQ(b.load(counter), 800u);
+  b.store(counter, 5);
+  EXPECT_EQ(b.load(counter), 5u);
+}
+
+TEST(ShardedSemantics, PerShardTelemetryTracksRoutedTraffic) {
+  ShardedBackend<AtomicBackend> b{AtomicBackend{}, 4};
+  ShardedBackend<AtomicBackend>::Cell cell(b, 0);
+  // 1 op for client 0, 2 for client 1, 3 for client 2, 4 for client 3 —
+  // striped routing puts client c's ops in shard c.
+  for (unsigned c = 0; c < 4; ++c) {
+    ScopedRouteKey route(c);
+    for (unsigned i = 0; i <= c; ++i) b.fetch_add(cell, 1);
+  }
+  const auto stats = b.cell_stats(cell);
+  ASSERT_EQ(stats.shard_ops.size(), 4u);
+  for (unsigned s = 0; s < 4; ++s) EXPECT_EQ(stats.shard_ops[s], s + 1);
+  EXPECT_EQ(stats.total(), 10u);
+  EXPECT_DOUBLE_EQ(stats.max_share(), 0.4);
+}
+
+// --- aggregation-read linearization model ------------------------------------
+
+using krs::verify::EAcquire;
+using krs::verify::ERead;
+using krs::verify::ERelease;
+using krs::verify::EventProgram;
+using krs::verify::EWrite;
+using krs::verify::explore_races;
+
+TEST(ShardedAggregationModel, PerShardMediatedFoldIsRaceFreeEverywhere) {
+  // Abstract model of one aggregation read over two shards: var 0 / var 1
+  // are the shard words, lock 0 / lock 1 the shards' OWN synchronization
+  // (the inner substrate's atomicity). Threads 0 and 1 are updaters, each
+  // writing its routed shard under that shard's lock; thread 2 is the
+  // aggregation read, folding shard by shard — acquiring each shard's
+  // lock only for that shard's read, never both at once. No global lock
+  // exists anywhere, yet every schedule is race-free: the sharded load()
+  // contract (per-shard atomicity, no cross-shard snapshot) is exactly
+  // enough synchronization.
+  EventProgram prog;
+  prog.threads = {
+      {EAcquire{0}, ERead{0}, EWrite{0}, ERelease{0}},  // update shard 0
+      {EAcquire{1}, ERead{1}, EWrite{1}, ERelease{1}},  // update shard 1
+      {EAcquire{0}, ERead{0}, ERelease{0},              // fold shard 0...
+       EAcquire{1}, ERead{1}, ERelease{1}},             // ...then shard 1
+  };
+  const auto res = explore_races(prog);
+  EXPECT_GT(res.schedules, 0u);
+  EXPECT_TRUE(res.never_racy())
+      << res.racy_schedules << " of " << res.schedules << " schedules racy";
+}
+
+TEST(ShardedAggregationModel, NakedFoldAlwaysRaces) {
+  // Control: the same fold with the per-shard mediation dropped — a reader
+  // that peeks at the shard words directly (the bug shard_cell() makes
+  // possible) races with both updaters on every schedule, proving the
+  // clean verdict above comes from the modeled per-shard edges.
+  EventProgram prog;
+  prog.threads = {
+      {EAcquire{0}, ERead{0}, EWrite{0}, ERelease{0}},
+      {EAcquire{1}, ERead{1}, EWrite{1}, ERelease{1}},
+      {ERead{0}, ERead{1}},  // naked fold
+  };
+  const auto res = explore_races(prog);
+  EXPECT_GT(res.schedules, 0u);
+  EXPECT_TRUE(res.always_racy())
+      << res.racy_schedules << " of " << res.schedules << " schedules racy";
+}
+
+}  // namespace

@@ -190,6 +190,57 @@ TEST(Stats, LogHistogramMergeIsBucketExact) {
   EXPECT_EQ(all.count(), 1000u);
 }
 
+TEST(Stats, LogHistogramPercentileInterpolates) {
+  LogHistogram empty;
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+
+  // One sample: every quantile is that sample's bucket, mid-positioned.
+  LogHistogram one;
+  one.add(100);  // bucket [64, 127]
+  EXPECT_GE(one.percentile(0.0), 64.0);
+  EXPECT_LE(one.percentile(1.0), 127.0);
+
+  // 1..100: nearest-rank + mid-sample interpolation is exactly
+  // computable by hand. Rank 50 is the 19th of 32 samples in [32, 63]
+  // → 32 + (18.5/32)·31; rank 99 is the 36th of 37 in [64, 127]
+  // → 64 + (35.5/37)·63.
+  LogHistogram h;
+  for (std::uint64_t i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_NEAR(h.percentile(0.50), 32.0 + (18.5 / 32.0) * 31.0, 1e-9);
+  EXPECT_NEAR(h.percentile(0.99), 64.0 + (35.5 / 37.0) * 63.0, 1e-9);
+  // Monotone in q; out-of-range q clamps to the extremes.
+  double prev = 0.0;
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double v = h.percentile(q);
+    EXPECT_GE(v, prev) << "q " << q;
+    prev = v;
+  }
+  EXPECT_EQ(h.percentile(-1.0), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+}
+
+TEST(Stats, LogHistogramMergePreservesQuantiles) {
+  // The property the traffic harness's per-worker latency reservoirs rely
+  // on: because merge() is bucket-exact and percentile() reads only
+  // bucket counts, merging N per-worker histograms yields EXACTLY the
+  // percentiles of one histogram that saw every sample — no quantile
+  // drift from sharding the stream, regardless of how it was split.
+  LogHistogram all;
+  LogHistogram workers[4];
+  krs::util::Xoshiro256 rng(77);
+  for (std::uint64_t i = 0; i < 4000; ++i) {
+    const std::uint64_t sample = rng.below(1 << 20);
+    all.add(sample);
+    workers[rng.below(4)].add(sample);  // uneven split on purpose
+  }
+  LogHistogram merged;
+  for (auto& w : workers) merged.merge(w);
+  EXPECT_EQ(merged.count(), all.count());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.percentile(q), all.percentile(q)) << "q " << q;
+  }
+}
+
 TEST(Channel, SendReceiveOrder) {
   Channel<int> ch(4);
   for (int i = 0; i < 4; ++i) EXPECT_TRUE(ch.send(i));

@@ -62,6 +62,160 @@ TEST(HotSpotSource, IssueProbabilityThrottles) {
   EXPECT_LT(attempts, 2400u);
 }
 
+TEST(HotSpotSource, StatsAccountEveryPoll) {
+  // Offered-vs-issued bookkeeping: every poll below the rate limit is
+  // OFFERED; the rate gate splits offers into issued + throttled with
+  // nothing unaccounted, and issue_fraction() reflects the gate.
+  workload::HotSpotSource<FetchAdd>::Params p;
+  p.total = 2000;
+  p.issue_probability = 0.5;
+  workload::HotSpotSource<FetchAdd> src(
+      p, [](util::Xoshiro256&) { return FetchAdd(1); }, 11);
+  std::uint64_t polls = 0;
+  while (!src.finished()) {
+    src.next(polls, 0);
+    ASSERT_LT(++polls, 100000u);
+  }
+  const auto& st = src.stats();
+  EXPECT_EQ(st.issued, 2000u);
+  EXPECT_EQ(st.offered, st.issued + st.throttled);
+  EXPECT_EQ(st.offered, polls);
+  EXPECT_NEAR(st.issue_fraction(), 0.5, 0.05);
+}
+
+TEST(BurstySource, OffPeriodsOfferNothing) {
+  // Drive one poll per cycle. While ON each poll is offered (rate = 1 →
+  // all issued); while OFF nothing is even offered. Both phase kinds must
+  // occur within the horizon, and the books must balance.
+  workload::BurstySource<FetchAdd>::Params p;
+  p.total = 100000;  // never exhausted within the horizon
+  p.mean_on = 8.0;
+  p.mean_off = 8.0;
+  workload::BurstySource<FetchAdd> src(
+      p, [](util::Xoshiro256&) { return FetchAdd(1); }, 21);
+  std::uint64_t on_polls = 0, off_polls = 0, issued = 0;
+  for (std::uint64_t now = 0; now < 4096; ++now) {
+    const bool got = src.next(now, 0).has_value();
+    if (src.on()) {
+      ++on_polls;
+      EXPECT_TRUE(got) << "ON poll at " << now << " issued nothing";
+    } else {
+      ++off_polls;
+      EXPECT_FALSE(got) << "OFF poll at " << now << " issued";
+    }
+    issued += got ? 1 : 0;
+  }
+  EXPECT_GT(on_polls, 0u);
+  EXPECT_GT(off_polls, 0u);
+  const auto& st = src.stats();
+  EXPECT_EQ(st.offered, on_polls);
+  EXPECT_EQ(st.issued, issued);
+  EXPECT_EQ(st.throttled, 0u);
+}
+
+TEST(BurstySource, PoissonThinningWithinBursts) {
+  workload::BurstySource<FetchAdd>::Params p;
+  p.total = 100000;
+  p.rate = 0.25;  // thin ON-period polls to a quarter
+  p.mean_on = 16.0;
+  p.mean_off = 4.0;
+  workload::BurstySource<FetchAdd> src(
+      p, [](util::Xoshiro256&) { return FetchAdd(1); }, 22);
+  for (std::uint64_t now = 0; now < 8192; ++now) src.next(now, 0);
+  const auto& st = src.stats();
+  EXPECT_GT(st.throttled, 0u);
+  EXPECT_EQ(st.offered, st.issued + st.throttled);
+  EXPECT_NEAR(st.issue_fraction(), 0.25, 0.05);
+}
+
+TEST(BurstySource, DeterministicGivenSeed) {
+  workload::BurstySource<FetchAdd>::Params p;
+  p.total = 500;
+  p.hot_fraction = 0.5;
+  p.hot_addr = 9;
+  p.rate = 0.75;
+  workload::BurstySource<FetchAdd> a(
+      p, [](util::Xoshiro256&) { return FetchAdd(1); }, 33);
+  workload::BurstySource<FetchAdd> b(
+      p, [](util::Xoshiro256&) { return FetchAdd(1); }, 33);
+  for (std::uint64_t now = 0; now < 2048; ++now) {
+    const auto oa = a.next(now, 0);
+    const auto ob = b.next(now, 0);
+    ASSERT_EQ(oa.has_value(), ob.has_value()) << "tick " << now;
+    if (oa) {
+      EXPECT_EQ(oa->first, ob->first) << "tick " << now;
+    }
+  }
+}
+
+TEST(ClosedLoopSource, WindowSelfLimitsToClientCount) {
+  // Two clients, zero think: exactly two ops fit in flight; the third
+  // poll offers nothing until a completion frees a client. Completions
+  // match issuers FIFO.
+  workload::ClosedLoopSource<FetchAdd>::Params p;
+  p.total = 10;
+  p.clients = 2;
+  workload::ClosedLoopSource<FetchAdd> src(
+      p, [](util::Xoshiro256&) { return FetchAdd(1); }, 44);
+  EXPECT_TRUE(src.next(0, 0).has_value());
+  EXPECT_TRUE(src.next(0, 1).has_value());
+  EXPECT_FALSE(src.next(0, 2).has_value());  // both clients awaiting replies
+  EXPECT_FALSE(src.next(5, 2).has_value());  // time alone frees nobody
+  src.on_complete({0, 0}, 0, 6);
+  EXPECT_TRUE(src.next(6, 1).has_value());  // freed client reissues
+  EXPECT_FALSE(src.next(6, 2).has_value());
+  const auto& st = src.stats();
+  EXPECT_EQ(st.issued, 3u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(st.offered, st.issued);  // closed loop: offers always issue
+  EXPECT_EQ(st.throttled, 0u);
+}
+
+TEST(ClosedLoopSource, FinishedRequiresDrainedPipeline) {
+  workload::ClosedLoopSource<FetchAdd>::Params p;
+  p.total = 2;
+  p.clients = 2;
+  workload::ClosedLoopSource<FetchAdd> src(
+      p, [](util::Xoshiro256&) { return FetchAdd(1); }, 45);
+  EXPECT_TRUE(src.next(0, 0).has_value());
+  EXPECT_TRUE(src.next(0, 1).has_value());
+  EXPECT_FALSE(src.next(1, 2).has_value());  // total reached
+  EXPECT_FALSE(src.finished());              // ...but replies outstanding
+  src.on_complete({0, 0}, 0, 2);
+  EXPECT_FALSE(src.finished());
+  src.on_complete({0, 1}, 1, 3);
+  EXPECT_TRUE(src.finished());
+  EXPECT_EQ(src.stats().completed, 2u);
+}
+
+TEST(ClosedLoopSource, ThinkTimeSlowsReissue) {
+  // One client completing instantly every cycle: with zero think it
+  // issues every tick; with mean think 64 the issue count over the same
+  // horizon collapses — offered load self-limits without a rate knob.
+  const auto run = [](double think_mean) {
+    workload::ClosedLoopSource<FetchAdd>::Params p;
+    p.total = 100000;
+    p.clients = 1;
+    p.think_mean = think_mean;
+    workload::ClosedLoopSource<FetchAdd> src(
+        p, [](util::Xoshiro256&) { return FetchAdd(1); }, 46);
+    std::uint64_t issued = 0;
+    for (std::uint64_t now = 0; now < 4096; ++now) {
+      if (src.next(now, 0)) {
+        ++issued;
+        src.on_complete({0, static_cast<std::uint32_t>(issued)}, 0,
+                        now);  // instant service
+      }
+    }
+    return issued;
+  };
+  const std::uint64_t eager = run(0.0);
+  const std::uint64_t thoughtful = run(64.0);
+  EXPECT_EQ(eager, 4096u);
+  EXPECT_LT(thoughtful, eager / 8);
+  EXPECT_GT(thoughtful, 0u);
+}
+
 TEST(SingleAddressSource, AllToOneAddress) {
   workload::SingleAddressSource<FetchAdd> src(
       7, 10, [](util::Xoshiro256&) { return FetchAdd(2); }, 4);

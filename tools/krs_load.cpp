@@ -1,0 +1,439 @@
+// krs_load — the million-client traffic harness.
+//
+// The ROADMAP's north star is heavy traffic from millions of users; this
+// tool makes that population concrete. It multiplexes M LOGICAL CLIENTS
+// M:N onto N worker threads: each worker owns a contiguous client range
+// and sweeps it round-robin, installing the client's identity with
+// runtime::ScopedRouteKey around every operation — so a sharded cell
+// routes by CLIENT, not by worker thread, and the shard mix is the same
+// whether the host gives us 1 CPU or 128.
+//
+// Scenarios pair an arrival model with an object shape, all driven
+// against ShardedBackend<Inner> cells:
+//
+//   hotspot — open-loop counter traffic, fraction `hot` on cell 0 and the
+//             rest uniform (the Pfister–Norton mixture), optionally
+//             thinned to `rate` (offered-vs-issued accounting, like
+//             workload::HotSpotSource);
+//   uniform — the h = 0 corner: no hot cell at all;
+//   bursty  — on/off modulated arrivals (exponential period lengths,
+//             Poisson-thinned inside a burst), the shape that separates
+//             tail latency from mean throughput;
+//   closed  — closed-loop semaphore traffic: each client completes a
+//             P;V pair before the worker moves on, so offered load
+//             self-limits with service time;
+//   queue   — the ParallelQueue hot path as a traffic shape: tail
+//             ticket, slot exchange, head ticket — three RMWs per op on
+//             three sharded cells.
+//
+// Every operation's wall-clock latency lands in a WORKER-LOCAL
+// util::LogHistogram reservoir; the bucket-exact merge reduces them
+// after the run, so p50/p99/p999 come out without any cross-thread
+// sharing on the measurement path. Throughput alone hides exactly the
+// queueing effects §3 models — the tails are the point.
+//
+// Conservation is checked after every scenario (counter aggregates must
+// equal issued increments; the semaphore aggregate must return to its
+// initial value; queue head/tail aggregates must match ops): nonzero
+// exit on violation, so CI smoke runs double as a correctness gate.
+//
+// Usage:
+//   krs_load [--clients=M] [--workers=N] [--shards=S]
+//            [--inner=atomic|combining|flat]
+//            [--scenario=hotspot|uniform|bursty|closed|queue|all]
+//            [--ops=N] [--seconds=S] [--hot=F] [--rate=F] [--cells=K]
+//            [--json=PATH]
+//
+// --ops=0 (default) issues one operation per logical client; --seconds
+// bounds each scenario's wall clock so a million-client smoke stays
+// seconds-long on any host. The JSON document ("krs-load-v1") carries
+// per-scenario p50/p99/p999 and offered/issued/throttled counts;
+// bench/harness/normalize.py folds it into the perf trajectory as the
+// tail_latency_p99 series.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/cacheline.hpp"
+#include "runtime/combining_backend.hpp"
+#include "runtime/flat_combining.hpp"
+#include "runtime/rmw_backend.hpp"
+#include "runtime/sharded_backend.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using krs::runtime::Word;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::uint64_t clients = 1'000'000;
+  unsigned workers = 0;  // 0 = hardware_concurrency
+  unsigned shards = 8;
+  std::string inner = "atomic";
+  std::string scenario = "all";
+  std::uint64_t ops = 0;  // 0 = one op per client
+  double seconds = 10.0;  // per-scenario wall-clock bound
+  double hot = 0.9;       // hot-cell fraction for hotspot/bursty/queue
+  double rate = 1.0;      // open-loop issue probability
+  unsigned cells = 64;    // counter address space
+  std::string json_path;
+};
+
+enum class Arrival { kOpen, kBursty, kClosed };
+enum class Shape { kCounter, kSemaphore, kQueue };
+
+struct ScenarioSpec {
+  const char* name;
+  Arrival arrival;
+  Shape shape;
+  double hot;  // hot-cell fraction (counter shapes)
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::string shape;
+  std::uint64_t ops = 0;       // completed operations
+  std::uint64_t offered = 0;   // arrival opportunities
+  std::uint64_t throttled = 0; // withheld by the rate gate / OFF periods
+  std::uint64_t clients_touched = 0;
+  std::uint64_t elapsed_ns = 0;
+  double p50_ns = 0, p99_ns = 0, p999_ns = 0, mean_ns = 0;
+  bool conserved = true;
+};
+
+bool parse_flag(const char* arg, const char* name, const char** value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--clients=M] [--workers=N] [--shards=S]\n"
+      "          [--inner=atomic|combining|flat]\n"
+      "          [--scenario=hotspot|uniform|bursty|closed|queue|all]\n"
+      "          [--ops=N] [--seconds=S] [--hot=F] [--rate=F] [--cells=K]\n"
+      "          [--json=PATH]\n",
+      argv0);
+  return 2;
+}
+
+/// Exponential period length in polls, mean `mean`, floor 1.
+std::uint64_t exp_len(krs::util::Xoshiro256& rng, double mean) {
+  const double u = rng.uniform();
+  const double d = -mean * std::log(u > 0.0 ? u : 1e-12);
+  return d < 1.0 ? 1 : static_cast<std::uint64_t>(d);
+}
+
+/// One worker's tallies, cache-line isolated; histograms merge after join.
+struct alignas(krs::runtime::kCacheLine) WorkerTally {
+  std::uint64_t ops = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t throttled = 0;
+  std::uint64_t clients_touched = 0;
+  krs::util::LogHistogram latency;
+};
+
+template <typename Backend>
+ScenarioResult run_scenario(const Options& opt, const ScenarioSpec& spec,
+                            Backend& backend) {
+  using Cell = typename Backend::Cell;
+  const unsigned ncells = spec.shape == Shape::kCounter ? opt.cells : 1;
+  std::vector<std::unique_ptr<Cell>> counters;
+  counters.reserve(ncells);
+  for (unsigned i = 0; i < ncells; ++i) {
+    counters.push_back(std::make_unique<Cell>(backend, 0));
+  }
+  // Queue shape: three distinct hot words, as in ParallelQueue's hot path.
+  std::unique_ptr<Cell> tail, head, slot;
+  if (spec.shape == Shape::kQueue) {
+    tail = std::make_unique<Cell>(backend, 0);
+    head = std::make_unique<Cell>(backend, 0);
+    slot = std::make_unique<Cell>(backend, 0);
+  }
+
+  const unsigned nworkers =
+      opt.workers != 0 ? opt.workers
+                       : std::max(1u, std::thread::hardware_concurrency());
+  const std::uint64_t total_ops = opt.ops != 0 ? opt.ops : opt.clients;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(opt.seconds));
+
+  std::vector<WorkerTally> tally(nworkers);
+  std::vector<std::thread> threads;
+  threads.reserve(nworkers);
+  for (unsigned w = 0; w < nworkers; ++w) {
+    threads.emplace_back([&, w] {
+      // Worker w owns logical clients [lo, hi) and sweeps them round-robin:
+      // the sweep itself is the closed-loop think time, and every op runs
+      // under the client's route key so its shard never depends on which
+      // worker (or host thread ordinal) carries it.
+      const std::uint64_t lo = opt.clients * w / nworkers;
+      const std::uint64_t hi = opt.clients * (w + 1) / nworkers;
+      const std::uint64_t span = hi > lo ? hi - lo : 1;
+      std::uint64_t quota = total_ops * (w + 1) / nworkers -
+                            total_ops * w / nworkers;
+      WorkerTally& t = tally[w];
+      krs::util::Xoshiro256 rng(0x9e3779b9u ^ (w * 0x85ebca6bULL));
+      // Bursty state: alternate ON/OFF periods measured in polls.
+      bool on = true;
+      std::uint64_t phase_left =
+          spec.arrival == Arrival::kBursty ? exp_len(rng, 4096.0) : 0;
+      std::uint64_t k = 0;
+      while (t.ops < quota) {
+        if ((k & 1023u) == 0 && Clock::now() >= deadline) break;
+        const std::uint64_t client = lo + (k % span);
+        ++k;
+        if (spec.arrival == Arrival::kBursty) {
+          if (phase_left-- == 0) {
+            on = !on;
+            phase_left = exp_len(rng, on ? 4096.0 : 1024.0);
+          }
+          if (!on) continue;  // OFF period: nothing offered
+        }
+        ++t.offered;
+        if (spec.arrival != Arrival::kClosed && opt.rate < 1.0 &&
+            !rng.chance(opt.rate)) {
+          ++t.throttled;  // open-loop thinning
+          continue;
+        }
+        krs::runtime::ScopedRouteKey route(client);
+        const unsigned cell =
+            spec.shape != Shape::kCounter ? 0
+            : rng.chance(spec.hot)        ? 0
+                                          : static_cast<unsigned>(
+                                                rng.below(opt.cells));
+        const auto t0 = Clock::now();
+        switch (spec.shape) {
+          case Shape::kCounter:
+            backend.fetch_add(*counters[cell], 1);
+            break;
+          case Shape::kSemaphore:
+            // The P;V pair as a traffic shape: both ops route to the
+            // client's shard, so the aggregate returns to its initial
+            // value when the run quiesces.
+            backend.fetch_add(*counters[0], 1);
+            backend.fetch_add(*counters[0], static_cast<Word>(-1));
+            break;
+          case Shape::kQueue:
+            backend.exchange(*slot, backend.fetch_add(*tail, 1));
+            backend.fetch_add(*head, 1);
+            break;
+        }
+        const auto t1 = Clock::now();
+        t.latency.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+        ++t.ops;
+        if (t.ops <= span) ++t.clients_touched;  // first sweep = new clients
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  ScenarioResult r;
+  r.name = spec.name;
+  r.shape = spec.shape == Shape::kCounter     ? "counter"
+            : spec.shape == Shape::kSemaphore ? "semaphore"
+                                              : "queue";
+  krs::util::LogHistogram merged;
+  for (const WorkerTally& t : tally) {
+    r.ops += t.ops;
+    r.offered += t.offered;
+    r.throttled += t.throttled;
+    r.clients_touched += t.clients_touched;
+    merged.merge(t.latency);
+  }
+  r.p50_ns = merged.percentile(0.50);
+  r.p99_ns = merged.percentile(0.99);
+  r.p999_ns = merged.percentile(0.999);
+  r.mean_ns = merged.mean();
+
+  // Conservation: the aggregation read must reconstruct exactly what the
+  // clients did, whatever the shard mix was.
+  switch (spec.shape) {
+    case Shape::kCounter: {
+      Word sum = 0;
+      for (const auto& c : counters) sum += backend.load(*c);
+      r.conserved = sum == r.ops;
+      break;
+    }
+    case Shape::kSemaphore:
+      r.conserved = backend.load(*counters[0]) == 0;
+      break;
+    case Shape::kQueue:
+      r.conserved = backend.load(*tail) == r.ops &&
+                    backend.load(*head) == r.ops;
+      break;
+  }
+  return r;
+}
+
+template <typename Inner>
+std::vector<ScenarioResult> run_all(const Options& opt, Inner inner,
+                                    std::uint64_t* elapsed_total_ns) {
+  krs::runtime::ShardedBackend<Inner> backend(std::move(inner), opt.shards);
+  const ScenarioSpec specs[] = {
+      {"hotspot", Arrival::kOpen, Shape::kCounter, opt.hot},
+      {"uniform", Arrival::kOpen, Shape::kCounter, 0.0},
+      {"bursty", Arrival::kBursty, Shape::kCounter, opt.hot},
+      {"closed", Arrival::kClosed, Shape::kSemaphore, 1.0},
+      {"queue", Arrival::kOpen, Shape::kQueue, 1.0},
+  };
+  std::vector<ScenarioResult> out;
+  for (const ScenarioSpec& spec : specs) {
+    if (opt.scenario != "all" && opt.scenario != spec.name) continue;
+    const auto t0 = Clock::now();
+    ScenarioResult r = run_scenario(opt, spec, backend);
+    r.elapsed_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count());
+    *elapsed_total_ns += r.elapsed_ns;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+bool write_json(const std::string& path, const Options& opt,
+                const std::vector<ScenarioResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "krs_load: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string doc = "{\"schema\":\"krs-load-v1\"";
+  doc += ",\"host_cpus\":" +
+         std::to_string(std::thread::hardware_concurrency());
+  doc += ",\"clients\":" + std::to_string(opt.clients);
+  doc += ",\"workers\":" +
+         std::to_string(opt.workers != 0
+                            ? opt.workers
+                            : std::max(1u,
+                                       std::thread::hardware_concurrency()));
+  doc += ",\"shards\":" + std::to_string(opt.shards);
+  doc += ",\"inner\":\"" + opt.inner + "\"";
+  doc += ",\"scenarios\":[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    if (i != 0) doc += ",";
+    doc += "{\"name\":\"" + r.name + "\"";
+    doc += ",\"shape\":\"" + r.shape + "\"";
+    doc += ",\"ops\":" + std::to_string(r.ops);
+    doc += ",\"offered\":" + std::to_string(r.offered);
+    doc += ",\"throttled\":" + std::to_string(r.throttled);
+    doc += ",\"clients_touched\":" + std::to_string(r.clients_touched);
+    doc += ",\"elapsed_ns\":" + std::to_string(r.elapsed_ns);
+    doc += ",\"p50_ns\":" + json_number(r.p50_ns);
+    doc += ",\"p99_ns\":" + json_number(r.p99_ns);
+    doc += ",\"p999_ns\":" + json_number(r.p999_ns);
+    doc += ",\"mean_ns\":" + json_number(r.mean_ns);
+    doc += ",\"conserved\":" + std::string(r.conserved ? "true" : "false");
+    doc += "}";
+  }
+  doc += "]}\n";
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (parse_flag(argv[i], "--clients", &v)) {
+      opt.clients = std::strtoull(v, nullptr, 10);
+    } else if (parse_flag(argv[i], "--workers", &v)) {
+      opt.workers = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (parse_flag(argv[i], "--shards", &v)) {
+      opt.shards = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (parse_flag(argv[i], "--inner", &v)) {
+      opt.inner = v;
+    } else if (parse_flag(argv[i], "--scenario", &v)) {
+      opt.scenario = v;
+    } else if (parse_flag(argv[i], "--ops", &v)) {
+      opt.ops = std::strtoull(v, nullptr, 10);
+    } else if (parse_flag(argv[i], "--seconds", &v)) {
+      opt.seconds = std::strtod(v, nullptr);
+    } else if (parse_flag(argv[i], "--hot", &v)) {
+      opt.hot = std::strtod(v, nullptr);
+    } else if (parse_flag(argv[i], "--rate", &v)) {
+      opt.rate = std::strtod(v, nullptr);
+    } else if (parse_flag(argv[i], "--cells", &v)) {
+      opt.cells = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (parse_flag(argv[i], "--json", &v)) {
+      opt.json_path = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.clients < 1 || opt.shards < 1 || opt.cells < 1 ||
+      (opt.inner != "atomic" && opt.inner != "combining" &&
+       opt.inner != "flat")) {
+    return usage(argv[0]);
+  }
+
+  std::uint64_t elapsed_total = 0;
+  std::vector<ScenarioResult> results;
+  if (opt.inner == "atomic") {
+    results = run_all(opt, krs::runtime::AtomicBackend{}, &elapsed_total);
+  } else if (opt.inner == "combining") {
+    results =
+        run_all(opt, krs::runtime::CombiningBackend{}, &elapsed_total);
+  } else {
+    results =
+        run_all(opt, krs::runtime::FlatCombiningBackend{}, &elapsed_total);
+  }
+  if (results.empty()) return usage(argv[0]);
+
+  bool all_conserved = true;
+  std::printf(
+      "krs_load: %llu logical clients, %u shards, inner=%s\n",
+      static_cast<unsigned long long>(opt.clients), opt.shards,
+      opt.inner.c_str());
+  for (const ScenarioResult& r : results) {
+    const double secs = static_cast<double>(r.elapsed_ns) * 1e-9;
+    const double mops =
+        secs > 0.0 ? static_cast<double>(r.ops) / secs * 1e-6 : 0.0;
+    std::printf(
+        "  %-8s %-9s ops=%-10llu offered=%-10llu throttled=%-8llu "
+        "%.2f Mops/s  p50=%.0fns p99=%.0fns p999=%.0fns  %s\n",
+        r.name.c_str(), r.shape.c_str(),
+        static_cast<unsigned long long>(r.ops),
+        static_cast<unsigned long long>(r.offered),
+        static_cast<unsigned long long>(r.throttled), mops, r.p50_ns,
+        r.p99_ns, r.p999_ns, r.conserved ? "conserved" : "CONSERVATION FAIL");
+    all_conserved = all_conserved && r.conserved;
+  }
+
+  if (!opt.json_path.empty() && !write_json(opt.json_path, opt, results)) {
+    return 1;
+  }
+  if (!all_conserved) {
+    std::fprintf(stderr, "krs_load: conservation check failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -26,15 +26,23 @@
 //    PUBLICATION lines (pairwise owner↔combiner handshakes) — the hot
 //    spot inverted rather than merely thinned.
 //
+//  * sharded: the same op stream through ShardedBackend<Atomic> at S = 4
+//    shards, driven as 2S logical clients (ScopedRouteKey) so each shard
+//    serves two clients — the hot line's conflict count SPLITS across S
+//    shard lines instead of concentrating on one, the spread-the-load
+//    dual of combining's fold-the-traffic.
+//
 // Usage:
-//   krs_profile [--backend=atomic|combining|flat|both] [--threads=N]
-//               [--ops=N] [--json=PATH] [--check]
+//   krs_profile [--backend=atomic|combining|flat|sharded|both]
+//               [--threads=N] [--ops=N] [--json=PATH] [--check]
 //
 // --check exits nonzero unless the atomic report ranks the counter's
 // line first with >= 50% absorbable traffic, the combining run's
-// root-line conflict count is at most half the atomic one, AND the flat
+// root-line conflict count is at most half the atomic one, the flat
 // run's value-word line is conflict-quiet while its publication lines
-// carry the (hot) traffic — the acceptance gate CI runs.
+// carry the (hot) traffic, AND the sharded run spreads the conflicts so
+// evenly that no shard line carries more than 2/S of their total — the
+// acceptance gate CI runs.
 //
 // The JSON document ("krs-profile-v1") wraps one report per backend;
 // bench/harness/normalize.py folds it into the perf trajectory as the
@@ -52,6 +60,7 @@
 #include "runtime/combining_backend.hpp"
 #include "runtime/flat_combining.hpp"
 #include "runtime/rmw_backend.hpp"
+#include "runtime/sharded_backend.hpp"
 #include "util/bits.hpp"
 
 namespace {
@@ -82,7 +91,7 @@ bool parse_flag(const char* arg, const char* name, const char** value) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--backend=atomic|combining|flat|both] "
+               "usage: %s [--backend=atomic|combining|flat|sharded|both] "
                "[--threads=N] [--ops=N] [--json=PATH] [--check]\n",
                argv0);
   return 2;
@@ -92,6 +101,7 @@ struct RunResult {
   std::string backend;
   ContentionReport report;
   LineProfile hot_word;  ///< the shared word's line (counter or tree root)
+  std::vector<LineProfile> shard_words;  ///< sharded run: one line per shard
 };
 
 /// The atomic-backend hot spot: `ops` fetch-and-adds on one cell, issued
@@ -109,7 +119,7 @@ RunResult run_atomic(const Options& opt) {
     }
     set_profile_tid(krs::analysis::kProfileTidAuto);
   }
-  RunResult r{"atomic", profiler.report(), profiler.line_of(&counter.word)};
+  RunResult r{"atomic", profiler.report(), profiler.line_of(&counter.word), {}};
   return r;
 }
 
@@ -144,7 +154,7 @@ RunResult run_combining(const Options& opt) {
     set_profile_tid(krs::analysis::kProfileTidAuto);
   }
   RunResult r{"combining", profiler.report(),
-              profiler.line_of(counter.tree.root_address())};
+              profiler.line_of(counter.tree.root_address()), {}};
   return r;
 }
 
@@ -176,7 +186,40 @@ RunResult run_flat(const Options& opt) {
     }
     set_profile_tid(krs::analysis::kProfileTidAuto);
   }
-  RunResult r{"flat", profiler.report(), profiler.line_of(fc.value_address())};
+  RunResult r{"flat", profiler.report(), profiler.line_of(fc.value_address()), {}};
+  return r;
+}
+
+/// The sharded hot spot: the same op stream through ShardedBackend over
+/// the instrumented atomic backend, S = 4 shards, issued round-robin by
+/// 2S LOGICAL CLIENTS — each op runs under ScopedRouteKey(client) and a
+/// matching virtual profiler tid, so two clients alias onto every shard
+/// (conflicts exist) while the routing spreads them evenly. The single
+/// hot line of the atomic run becomes S shard lines, each carrying ~1/S
+/// of the conflict total: the profiler's combining-opportunity ranking,
+/// answered by decomposition instead of in-network folding.
+RunResult run_sharded(const Options& opt) {
+  using Inner = krs::runtime::BasicAtomicBackend<GlobalInstrument>;
+  constexpr unsigned kShards = 4;
+  const unsigned clients = 2 * kShards;
+  krs::runtime::ShardedBackend<Inner> backend{Inner{}, kShards};
+  decltype(backend)::Cell counter(backend, 0);
+  ContentionProfiler profiler;
+  {
+    ScopedProfiler scope(profiler);
+    for (std::uint64_t i = 0; i < opt.ops; ++i) {
+      const auto client = static_cast<std::uint32_t>(i % clients);
+      set_profile_tid(client);
+      krs::runtime::ScopedRouteKey route(client);
+      backend.fetch_add(counter, 1);
+    }
+    set_profile_tid(krs::analysis::kProfileTidAuto);
+  }
+  RunResult r{"sharded", profiler.report(), {}, {}};
+  for (unsigned s = 0; s < kShards; ++s) {
+    r.shard_words.push_back(
+        profiler.line_of(&backend.shard_cell(counter, s).word));
+  }
   return r;
 }
 
@@ -204,7 +247,8 @@ bool write_json(const std::string& path, const Options& opt,
 
 /// The acceptance gate. Returns the number of failed checks.
 int check(const Options& opt, const RunResult* atomic,
-          const RunResult* combining, const RunResult* flat) {
+          const RunResult* combining, const RunResult* flat,
+          const RunResult* sharded) {
   int failures = 0;
   const auto expect = [&failures](bool ok, const char* what) {
     std::printf("check: %s: %s\n", what, ok ? "ok" : "FAIL");
@@ -247,6 +291,31 @@ int check(const Options& opt, const RunResult* atomic,
                 static_cast<unsigned long long>(f));
     expect(f * 4 <= a, "flat quiets the value word to <=1/4 of atomic");
   }
+  if (sharded != nullptr) {
+    const std::size_t s = sharded->shard_words.size();
+    std::uint64_t total = 0;
+    std::uint64_t worst = 0;
+    std::uint64_t quiet_shards = 0;
+    for (const LineProfile& line : sharded->shard_words) {
+      total += line.conflicts;
+      worst = line.conflicts > worst ? line.conflicts : worst;
+      if (line.accesses == 0) ++quiet_shards;
+    }
+    std::printf(
+        "check: shard-word conflicts: total=%llu worst=%llu shards=%zu\n",
+        static_cast<unsigned long long>(total),
+        static_cast<unsigned long long>(worst), s);
+    expect(total > 0, "sharded run still observes real conflicts");
+    expect(quiet_shards == 0, "every shard line carries traffic");
+    // The ISSUE gate: the former single hot line's conflicts split across
+    // S shard lines, no line carrying more than 2/S of the total.
+    expect(worst * s <= 2 * total,
+           "no shard line carries >2/S of the conflict total");
+    if (atomic != nullptr) {
+      expect(worst * 2 <= atomic->hot_word.conflicts,
+             "worst shard line at most halves the atomic hot line");
+    }
+  }
   (void)opt;
   return failures;
 }
@@ -273,7 +342,8 @@ int main(int argc, char** argv) {
   }
   if (opt.threads < 2 || opt.ops < opt.threads ||
       (opt.backend != "atomic" && opt.backend != "combining" &&
-       opt.backend != "flat" && opt.backend != "both")) {
+       opt.backend != "flat" && opt.backend != "sharded" &&
+       opt.backend != "both")) {
     return usage(argv[0]);
   }
   // Whole waves only: the combining drive issues `threads` ops per wave,
@@ -290,6 +360,9 @@ int main(int argc, char** argv) {
   if (opt.backend == "flat" || opt.backend == "both") {
     runs.push_back(run_flat(opt));
   }
+  if (opt.backend == "sharded" || opt.backend == "both") {
+    runs.push_back(run_sharded(opt));
+  }
 
   for (const RunResult& r : runs) {
     std::printf("== %s backend: %llu ops, %u virtual threads ==\n%s\n",
@@ -305,12 +378,14 @@ int main(int argc, char** argv) {
     const RunResult* atomic = nullptr;
     const RunResult* combining = nullptr;
     const RunResult* flat = nullptr;
+    const RunResult* sharded = nullptr;
     for (const RunResult& r : runs) {
       if (r.backend == "atomic") atomic = &r;
       if (r.backend == "combining") combining = &r;
       if (r.backend == "flat") flat = &r;
+      if (r.backend == "sharded") sharded = &r;
     }
-    const int failures = check(opt, atomic, combining, flat);
+    const int failures = check(opt, atomic, combining, flat, sharded);
     if (failures != 0) {
       std::printf("krs_profile: %d check(s) failed\n", failures);
       return 1;

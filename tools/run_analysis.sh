@@ -53,6 +53,9 @@ for step in "${steps[@]}"; do
         exit 1
       fi
       echo "profiler smoke ok: $hot hot line(s)"
+      # --backend=both covers atomic + combining + flat + SHARDED: the
+      # check also asserts the sharded counter's conflicts split across
+      # its S shard lines (no line above 2/S of the total).
       "$OUT/analysis/tools/krs-profile" --backend=both --threads=4 \
         --ops=2048 --check ;;
     thread)

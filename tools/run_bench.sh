@@ -20,6 +20,16 @@
 #       combine_rate simulator counters. Wall-clock speedup is only
 #       meaningful when host_cpus (recorded in the JSON config) exceeds
 #       the worker count.
+#   BENCH_sharded.json   — fifth-substrate payoff curve (bench_sharded):
+#       the same counter hotspot through ShardedBackend<Inner> at
+#       S ∈ {1,4,8} per inner substrate and 1/2/4/8 threads, with the
+#       sharded_vs_single_ops_ratio series (s:S over the SAME wrapper at
+#       one shard — read against host_cpus) and the tail_latency_p99
+#       series from the benches' sampled latency reservoirs.
+#   BENCH_traffic.json   — tools/krs_load: millions of logical clients
+#       multiplexed M:N onto worker threads against sharded cells, five
+#       scenarios (hotspot/uniform/bursty/closed/queue), per-scenario
+#       p50/p99/p999 folded into tail_latency_p99 as traffic/<scenario>.
 #
 # Usage: tools/run_bench.sh
 # Knobs (environment):
@@ -28,6 +38,10 @@
 #   KRS_BENCH_REPETITIONS  --benchmark_repetitions (default 3)
 #   KRS_BENCH_OUT          combining output      (default BENCH_combining.json)
 #   KRS_BENCH_MACHINE_OUT  machine output        (default BENCH_machine.json)
+#   KRS_BENCH_SHARDED_OUT  sharded output        (default BENCH_sharded.json)
+#   KRS_BENCH_TRAFFIC_OUT  traffic output        (default BENCH_traffic.json)
+#   KRS_LOAD_CLIENTS       krs-load logical clients (default 1048576)
+#   KRS_LOAD_SECONDS       krs-load per-scenario budget (default 5)
 #
 # CI runs the same script with KRS_BENCH_MIN_TIME=0.05 KRS_BENCH_REPETITIONS=1
 # as the bench-smoke job; any bench crash fails the pipeline (set -e).
@@ -41,14 +55,20 @@ MIN_TIME="${MIN_TIME%s}"   # tolerate the 1.8+ "0.1s" spelling on older libs
 REPS="${KRS_BENCH_REPETITIONS:-3}"
 OUT="${KRS_BENCH_OUT:-BENCH_combining.json}"
 MACHINE_OUT="${KRS_BENCH_MACHINE_OUT:-BENCH_machine.json}"
+SHARDED_OUT="${KRS_BENCH_SHARDED_OUT:-BENCH_sharded.json}"
+TRAFFIC_OUT="${KRS_BENCH_TRAFFIC_OUT:-BENCH_traffic.json}"
+LOAD_CLIENTS="${KRS_LOAD_CLIENTS:-1048576}"
+LOAD_SECONDS="${KRS_LOAD_SECONDS:-5}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 COMBINING_BENCHES=(bench_combining_tree bench_coordination bench_flat_vs_tree)
 MACHINE_BENCHES=(bench_machine)
+SHARDED_BENCHES=(bench_sharded)
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j "$JOBS" \
-  --target "${COMBINING_BENCHES[@]}" "${MACHINE_BENCHES[@]}"
+  --target "${COMBINING_BENCHES[@]}" "${MACHINE_BENCHES[@]}" \
+  "${SHARDED_BENCHES[@]}" krs-load
 
 JSON_DIR="$BUILD/bench-json"
 
@@ -88,7 +108,27 @@ run_group() {
 }
 
 run_group "$OUT" \
-  "lockfree_vs_blocking_ops_ratio,combining_vs_atomic_ops_ratio,sim_cycles_per_op,sim_cycles_per_op:counter_scale/k=6,sim_cycles_per_op:counter_scale/k=10,sim_cycles_per_op:combine=0,sim_cycles_per_op:combine=1,flat_vs_tree_ops_ratio" \
+  "lockfree_vs_blocking_ops_ratio,combining_vs_atomic_ops_ratio,sim_cycles_per_op,sim_cycles_per_op:counter_scale/k=6,sim_cycles_per_op:counter_scale/k=10,sim_cycles_per_op:combine=0,sim_cycles_per_op:combine=1,sim_cycles_per_op:scenario_hotspot,sim_cycles_per_op:scenario_bursty,sim_cycles_per_op:scenario_closed,flat_vs_tree_ops_ratio" \
   "${COMBINING_BENCHES[@]}"
 run_group "$MACHINE_OUT" "machine_parallel_speedup" "${MACHINE_BENCHES[@]}"
-echo "=== bench pipeline complete: $OUT $MACHINE_OUT ==="
+run_group "$SHARDED_OUT" \
+  "sharded_vs_single_ops_ratio,sharded_vs_single_ops_ratio:s=4,sharded_vs_single_ops_ratio:s=8,tail_latency_p99" \
+  "${SHARDED_BENCHES[@]}"
+
+# The traffic harness: M logical clients (millions) on N worker threads,
+# all five scenarios, seconds-bounded per scenario. Conservation checks
+# run inside krs-load (non-zero exit on violation); normalize.py then
+# requires a per-scenario tail series so a silent no-op run fails here.
+echo "=== krs-load ==="
+TRAFFIC_DIR="$JSON_DIR/$(basename "$TRAFFIC_OUT" .json)"
+mkdir -p "$TRAFFIC_DIR"
+"$BUILD/tools/krs-load" \
+  --clients="$LOAD_CLIENTS" --shards=8 --scenario=all \
+  --seconds="$LOAD_SECONDS" --json="$TRAFFIC_DIR/krs_load.json"
+python3 bench/harness/normalize.py \
+  --out "$TRAFFIC_OUT" \
+  --require tail_latency_p99 \
+  --require tail_latency_p99:traffic/hotspot \
+  --require tail_latency_p99:traffic/closed \
+  "$TRAFFIC_DIR"/*.json
+echo "=== bench pipeline complete: $OUT $MACHINE_OUT $SHARDED_OUT $TRAFFIC_OUT ==="
