@@ -37,6 +37,16 @@ tracks (see docs/PERFORMANCE.md):
       BM_FlatVsTree/flat/w:W over its /tree/w:W twin per thread count,
       keyed "w=W/threads" (> 1.0 means the flat combiner beats the
       combining tree at that width/concurrency).
+  lock_tier_ops_ratio — the lock tier against pure spinning: throughput
+      of each BM_LockTier/<impl> row (ticket, mcs, clh, futex, combining)
+      over its BM_LockTier/spin twin per thread count, keyed
+      "<impl>/threads". The spin baseline is the SAME 3-state mutex as
+      the futex row, busy-waiting, so the futex/spin quotient isolates
+      the parking decision. > 1.0 means the impl beats pure spinning;
+      the reading that matters is at thread counts above host_cpus,
+      where parked waiters donate their quantum to the lock holder.
+      Each row also carries wait_spins/wait_yields/wait_parks/wait_wakes
+      counters (summed over threads) from the wait-policy telemetry.
   sharded_vs_single_ops_ratio — fifth-substrate payoff: throughput of
       BM_Sharded/<inner>/s:S over its /single twin (the SAME wrapper at
       one shard, so the quotient isolates sharding, not routing
@@ -117,7 +127,8 @@ COUNTER_KEYS = ("cycles_per_op", "combine_rate", "served_at_root_fraction",
                 "combined_fraction", "sim_cycles", "mean_latency_cycles",
                 "latency_p50_ns", "latency_p99_ns", "latency_p999_ns",
                 "latency_p50_cycles", "latency_p99_cycles",
-                "shard_max_share")
+                "shard_max_share",
+                "wait_spins", "wait_yields", "wait_parks", "wait_wakes")
 
 
 def collect(files):
@@ -160,7 +171,7 @@ def collect(files):
                     "scenario": sc.get("name", "?"),
                     "shape": sc.get("shape"),
                     "clients": doc.get("clients"),
-                    "workers": doc.get("workers"),
+                    "workers": sc.get("workers", doc.get("workers")),
                     "shards": doc.get("shards"),
                     "inner": doc.get("inner"),
                     "ops": sc.get("ops"),
@@ -170,6 +181,7 @@ def collect(files):
                     "p99_ns": sc.get("p99_ns"),
                     "p999_ns": sc.get("p999_ns"),
                     "conserved": sc.get("conserved"),
+                    "wait": sc.get("wait"),
                 })
             if not doc.get("scenarios"):
                 sys.exit(f"normalize.py: {path} contains no traffic "
@@ -326,6 +338,26 @@ def normalize(runs, context, config, profiles=(), traffic=()):
                 f"{inner}/{variant.replace(':', '=')}/{threads}"] = round(
                 sharded_rows[(inner, variant, threads)] / single, 3)
 
+    # The lock tier: BM_LockTier/<impl> throughput over its /spin twin
+    # per thread count, keyed "<impl>/threads". The spin row is the same
+    # 3-state mutex as the futex row without parking, so futex/spin
+    # isolates the park decision; read rows with threads > host_cpus for
+    # the oversubscription verdict (bench/bench_lock_tier.cpp).
+    lt_prefix = "BM_LockTier/"
+    lt_rows = {}
+    for b in benchmarks:
+        if b["name"].startswith(lt_prefix) and b["ops_per_sec"]:
+            impl = b["name"][len(lt_prefix):]
+            lt_rows[(impl, b["threads"])] = b["ops_per_sec"]
+    lock_tier = {}
+    for (impl, threads) in sorted(lt_rows):
+        if impl == "spin":
+            continue
+        spin = lt_rows.get(("spin", threads))
+        if spin:
+            lock_tier[f"{impl}/{threads}"] = round(
+                lt_rows[(impl, threads)] / spin, 3)
+
     # Tail accounting: p99 per-op latency in ns, from the sharded bench's
     # sampled reservoirs and from krs_load traffic scenarios. Zero values
     # are dropped — an unpopulated reservoir must not green-wash
@@ -370,6 +402,8 @@ def normalize(runs, context, config, profiles=(), traffic=()):
         comparisons["flat_vs_tree_ops_ratio"] = series(flat_vs_tree)
     if sharded_vs_single:
         comparisons["sharded_vs_single_ops_ratio"] = series(sharded_vs_single)
+    if lock_tier:
+        comparisons["lock_tier_ops_ratio"] = series(lock_tier)
     if tail_p99:
         comparisons["tail_latency_p99"] = series(tail_p99)
     if hot_lines:

@@ -42,7 +42,8 @@
 
 namespace krs::runtime {
 
-template <typename Instrument = analysis::DefaultInstrument>
+template <typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class BasicCombiningBackend {
  public:
   /// `width`: slot capacity of every cell's tree, ≥ 2 — any value works,
@@ -67,7 +68,7 @@ class BasicCombiningBackend {
     Cell(const Cell&) = delete;
     Cell& operator=(const Cell&) = delete;
 
-    MappingCombiningTree<core::AnyRmw, Instrument> tree;
+    MappingCombiningTree<core::AnyRmw, Instrument, Policy> tree;
   };
 
   Word fetch_add(Cell& c, Word v) const {

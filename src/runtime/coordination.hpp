@@ -22,10 +22,10 @@
 #include <thread>
 
 #include "analysis/instrument.hpp"
-#include "runtime/backoff.hpp"
 #include "runtime/combining_concept.hpp"
 #include "runtime/fetch_and_op.hpp"
 #include "runtime/rmw_backend.hpp"
+#include "runtime/wait_policy.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
@@ -44,7 +44,8 @@ namespace krs::runtime {
 /// can use the barrier at any time — sense-reversing barriers go wrong
 /// when new threads join with a stale sense.
 template <RmwBackend Backend = AtomicBackend,
-          typename Instrument = analysis::DefaultInstrument>
+          typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class BasicBarrier {
  public:
   explicit BasicBarrier(unsigned parties, Backend backend = Backend{})
@@ -60,8 +61,10 @@ class BasicBarrier {
     if (ticket % parties_ == parties_ - 1) {
       phase_.store(my_phase + 1, std::memory_order_release);
     } else {
-      ExpBackoff bo;
-      while (phase_.load(std::memory_order_acquire) <= my_phase) bo.pause();
+      // Blind rounds: the phase word is 64-bit (monotonic, never reused),
+      // not addressable by a parking policy's 32-bit wait word.
+      Policy pol;
+      while (phase_.load(std::memory_order_acquire) <= my_phase) pol.pause();
     }
     // Absorb every party's pre-barrier history on the way out.
     Instrument::acquire(this);
@@ -105,7 +108,8 @@ using FaaBarrier = BasicFaaBarrier<>;
 /// thread_ordinal()); this class remains for callers that want explicit
 /// slot placement or the blocking tree.
 template <CombiningCounter Tree,
-          typename Instrument = analysis::DefaultInstrument>
+          typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class BasicCombiningBarrier {
  public:
   explicit BasicCombiningBarrier(unsigned parties)
@@ -124,8 +128,8 @@ class BasicCombiningBarrier {
     if (ticket % parties_ == parties_ - 1) {
       phase_.store(my_phase + 1, std::memory_order_release);
     } else {
-      ExpBackoff bo;
-      while (phase_.load(std::memory_order_acquire) <= my_phase) bo.pause();
+      Policy pol;
+      while (phase_.load(std::memory_order_acquire) <= my_phase) pol.pause();
     }
     // Absorb every party's pre-barrier history on the way out.
     Instrument::acquire(this);
@@ -146,7 +150,8 @@ class BasicCombiningBarrier {
 /// retreat if a writer holds the lock; a writer takes a flag with
 /// test-and-set (fetch-and-or) and waits for readers to drain.
 template <RmwBackend Backend = AtomicBackend,
-          typename Instrument = analysis::DefaultInstrument>
+          typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class BasicRwLock {
  public:
   explicit BasicRwLock(Backend backend = Backend{})
@@ -155,7 +160,7 @@ class BasicRwLock {
         writer_(backend_, 0) {}
 
   void read_lock() {
-    ExpBackoff bo;
+    Policy pol;
     for (;;) {
       backend_.fetch_add(readers_, 1);
       if (backend_.load(writer_) == 0) {
@@ -164,7 +169,8 @@ class BasicRwLock {
       }
       // A writer is active or arriving: retreat and retry.
       backend_.fetch_add(readers_, Word{0} - 1);
-      while (backend_.load(writer_) != 0) bo.pause();
+      while (backend_.load(writer_) != 0) pol.pause();
+      pol.reset();  // writer drained: a fresh wait episode on retry
     }
   }
 
@@ -174,11 +180,12 @@ class BasicRwLock {
   }
 
   void write_lock() {
-    ExpBackoff bo;
+    Policy pol;
     // test-and-set(X) ≡ fetch-and-OR(X, 1) (§5.2).
-    while ((backend_.fetch_or(writer_, 1) & 1) != 0) bo.pause();
+    while ((backend_.fetch_or(writer_, 1) & 1) != 0) pol.pause();
+    pol.reset();  // flag taken: draining readers is a new episode
     // Wait for in-flight readers to drain or retreat.
-    while (backend_.load(readers_) != 0) bo.pause();
+    while (backend_.load(readers_) != 0) pol.pause();
     Instrument::acquire(this);
   }
 
@@ -205,7 +212,8 @@ using FaaRwLock = BasicFaaRwLock<>;
 /// sign-agnostic, so the combining FetchAdd family carries negative
 /// deltas unchanged).
 template <RmwBackend Backend = AtomicBackend,
-          typename Instrument = analysis::DefaultInstrument>
+          typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class BasicSemaphore {
  public:
   explicit BasicSemaphore(std::int64_t initial, Backend backend = Backend{})
@@ -213,14 +221,15 @@ class BasicSemaphore {
         value_(backend_, static_cast<Word>(initial)) {}
 
   void p() {
-    ExpBackoff bo;
+    Policy pol;
     for (;;) {
       if (as_count(backend_.fetch_add(value_, Word{0} - 1)) > 0) {
         Instrument::acquire(this);
         return;
       }
       backend_.fetch_add(value_, 1);  // retreat
-      while (as_count(backend_.load(value_)) <= 0) bo.pause();
+      while (as_count(backend_.load(value_)) <= 0) pol.pause();
+      pol.reset();  // counter went positive: a fresh episode on retry
     }
   }
 

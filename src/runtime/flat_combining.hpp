@@ -26,8 +26,11 @@
 // The shared-memory traffic therefore concentrates on the publication
 // lines (owner↔combiner, pairwise) instead of the value word (combiner
 // only) — the inversion of the §1 hot spot that tools/krs_profile's flat
-// run demonstrates. Waiting is local spinning on the thread's own slot
-// with the same ExpBackoff schedule the tree uses.
+// run demonstrates. Waiting is local spinning on the thread's own slot,
+// paced by the WaitPolicy seam (runtime/wait_policy.hpp): SpinYieldWait
+// reproduces the historical ExpBackoff schedule, FutexWait parks waiters
+// on their own slot word (the combiner wakes them when the reply lands,
+// with bounded park timeouts covering the publish-after-scan race).
 //
 // FlatCombiningBackend wraps the combiner behind the RmwBackend concept,
 // making it the FOURTH substrate (after atomic / combining-tree / sim):
@@ -52,9 +55,9 @@
 #include "core/fetch_theta.hpp"
 #include "core/load_store_swap.hpp"
 #include "core/types.hpp"
-#include "runtime/backoff.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/rmw_backend.hpp"
+#include "runtime/wait_policy.hpp"
 #include "util/assert.hpp"
 
 namespace krs::runtime {
@@ -82,7 +85,8 @@ struct FlatCombinerStats {
   }
 };
 
-template <typename Instrument = analysis::DefaultInstrument>
+template <typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class FlatCombiner {
  public:
   using value_type = core::Word;
@@ -121,7 +125,7 @@ class FlatCombiner {
     s.seq.store(kPending, std::memory_order_release);
 
     bool self_served = false;
-    ExpBackoff bo;
+    Policy pol;
     for (;;) {
       if (s.seq.load(std::memory_order_acquire) == kDone) break;
       if (try_lock()) {
@@ -134,14 +138,19 @@ class FlatCombiner {
         }
         combine(&s);
         unlock();
+        if constexpr (Policy::kParks) wake_pending();
         self_served = true;
         break;
       }
-      bo.pause();
+      // Local wait on our own slot word: a combiner flipping it to kDone
+      // wakes a parked waiter; the bounded park timeout re-arms the
+      // try_lock election if a handoff left the list unserved.
+      pol.wait_while_equal(s.seq, kPending);
     }
     KRS_ASSERT(s.seq.load(std::memory_order_acquire) == kDone);
     const core::Word prior = s.result;
     s.seq.store(kIdle, std::memory_order_release);
+    if constexpr (Policy::kParks) Policy::notify_all(s.seq);
     ops_.fetch_add(1, std::memory_order_relaxed);
     if (!self_served) combined_.fetch_add(1, std::memory_order_relaxed);
     Instrument::release(this);
@@ -156,12 +165,13 @@ class FlatCombiner {
   core::Word update_at_combiner(F&& f) {
     Instrument::acquire(this);
     Instrument::contended_rmw(&value_, KRS_SITE);
-    ExpBackoff bo;
-    while (!try_lock()) bo.pause();
+    Policy pol;
+    while (!try_lock()) pol.wait_while_equal(lock_, 1);
     const core::Word prior = value_.load(std::memory_order_relaxed);
     value_.store(std::forward<F>(f)(prior), std::memory_order_release);
     bump(serialized_updates_);  // under the lock: writers serialized
     unlock();
+    if constexpr (Policy::kParks) wake_pending();
     Instrument::release(this);
     return prior;
   }
@@ -279,7 +289,7 @@ class FlatCombiner {
 
   Slot& claim(unsigned idx) {
     Slot& s = slots_[idx];
-    ExpBackoff bo;
+    Policy pol;
     for (;;) {
       std::uint32_t expect = kIdle;
       if (s.seq.compare_exchange_weak(expect, kClaimed,
@@ -287,7 +297,13 @@ class FlatCombiner {
                                       std::memory_order_relaxed)) {
         return s;
       }
-      bo.pause();
+      if (expect != kIdle) {
+        // Another thread owns the slot: wait on the value we observed —
+        // the owner's pickup (kDone→kIdle) notifies parked claimants.
+        pol.wait_while_equal(s.seq, expect);
+      } else {
+        pol.pause();  // spurious weak-CAS failure
+      }
     }
   }
 
@@ -298,7 +314,22 @@ class FlatCombiner {
                                          std::memory_order_relaxed);
   }
 
-  void unlock() { lock_.store(0, std::memory_order_release); }
+  void unlock() {
+    lock_.store(0, std::memory_order_release);
+    if constexpr (Policy::kParks) Policy::notify_all(lock_);
+  }
+
+  /// Parking policies only: after releasing the lock, wake the owners of
+  /// any slots still pending (a pass-cap handoff can leave published ops
+  /// unserved) so a parked owner re-arms its combiner election promptly
+  /// instead of riding out its park timeout.
+  void wake_pending() {
+    for (Slot& s : slots_) {
+      if (s.seq.load(std::memory_order_acquire) == kPending) {
+        Policy::notify_all(s.seq);
+      }
+    }
+  }
 
   /// Increment for counters mutated ONLY while the combiner lock is held:
   /// writers are mutually excluded, so a relaxed load+store (no RMW, no
@@ -350,6 +381,7 @@ class FlatCombiner {
         Slot& s = slots_[i];
         Instrument::shared_store(&s.seq, KRS_SITE);
         s.seq.store(kDone, std::memory_order_release);
+        if constexpr (Policy::kParks) Policy::notify_all(s.seq);
       }
     }
     bump(passes_);
@@ -411,7 +443,8 @@ class FlatCombiner {
 ///                                                   families never decline)
 ///   compare_exchange     → update_at_combiner      (serialized, §5)
 ///   load                 → combiner.read()         (atomic snapshot)
-template <typename Instrument = analysis::DefaultInstrument>
+template <typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class BasicFlatCombiningBackend {
  public:
   /// `width`: publication slots per cell, ≥ 2 — no power-of-two rounding
@@ -424,12 +457,13 @@ class BasicFlatCombiningBackend {
   struct Cell {
     Cell(const BasicFlatCombiningBackend& b, Word initial)
         : fc(b.width_, initial,
-             b.max_passes_ == 0 ? FlatCombiner<Instrument>::kDefaultMaxPasses
-                                : b.max_passes_) {}
+             b.max_passes_ == 0
+                 ? FlatCombiner<Instrument, Policy>::kDefaultMaxPasses
+                 : b.max_passes_) {}
     Cell(const Cell&) = delete;
     Cell& operator=(const Cell&) = delete;
 
-    FlatCombiner<Instrument> fc;
+    FlatCombiner<Instrument, Policy> fc;
   };
 
   Word fetch_add(Cell& c, Word v) const {

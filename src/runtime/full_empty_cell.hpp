@@ -7,8 +7,9 @@
 //   store-and-set           → overwrite       (unconditional write)
 //
 // Busy-waiting follows the paper's model: a failed conditional operation is
-// a negative acknowledgment; the caller retries (with exponential backoff
-// to std::this_thread::yield). The cell state machine uses an extra
+// a negative acknowledgment; the caller retries, paced by the WaitPolicy
+// seam (runtime/wait_policy.hpp — SpinYieldWait by default, FutexWait to
+// park oversubscribed retriers). The cell state machine uses an extra
 // transient state to make the data transfer atomic with the tag flip.
 //
 // The tag word lives in an RmwBackend cell (runtime/rmw_backend.hpp); the
@@ -36,25 +37,17 @@
 #include "analysis/instrument.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/rmw_backend.hpp"
+#include "runtime/wait_policy.hpp"
 
 namespace krs::runtime {
-
-namespace detail {
-
-inline void backoff(unsigned& spins) noexcept {
-  if (++spins > 64) {
-    std::this_thread::yield();
-  }
-}
-
-}  // namespace detail
 
 // Padded to the destructive-interference granule: the paper's §5.5 use
 // case is ARRAYS of tagged cells (one per datum), and adjacent cells
 // touched by different producer/consumer pairs must not share a cache
 // line, or independent handoffs serialize through the coherence protocol.
 template <typename T, typename Instrument = analysis::DefaultInstrument,
-          RmwBackend Backend = AtomicBackend>
+          RmwBackend Backend = AtomicBackend,
+          WaitPolicy Policy = SpinYieldWait>
 class alignas(kCacheLine) FullEmptyCell {
  public:
   explicit FullEmptyCell(Backend backend = Backend{})
@@ -87,8 +80,8 @@ class alignas(kCacheLine) FullEmptyCell {
 
   /// Blocking put: retry until the cell is empty.
   void put(T v) {
-    unsigned spins = 0;
-    while (!try_put(std::move(v))) detail::backoff(spins);
+    Policy pol;
+    while (!try_put(std::move(v))) pol.pause();
   }
 
   /// load-and-clear (conditional on full): empties the cell.
@@ -105,10 +98,10 @@ class alignas(kCacheLine) FullEmptyCell {
   }
 
   T take() {
-    unsigned spins = 0;
+    Policy pol;
     for (;;) {
       if (auto v = try_take()) return *std::move(v);
-      detail::backoff(spins);
+      pol.pause();
     }
   }
 
@@ -126,16 +119,16 @@ class alignas(kCacheLine) FullEmptyCell {
   }
 
   T read() {
-    unsigned spins = 0;
+    Policy pol;
     for (;;) {
       if (auto v = try_read()) return *std::move(v);
-      detail::backoff(spins);
+      pol.pause();
     }
   }
 
   /// store-and-set: unconditional write; cell ends full.
   void overwrite(T v) {
-    unsigned spins = 0;
+    Policy pol;
     for (;;) {
       Word s = backend_.load(state_);
       if (s != kBusy && backend_.compare_exchange(state_, s, kBusy)) {
@@ -145,7 +138,7 @@ class alignas(kCacheLine) FullEmptyCell {
         backend_.store(state_, kFull);
         return;
       }
-      detail::backoff(spins);
+      pol.pause();
     }
   }
 

@@ -21,16 +21,17 @@
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
 
 #include "analysis/instrument.hpp"
 #include "runtime/rmw_backend.hpp"
+#include "runtime/wait_policy.hpp"
 #include "util/assert.hpp"
 
 namespace krs::runtime {
 
 template <typename Instrument = analysis::DefaultInstrument,
-          RmwBackend Backend = AtomicBackend>
+          RmwBackend Backend = AtomicBackend,
+          WaitPolicy Policy = SpinYieldWait>
 class BasicGroupLock {
  public:
   static constexpr std::uint16_t kMaxGroup = 0xFFFE;
@@ -45,7 +46,7 @@ class BasicGroupLock {
   void enter(std::uint16_t group) {
     KRS_EXPECTS(group <= kMaxGroup);
     const Word tag = static_cast<Word>(group) + 1;
-    unsigned spins = 0;
+    Policy pol;
     for (;;) {
       Word s = backend_.load(state_);
       const Word active = s >> kCountBits;
@@ -58,7 +59,7 @@ class BasicGroupLock {
         }
         continue;  // contention on our own group: retry immediately
       }
-      if (++spins > 64) std::this_thread::yield();
+      pol.pause();
     }
   }
 

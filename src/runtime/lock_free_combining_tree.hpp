@@ -87,9 +87,9 @@
 
 #include "analysis/instrument.hpp"
 #include "core/rmw.hpp"
-#include "runtime/backoff.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/topology.hpp"
+#include "runtime/wait_policy.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
@@ -150,7 +150,8 @@ struct CombiningTreeStats {
 };
 
 template <core::CombinableMapping M,
-          typename Instrument = analysis::DefaultInstrument>
+          typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class MappingCombiningTree {
  public:
   using value_type = typename M::value_type;
@@ -475,7 +476,13 @@ class MappingCombiningTree {
   /// True: keep climbing (we were first); false: stop here (second or root).
   bool precombine(unsigned n) {
     Node& nd = nodes_[n];
-    ExpBackoff bo;
+    // One wait EPISODE per observed status word: while the node finishes
+    // a previous occupancy the backoff deepens, but any status change
+    // (new tag or generation) re-arms the schedule — otherwise a thread
+    // that waited out one occupancy carries a saturated backoff into the
+    // next, independent wait and oversleeps it.
+    Policy pol;
+    EpisodeWait<Policy> ep(pol);
     for (;;) {
       std::uint64_t w = nd.status.load(std::memory_order_acquire);
       switch (tag_of(w)) {
@@ -501,7 +508,7 @@ class MappingCombiningTree {
           break;
         default:
           // Node still finishing a previous operation; wait locally.
-          bo.pause();
+          ep.observe_and_pause(w);
       }
     }
   }
@@ -513,7 +520,7 @@ class MappingCombiningTree {
   /// closing the node against late seconds.
   M combine(unsigned n, M c) {
     Node& nd = nodes_[n];
-    ExpBackoff bo;
+    Policy pol;
     for (;;) {
       std::uint64_t w = nd.status.load(std::memory_order_acquire);
       switch (tag_of(w)) {
@@ -525,7 +532,7 @@ class MappingCombiningTree {
           }
           break;
         case kSecondPending:
-          bo.pause();  // second engaged; its mapping is still in flight
+          pol.pause();  // second engaged; its mapping is still in flight
           break;
         case kSecondReady: {
           // The acquire load above synchronized with the deposit. Record
@@ -599,8 +606,10 @@ class MappingCombiningTree {
   /// this node's status word until the first distributes our reply.
   V deposit_and_await(unsigned n, M c) {
     plant_second(n, std::move(c));
-    ExpBackoff bo;
-    while (!result_ready(n)) bo.pause();
+    // Blind rounds: the status word is 64-bit (generation-counted), not
+    // addressable by a parking policy's 32-bit wait word.
+    Policy pol;
+    while (!result_ready(n)) pol.pause();
     return take_result(n);
   }
 
@@ -638,7 +647,11 @@ class MappingCombiningTree {
 
   void lock_root() {
     Node& rt = nodes_[kRootIndex];
-    ExpBackoff bo;
+    // Episode per observed root word: each time the lock bit changes
+    // hands the wait re-arms, so a loser of many elections does not carry
+    // a saturated backoff into a freshly-uncontended acquire.
+    Policy pol;
+    EpisodeWait<Policy> ep(pol);
     for (;;) {
       std::uint64_t w = rt.status.load(std::memory_order_relaxed);
       if ((w & kLockBit) == 0 &&
@@ -647,7 +660,7 @@ class MappingCombiningTree {
                                           std::memory_order_relaxed)) {
         return;
       }
-      bo.pause();
+      ep.observe_and_pause(w);
     }
   }
 
@@ -666,7 +679,8 @@ class MappingCombiningTree {
 /// An adapter over MappingCombiningTree with the {⊕_v} operand family;
 /// satisfies the CombiningCounter concept alongside BlockingCombiningTree.
 template <typename T, typename Op = std::plus<T>,
-          typename Instrument = analysis::DefaultInstrument>
+          typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class LockFreeCombiningTree {
  public:
   using value_type = T;
@@ -704,7 +718,7 @@ class LockFreeCombiningTree {
   using Mapping = detail::OpMapping<T, Op>;
 
   [[no_unique_address]] Op op_;
-  MappingCombiningTree<Mapping, Instrument> tree_;
+  MappingCombiningTree<Mapping, Instrument, Policy> tree_;
 };
 
 }  // namespace krs::runtime

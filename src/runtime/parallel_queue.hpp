@@ -28,19 +28,20 @@
 #include <atomic>
 #include <cstdint>
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "analysis/instrument.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/rmw_backend.hpp"
+#include "runtime/wait_policy.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
 namespace krs::runtime {
 
 template <typename T, typename Instrument = analysis::DefaultInstrument,
-          RmwBackend Backend = AtomicBackend>
+          RmwBackend Backend = AtomicBackend,
+          WaitPolicy Policy = SpinYieldWait>
 class ParallelQueue {
  public:
   /// Capacity must be a power of two.
@@ -109,17 +110,15 @@ class ParallelQueue {
   }
 
   void enqueue(T v) {
-    unsigned spins = 0;
-    while (!try_enqueue(std::move(v))) {
-      if (++spins > 64) std::this_thread::yield();
-    }
+    Policy pol;
+    while (!try_enqueue(std::move(v))) pol.pause();
   }
 
   T dequeue() {
-    unsigned spins = 0;
+    Policy pol;
     for (;;) {
       if (auto v = try_dequeue()) return *std::move(v);
-      if (++spins > 64) std::this_thread::yield();
+      pol.pause();
     }
   }
 

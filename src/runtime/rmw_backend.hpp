@@ -59,6 +59,7 @@
 #include "core/types.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/cacheline.hpp"
+#include "runtime/wait_policy.hpp"
 
 namespace krs::runtime {
 
@@ -121,7 +122,10 @@ struct OrdinalGuard {
 /// core to retire its store at all. Templated over the atomic and the
 /// backoff policy so the pacing contract (exactly one pause per failure,
 /// fresh schedule per call) is testable with a scripted flaky atomic.
-template <typename AtomicLike, typename Backoff = ExpBackoff>
+/// The default pacing is the WaitPolicy seam's SpinYieldWait — the
+/// ExpBackoff schedule routed through the policy point; any WaitPolicy
+/// (or anything with pause()) drops in.
+template <typename AtomicLike, typename Backoff = SpinYieldWait>
 Word paced_cas_rmw(AtomicLike& word, const core::AnyRmw& m,
                    Backoff bo = Backoff{}) {
   Word old = word.load(std::memory_order_acquire);
@@ -166,8 +170,12 @@ concept RmwBackend =
 /// Hardware fetch-and-θ backend: each cell is one std::atomic<Word>; the
 /// typed fast paths are the native RMW instructions, and fetch_rmw is a
 /// CAS loop applying m.apply(old) (the §2 semantics when the memory has no
-/// combining support — correct, but a hot cell serializes).
-template <typename Instrument = analysis::DefaultInstrument>
+/// combining support — correct, but a hot cell serializes). The Policy
+/// paces the CAS retries (SpinYieldWait = the historical ExpBackoff
+/// schedule; FutexWait makes oversubscribed retry storms sleep instead of
+/// burning the winner's quantum).
+template <typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class BasicAtomicBackend {
  public:
   struct Cell {
@@ -218,12 +226,13 @@ class BasicAtomicBackend {
   /// mapping, so retry CAS until the old value we applied f to is the old
   /// value we replaced — the standard emulation, with the typed paths
   /// above available when the family is known statically. Retries are
-  /// paced with a fresh ExpBackoff per call (detail::paced_cas_rmw): a
-  /// bare loop here is the §1 hot-spot storm in miniature.
+  /// paced with a fresh wait-policy episode per call
+  /// (detail::paced_cas_rmw): a bare loop here is the §1 hot-spot storm
+  /// in miniature.
   Word fetch_rmw(Cell& c, const core::AnyRmw& m) const {
     Instrument::release(&c);
     Instrument::contended_rmw(&c.word, KRS_SITE);
-    const Word old = detail::paced_cas_rmw(c.word, m);
+    const Word old = detail::paced_cas_rmw<std::atomic<Word>, Policy>(c.word, m);
     Instrument::acquire(&c);
     return old;
   }

@@ -65,6 +65,7 @@
 #include "runtime/cacheline.hpp"
 #include "runtime/rmw_backend.hpp"
 #include "runtime/topology.hpp"
+#include "runtime/wait_policy.hpp"
 
 namespace krs::runtime {
 
@@ -163,7 +164,8 @@ struct ShardedCellStats {
   }
 };
 
-template <RmwBackend Inner, typename Instrument = analysis::DefaultInstrument>
+template <RmwBackend Inner, typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class BasicShardedBackend {
  public:
   static constexpr unsigned kDefaultShards = 8;
@@ -259,6 +261,16 @@ class BasicShardedBackend {
       acc = agg_.fold(acc, inner_.load(slot.cell));
     }
     return acc;
+  }
+
+  /// Policy-paced quiesce: wait until the aggregate equals `expected`.
+  /// The fold is not a snapshot, so this is a convergence wait (all
+  /// updaters done, or the expected total provably reached) — the
+  /// sharded analogue of spinning on a single cell's value, with the
+  /// wait routed through the WaitPolicy seam instead of a private loop.
+  void await_aggregate(const Cell& c, Word expected) const {
+    Policy pol;
+    while (load(c) != expected) pol.pause();
   }
 
   /// Quiescing reset: identity into every shard, v into the routed one.

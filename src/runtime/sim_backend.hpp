@@ -67,7 +67,7 @@
 #include "mem/module.hpp"
 #include "net/switch.hpp"
 #include "proc/processor.hpp"
-#include "runtime/backoff.hpp"
+#include "runtime/wait_policy.hpp"
 #include "runtime/cacheline.hpp"
 #include "runtime/rmw_backend.hpp"
 #include "sim/machine.hpp"
@@ -132,7 +132,8 @@ struct SimBackendStats {
   }
 };
 
-template <typename Instrument = analysis::DefaultInstrument>
+template <typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class BasicSimBackend {
   struct State;
 
@@ -478,7 +479,9 @@ class BasicSimBackend {
       mb.addr = addr;
       mb.op = m;
       mb.state.store(kPosted, std::memory_order_release);
-      ExpBackoff bo;
+      // Blind rounds: the mailbox word is not the policy's 32-bit wait
+      // word, and the driver-lock holder advances our reply regardless.
+      Policy pol;
       for (;;) {
         if (mb.state.load(std::memory_order_acquire) == kDone) break;
         if (mu.try_lock()) {
@@ -488,7 +491,7 @@ class BasicSimBackend {
           mu.unlock();
           break;
         }
-        bo.pause();
+        pol.pause();
       }
       const Word prior = mb.reply;
       mb.state.store(kEmpty, std::memory_order_release);
@@ -500,7 +503,7 @@ class BasicSimBackend {
     /// serializes them, backoff-paced.
     Mailbox& claim_mailbox() {
       Mailbox& mb = mailboxes[thread_ordinal() % nprocs];
-      ExpBackoff bo;
+      Policy pol;
       for (;;) {
         unsigned expect = kEmpty;
         if (mb.state.compare_exchange_weak(expect, kClaimed,
@@ -508,7 +511,7 @@ class BasicSimBackend {
                                            std::memory_order_relaxed)) {
           return mb;
         }
-        bo.pause();
+        pol.pause();
       }
     }
 

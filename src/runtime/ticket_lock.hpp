@@ -19,16 +19,19 @@
 #include "analysis/instrument.hpp"
 #include "runtime/backoff.hpp"
 #include "runtime/cacheline.hpp"
+#include "runtime/wait_policy.hpp"
 
 namespace krs::runtime {
 
-template <typename Instrument = analysis::DefaultInstrument>
+template <typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class BasicTicketLock {
  public:
   void lock() noexcept(!Instrument::enabled) {
     Instrument::contended_rmw(&next_, KRS_SITE);
     const std::uint64_t my =
         next_.fetch_add(1, std::memory_order_acq_rel);
+    Policy pol;
     std::uint64_t prev_ahead = ~std::uint64_t{0};
     for (;;) {
       Instrument::shared_load(&serving_, KRS_SITE);
@@ -38,13 +41,14 @@ class BasicTicketLock {
       // wait roughly that long before re-reading instead of hammering
       // the serving word from every queued thread. If the queue did not
       // advance since our last read, the holder is likely preempted
-      // (oversubscribed host) and needs this core — yield instead of
-      // spinning out the quantum.
+      // (oversubscribed host) and needs this core — hand the round to
+      // the wait policy (yield by default; FutexWait sleeps outright).
       const std::uint64_t ahead = my - now;
       if (ahead >= prev_ahead) {
-        std::this_thread::yield();
+        pol.pause();
       } else {
         proportional_backoff(ahead);
+        pol.reset();  // queue advanced: a fresh wait episode
       }
       prev_ahead = ahead;
     }
@@ -77,6 +81,20 @@ class BasicTicketLock {
     const auto s = serving_.load(std::memory_order_acquire);
     return n > s ? n - s : 0;
   }
+
+  class Scoped {
+   public:
+    explicit Scoped(BasicTicketLock& l) noexcept(!Instrument::enabled)
+        : l_(l) {
+      l_.lock();
+    }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+    ~Scoped() { l_.unlock(); }
+
+   private:
+    BasicTicketLock& l_;
+  };
 
  private:
   alignas(kCacheLine) std::atomic<std::uint64_t> next_{0};

@@ -20,14 +20,15 @@
 #include <vector>
 
 #include "analysis/instrument.hpp"
-#include "runtime/backoff.hpp"
 #include "runtime/cacheline.hpp"
+#include "runtime/wait_policy.hpp"
 #include "util/assert.hpp"
 #include "util/bits.hpp"
 
 namespace krs::runtime {
 
-template <typename Instrument = analysis::DefaultInstrument>
+template <typename Instrument = analysis::DefaultInstrument,
+          WaitPolicy Policy = SpinYieldWait>
 class BasicTreeBarrier {
  public:
   /// `parties` threads, identified by slot 0..parties-1.
@@ -61,13 +62,17 @@ class BasicTreeBarrier {
       nodes_[node]->arrived.store(false, std::memory_order_relaxed);
       node /= 2;
     }
+    const std::uint32_t target = my_sense ? 1u : 0u;
     if (node < 1 || climbing) {
       // Reached past the root: this thread triggers the release.
-      release_.store(my_sense, std::memory_order_release);
+      release_.store(target, std::memory_order_release);
+      if constexpr (Policy::kParks) Policy::notify_all(release_);
     } else {
-      ExpBackoff bo;
-      while (release_.load(std::memory_order_acquire) != my_sense) {
-        bo.pause();
+      Policy pol;
+      while (release_.load(std::memory_order_acquire) != target) {
+        // The release word only ever holds 0 or 1, so "not yet my sense"
+        // is exactly "still the previous phase's sense" — addressable.
+        pol.wait_while_equal(release_, target ^ 1u);
       }
     }
     // Departure: absorb every party's pre-barrier history. All arrivals
@@ -100,7 +105,9 @@ class BasicTreeBarrier {
 
   unsigned parties_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::atomic<bool> release_{false};
+  // Sense word, 0/1 alternating per phase. u32 (not bool) so a parking
+  // wait policy can futex-wait on it directly.
+  std::atomic<std::uint32_t> release_{0};
 };
 
 using TreeBarrier = BasicTreeBarrier<>;

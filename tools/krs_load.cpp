@@ -24,7 +24,15 @@
 //             self-limits with service time;
 //   queue   — the ParallelQueue hot path as a traffic shape: tail
 //             ticket, slot exchange, head ticket — three RMWs per op on
-//             three sharded cells.
+//             three sharded cells;
+//   oversub — the oversubscription pair: workers ≫ host_cpus (at least
+//             4× the host's CPUs) hammering ONE lock-guarded counter,
+//             run twice — once with the busy-waiting 3-state mutex
+//             (oversub_spin) and once with its futex-parking twin
+//             (oversub_futex). Same algorithm, same cell, so the two
+//             rows isolate the parking decision under quantum
+//             starvation; each carries a "wait" block (spins / yields /
+//             parks / wakes from the wait-policy telemetry).
 //
 // Every operation's wall-clock latency lands in a WORKER-LOCAL
 // util::LogHistogram reservoir; the bucket-exact merge reduces them
@@ -40,7 +48,7 @@
 // Usage:
 //   krs_load [--clients=M] [--workers=N] [--shards=S]
 //            [--inner=atomic|combining|flat]
-//            [--scenario=hotspot|uniform|bursty|closed|queue|all]
+//            [--scenario=hotspot|uniform|bursty|closed|queue|oversub|all]
 //            [--ops=N] [--seconds=S] [--hot=F] [--rate=F] [--cells=K]
 //            [--json=PATH]
 //
@@ -64,8 +72,10 @@
 #include "runtime/cacheline.hpp"
 #include "runtime/combining_backend.hpp"
 #include "runtime/flat_combining.hpp"
+#include "runtime/local_spin_locks.hpp"
 #include "runtime/rmw_backend.hpp"
 #include "runtime/sharded_backend.hpp"
+#include "runtime/wait_policy.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -108,6 +118,12 @@ struct ScenarioResult {
   std::uint64_t elapsed_ns = 0;
   double p50_ns = 0, p99_ns = 0, p999_ns = 0, mean_ns = 0;
   bool conserved = true;
+  // Oversub scenarios only: the worker count actually spawned (≫ the
+  // document-level workers), the wait policy name, and the wait-policy
+  // telemetry delta across the run.
+  unsigned workers = 0;
+  std::string policy;
+  krs::runtime::WaitStats wait;
 };
 
 bool parse_flag(const char* arg, const char* name, const char** value) {
@@ -124,7 +140,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--clients=M] [--workers=N] [--shards=S]\n"
       "          [--inner=atomic|combining|flat]\n"
-      "          [--scenario=hotspot|uniform|bursty|closed|queue|all]\n"
+      "          [--scenario=hotspot|uniform|bursty|closed|queue|oversub"
+      "|all]\n"
       "          [--ops=N] [--seconds=S] [--hot=F] [--rate=F] [--cells=K]\n"
       "          [--json=PATH]\n",
       argv0);
@@ -283,6 +300,86 @@ ScenarioResult run_scenario(const Options& opt, const ScenarioSpec& spec,
   return r;
 }
 
+/// The oversubscription scenario: workers ≫ host_cpus (at least 4× the
+/// host's CPUs, and never fewer than --workers) hammering ONE counter
+/// behind a LockBackend<Lock>. Called twice — Lock =
+/// BasicParkingLock<SpinWait> and Lock = ParkingLock — so the result
+/// pair isolates the park decision: a spinning waiter burns the quantum
+/// the lock HOLDER needs to release, a parked one donates it. The
+/// wait-policy telemetry delta (exact after the join — worker
+/// destructors drain to the global tally) lands in the result's `wait`.
+template <typename Lock>
+ScenarioResult run_oversub(const Options& opt, const char* name,
+                           const char* policy) {
+  using Backend = krs::runtime::LockBackend<Lock>;
+  Backend backend;
+  typename Backend::Cell cell(backend, 0);
+
+  const unsigned host = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned base = opt.workers != 0 ? opt.workers : host;
+  const unsigned nworkers = std::max(base, 4 * host);
+  const std::uint64_t total_ops = opt.ops != 0 ? opt.ops : opt.clients;
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(opt.seconds));
+  const krs::runtime::WaitStats wait_before =
+      krs::runtime::wait_stats_snapshot();
+
+  std::vector<WorkerTally> tally(nworkers);
+  std::vector<std::thread> threads;
+  threads.reserve(nworkers);
+  for (unsigned w = 0; w < nworkers; ++w) {
+    threads.emplace_back([&, w] {
+      const std::uint64_t quota = total_ops * (w + 1) / nworkers -
+                                  total_ops * w / nworkers;
+      WorkerTally& t = tally[w];
+      krs::util::Xoshiro256 rng(0x9e3779b9u ^ (w * 0x85ebca6bULL));
+      std::uint64_t k = 0;
+      while (t.ops < quota) {
+        if ((k++ & 255u) == 0 && Clock::now() >= deadline) break;
+        ++t.offered;
+        if (opt.rate < 1.0 && !rng.chance(opt.rate)) {
+          ++t.throttled;
+          continue;
+        }
+        const auto t0 = Clock::now();
+        backend.fetch_add(cell, 1);
+        const auto t1 = Clock::now();
+        t.latency.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+        ++t.ops;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  ScenarioResult r;
+  r.name = name;
+  r.shape = "counter";
+  r.workers = nworkers;
+  r.policy = policy;
+  r.wait = krs::runtime::wait_stats_snapshot() - wait_before;
+  krs::util::LogHistogram merged;
+  for (const WorkerTally& t : tally) {
+    r.ops += t.ops;
+    r.offered += t.offered;
+    r.throttled += t.throttled;
+    merged.merge(t.latency);
+  }
+  r.p50_ns = merged.percentile(0.50);
+  r.p99_ns = merged.percentile(0.99);
+  r.p999_ns = merged.percentile(0.999);
+  r.mean_ns = merged.mean();
+  r.elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+  r.conserved = backend.load(cell) == r.ops;
+  return r;
+}
+
 template <typename Inner>
 std::vector<ScenarioResult> run_all(const Options& opt, Inner inner,
                                     std::uint64_t* elapsed_total_ns) {
@@ -349,6 +446,17 @@ bool write_json(const std::string& path, const Options& opt,
     doc += ",\"p999_ns\":" + json_number(r.p999_ns);
     doc += ",\"mean_ns\":" + json_number(r.mean_ns);
     doc += ",\"conserved\":" + std::string(r.conserved ? "true" : "false");
+    if (!r.policy.empty()) {
+      // Oversub rows: the actually-spawned worker count and the
+      // wait-policy telemetry that explains the spin/futex gap.
+      doc += ",\"workers\":" + std::to_string(r.workers);
+      doc += ",\"wait\":{\"policy\":\"" + r.policy + "\"";
+      doc += ",\"spins\":" + std::to_string(r.wait.spins);
+      doc += ",\"yields\":" + std::to_string(r.wait.yields);
+      doc += ",\"parks\":" + std::to_string(r.wait.parks);
+      doc += ",\"wakes\":" + std::to_string(r.wait.wakes);
+      doc += "}";
+    }
     doc += "}";
   }
   doc += "]}\n";
@@ -406,6 +514,20 @@ int main(int argc, char** argv) {
     results =
         run_all(opt, krs::runtime::FlatCombiningBackend{}, &elapsed_total);
   }
+
+  // The oversubscription pair lives outside run_all: one LockBackend
+  // cell, not sharded traffic, and a worker count forced ≫ host_cpus.
+  if (opt.scenario == "all" || opt.scenario == "oversub") {
+    ScenarioResult spin =
+        run_oversub<krs::runtime::BasicParkingLock<krs::runtime::SpinWait>>(
+            opt, "oversub_spin", "spin");
+    elapsed_total += spin.elapsed_ns;
+    results.push_back(std::move(spin));
+    ScenarioResult futex = run_oversub<krs::runtime::ParkingLock>(
+        opt, "oversub_futex", "futex");
+    elapsed_total += futex.elapsed_ns;
+    results.push_back(std::move(futex));
+  }
   if (results.empty()) return usage(argv[0]);
 
   bool all_conserved = true;
@@ -425,6 +547,16 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.offered),
         static_cast<unsigned long long>(r.throttled), mops, r.p50_ns,
         r.p99_ns, r.p999_ns, r.conserved ? "conserved" : "CONSERVATION FAIL");
+    if (!r.policy.empty()) {
+      std::printf(
+          "           wait[%s] workers=%u spins=%llu yields=%llu "
+          "parks=%llu wakes=%llu\n",
+          r.policy.c_str(), r.workers,
+          static_cast<unsigned long long>(r.wait.spins),
+          static_cast<unsigned long long>(r.wait.yields),
+          static_cast<unsigned long long>(r.wait.parks),
+          static_cast<unsigned long long>(r.wait.wakes));
+    }
     all_conserved = all_conserved && r.conserved;
   }
 

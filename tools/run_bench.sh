@@ -26,9 +26,18 @@
 #       sharded_vs_single_ops_ratio series (s:S over the SAME wrapper at
 #       one shard — read against host_cpus) and the tail_latency_p99
 #       series from the benches' sampled latency reservoirs.
+#   BENCH_locks.json     — the lock tier (bench_lock_tier): one hot
+#       counter through six RMW substrates (spin / ticket / mcs / clh /
+#       futex / combining) at threads below, at, and 4× host_cpus, with
+#       the lock_tier_ops_ratio series (each impl over the pure-spin
+#       baseline per thread count — the futex rows are the
+#       spin-vs-park verdict) and per-row wait_spins / wait_yields /
+#       wait_parks / wait_wakes telemetry counters.
 #   BENCH_traffic.json   — tools/krs_load: millions of logical clients
 #       multiplexed M:N onto worker threads against sharded cells, five
-#       scenarios (hotspot/uniform/bursty/closed/queue), per-scenario
+#       sharded scenarios (hotspot/uniform/bursty/closed/queue) plus the
+#       oversub_spin/oversub_futex lock pair (workers forced ≫
+#       host_cpus, wait-policy telemetry in each row), per-scenario
 #       p50/p99/p999 folded into tail_latency_p99 as traffic/<scenario>.
 #
 # Usage: tools/run_bench.sh
@@ -39,6 +48,7 @@
 #   KRS_BENCH_OUT          combining output      (default BENCH_combining.json)
 #   KRS_BENCH_MACHINE_OUT  machine output        (default BENCH_machine.json)
 #   KRS_BENCH_SHARDED_OUT  sharded output        (default BENCH_sharded.json)
+#   KRS_BENCH_LOCKS_OUT    lock-tier output      (default BENCH_locks.json)
 #   KRS_BENCH_TRAFFIC_OUT  traffic output        (default BENCH_traffic.json)
 #   KRS_LOAD_CLIENTS       krs-load logical clients (default 1048576)
 #   KRS_LOAD_SECONDS       krs-load per-scenario budget (default 5)
@@ -56,6 +66,7 @@ REPS="${KRS_BENCH_REPETITIONS:-3}"
 OUT="${KRS_BENCH_OUT:-BENCH_combining.json}"
 MACHINE_OUT="${KRS_BENCH_MACHINE_OUT:-BENCH_machine.json}"
 SHARDED_OUT="${KRS_BENCH_SHARDED_OUT:-BENCH_sharded.json}"
+LOCKS_OUT="${KRS_BENCH_LOCKS_OUT:-BENCH_locks.json}"
 TRAFFIC_OUT="${KRS_BENCH_TRAFFIC_OUT:-BENCH_traffic.json}"
 LOAD_CLIENTS="${KRS_LOAD_CLIENTS:-1048576}"
 LOAD_SECONDS="${KRS_LOAD_SECONDS:-5}"
@@ -64,11 +75,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 COMBINING_BENCHES=(bench_combining_tree bench_coordination bench_flat_vs_tree)
 MACHINE_BENCHES=(bench_machine)
 SHARDED_BENCHES=(bench_sharded)
+LOCK_BENCHES=(bench_lock_tier)
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD" -j "$JOBS" \
   --target "${COMBINING_BENCHES[@]}" "${MACHINE_BENCHES[@]}" \
-  "${SHARDED_BENCHES[@]}" krs-load
+  "${SHARDED_BENCHES[@]}" "${LOCK_BENCHES[@]}" krs-load
 
 JSON_DIR="$BUILD/bench-json"
 
@@ -114,6 +126,9 @@ run_group "$MACHINE_OUT" "machine_parallel_speedup" "${MACHINE_BENCHES[@]}"
 run_group "$SHARDED_OUT" \
   "sharded_vs_single_ops_ratio,sharded_vs_single_ops_ratio:s=4,sharded_vs_single_ops_ratio:s=8,tail_latency_p99" \
   "${SHARDED_BENCHES[@]}"
+run_group "$LOCKS_OUT" \
+  "lock_tier_ops_ratio,lock_tier_ops_ratio:futex/,lock_tier_ops_ratio:mcs/,lock_tier_ops_ratio:clh/,lock_tier_ops_ratio:ticket/,lock_tier_ops_ratio:combining/" \
+  "${LOCK_BENCHES[@]}"
 
 # The traffic harness: M logical clients (millions) on N worker threads,
 # all five scenarios, seconds-bounded per scenario. Conservation checks
@@ -130,5 +145,7 @@ python3 bench/harness/normalize.py \
   --require tail_latency_p99 \
   --require tail_latency_p99:traffic/hotspot \
   --require tail_latency_p99:traffic/closed \
+  --require tail_latency_p99:traffic/oversub_spin \
+  --require tail_latency_p99:traffic/oversub_futex \
   "$TRAFFIC_DIR"/*.json
-echo "=== bench pipeline complete: $OUT $MACHINE_OUT $SHARDED_OUT $TRAFFIC_OUT ==="
+echo "=== bench pipeline complete: $OUT $MACHINE_OUT $SHARDED_OUT $LOCKS_OUT $TRAFFIC_OUT ==="
