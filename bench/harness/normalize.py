@@ -128,6 +128,7 @@ COUNTER_KEYS = ("cycles_per_op", "combine_rate", "served_at_root_fraction",
                 "latency_p50_ns", "latency_p99_ns", "latency_p999_ns",
                 "latency_p50_cycles", "latency_p99_cycles",
                 "shard_max_share",
+                "nack_rate", "declined_fold_rate",
                 "wait_spins", "wait_yields", "wait_parks", "wait_wakes")
 
 
@@ -358,6 +359,33 @@ def normalize(runs, context, config, profiles=(), traffic=()):
             lock_tier[f"{impl}/{threads}"] = round(
                 lt_rows[(impl, threads)] / spin, 3)
 
+    # §5.6 through the substrates: BM_DlsProtocol/<substrate> rows carry
+    # the share of guarded issues the automaton legally declined
+    # (nack_rate, keyed "<substrate>/threads") and, on the combining
+    # substrates, the fold share; BM_DlsWave/budget:<v> rows pin the
+    # wire-budget decline as exact protocol constants (the narrow budget
+    # forces every two-value put fold to decline — §7 partial combining).
+    # A 0.0 nack rate is data and is KEPT; a missing row means bench_dls
+    # never produced protocol rows, which `--require dls_nack_rate` must
+    # catch.
+    dls_prefix = "BM_DlsProtocol/"
+    wave_prefix = "BM_DlsWave/"
+    dls_nack = {}
+    dls_combine = {}
+    for b in benchmarks:
+        if b["name"].startswith(dls_prefix) and "nack_rate" in b:
+            sub = b["name"][len(dls_prefix):]
+            dls_nack[f"{sub}/{b['threads']}"] = round(b["nack_rate"], 4)
+            rate = b.get("combine_rate", b.get("combined_fraction"))
+            if rate is not None:
+                dls_combine[f"{sub}/{b['threads']}"] = round(rate, 3)
+        elif b["name"].startswith(wave_prefix) and "combine_rate" in b:
+            key = b["name"][len(wave_prefix):].replace(":", "=")
+            dls_combine[key] = round(b["combine_rate"], 3)
+            if "declined_fold_rate" in b:
+                dls_combine[f"{key}/declined"] = round(
+                    b["declined_fold_rate"], 3)
+
     # Tail accounting: p99 per-op latency in ns, from the sharded bench's
     # sampled reservoirs and from krs_load traffic scenarios. Zero values
     # are dropped — an unpopulated reservoir must not green-wash
@@ -404,6 +432,10 @@ def normalize(runs, context, config, profiles=(), traffic=()):
         comparisons["sharded_vs_single_ops_ratio"] = series(sharded_vs_single)
     if lock_tier:
         comparisons["lock_tier_ops_ratio"] = series(lock_tier)
+    if dls_combine:
+        comparisons["dls_combine_rate"] = series(dls_combine)
+    if dls_nack:
+        comparisons["dls_nack_rate"] = series(dls_nack)
     if tail_p99:
         comparisons["tail_latency_p99"] = series(tail_p99)
     if hot_lines:

@@ -17,6 +17,7 @@
 
 #include "core/affine.hpp"
 #include "core/bool_unary.hpp"
+#include "core/dls.hpp"
 #include "core/fetch_theta.hpp"
 #include "core/load_store_swap.hpp"
 #include "core/rmw.hpp"
@@ -28,7 +29,7 @@ class AnyRmw {
  public:
   using value_type = Word;
   using Alt = std::variant<LssOp, FetchAdd, FetchOr, FetchAnd, FetchXor,
-                           FetchMin, FetchMax, BoolVec, Affine>;
+                           FetchMin, FetchMax, BoolVec, Affine, DlsWordOp>;
 
   constexpr AnyRmw() noexcept : op_(LssOp::load()) {}
 

@@ -13,11 +13,24 @@
 // and the per-state table realizes the paper's bound directly: a combined
 // request carries at most |S| distinct store values (Section 5.6's best
 // possible uniform bound, attained by the store-if-state=s family — see
-// tests).
+// tests). `size_bound()` is that bound in wire bytes; a switch whose
+// message format is narrower than the bound declines compositions that
+// would overflow it (`try_compose` → nullopt), and §7 partial combining
+// serves the declined request individually at the root.
+//
+// Two realizations live here:
+//
+//   * DlsOp<N>  — the compile-time-sized family over DlsCell (value word +
+//     state tag), used by the algebra tests and the simulated machine.
+//   * DlsWordOp — the runtime-sized family over a WORD-PACKED cell (state
+//     in the low 4 bits, value in the upper 60): the encoding that lets
+//     every RmwBackend substrate serve guarded operations through its
+//     ordinary word-valued fetch_rmw path (core::AnyRmw holds it as an
+//     alternative). Path expressions (Campbell–Habermann) compile to these
+//     automata — see core/path_expr.hpp and examples/path_expression.cpp.
 //
 // The full/empty family of §5.5 is the |S| = 2 special case; tests exhibit
-// the isomorphism. Path expressions (Campbell–Habermann) compile to such
-// automata; see examples/path_expression.cpp.
+// the isomorphism.
 #pragma once
 
 #include <array>
@@ -43,6 +56,57 @@ inline std::string to_string(const DlsCell& c) {
   return "(" + std::to_string(c.value) + ",s" + std::to_string(c.state) + ")";
 }
 
+// --- word packing -------------------------------------------------------------
+//
+// The runtime substrates own WORD cells, so the tagged cell rides in one
+// machine word: state tag in the low kDlsStateBits bits, value in the rest.
+// The §5.6 tractability cap (|S| ≤ 16) is exactly what makes the tag fit.
+
+inline constexpr unsigned kDlsStateBits = 4;
+inline constexpr Word kDlsStateMask = (Word{1} << kDlsStateBits) - 1;
+/// Packable values are bounded: the tag costs kDlsStateBits of the word.
+inline constexpr Word kDlsValueLimit = Word{1} << (64 - kDlsStateBits);
+
+[[nodiscard]] constexpr Word dls_pack(const DlsCell& c) noexcept {
+  return (c.value << kDlsStateBits) | (c.state & kDlsStateMask);
+}
+
+[[nodiscard]] constexpr DlsCell dls_unpack(Word w) noexcept {
+  return DlsCell{w >> kDlsStateBits,
+                 static_cast<std::uint8_t>(w & kDlsStateMask)};
+}
+
+namespace detail {
+
+/// Bits needed to index n things (0 for n ≤ 1).
+[[nodiscard]] constexpr unsigned dls_index_bits(unsigned n) noexcept {
+  unsigned bits = 0;
+  while ((1u << bits) < n) ++bits;
+  return bits;
+}
+
+/// The wire size of an |S|-state table carrying `distinct` store values:
+/// per state 1 store flag bit + a next-state index + a store-slot index
+/// (both ⌈lg |S|⌉ bits), plus the guard bitmask (1 bit per state — the
+/// success predicate now composes, so it travels with the mapping), plus
+/// the distinct store values themselves, one word each.
+[[nodiscard]] constexpr std::size_t dls_encoded_bytes(
+    unsigned nstates, unsigned distinct) noexcept {
+  const unsigned per_state = 1 + 2 * dls_index_bits(nstates);
+  const unsigned table_bits = nstates * per_state + nstates /* guard */;
+  return (table_bits + 7) / 8 + distinct * sizeof(Word);
+}
+
+/// §5.6's bound in bytes: the densest legal table stores a DISTINCT value
+/// in every state ("2^m is the best possible uniform bound"). Composition
+/// of within-bound mappings stays within it — the closure argument — so a
+/// switch budgeted at the bound never declines.
+[[nodiscard]] constexpr std::size_t dls_size_bound(unsigned nstates) noexcept {
+  return dls_encoded_bytes(nstates, nstates);
+}
+
+}  // namespace detail
+
 /// Guarded RMW operation over an automaton with NStates states.
 template <unsigned NStates>
 class DlsOp {
@@ -52,6 +116,9 @@ class DlsOp {
  public:
   using value_type = DlsCell;
   static constexpr unsigned kStates = NStates;
+  /// The §5.6 size bound for this state count — the default try_compose
+  /// budget, at which composition never declines.
+  static constexpr std::size_t kSizeBound = detail::dls_size_bound(NStates);
 
   /// What the mapping does when the cell is in a given state.
   struct Entry {
@@ -62,7 +129,9 @@ class DlsOp {
     friend constexpr bool operator==(const Entry&, const Entry&) = default;
   };
 
-  /// Identity mapping (every state: keep value, stay put).
+  /// Identity mapping (every state: keep value, stay put). The identity is
+  /// unguarded — it succeeds everywhere — so its guard is the full set and
+  /// composing it in changes no success predicate.
   constexpr DlsOp() noexcept {
     for (unsigned s = 0; s < NStates; ++s) entries_[s] = Entry{false, 0, static_cast<std::uint8_t>(s)};
   }
@@ -80,7 +149,7 @@ class DlsOp {
         op.entries_[s] = Entry{false, 0, next[s]};
       }
     }
-    op.guard_ = guard;
+    op.guard_ = static_cast<std::uint16_t>(guard & kFullGuard);
     return op;
   }
 
@@ -94,8 +163,22 @@ class DlsOp {
         op.entries_[s] = Entry{true, v, next[s]};
       }
     }
-    op.guard_ = guard;
+    op.guard_ = static_cast<std::uint16_t>(guard & kFullGuard);
     return op;
+  }
+
+  /// Copy of this mapping with a NARROWER wire budget than the §5.6 bound,
+  /// modeling a switch whose message format carries fewer value slots.
+  /// Compositions whose table would exceed the budget decline (§7 partial
+  /// combining serves them at the root instead).
+  [[nodiscard]] constexpr DlsOp with_size_budget(std::size_t bytes) const noexcept {
+    DlsOp op = *this;
+    op.size_budget_ = static_cast<std::uint16_t>(bytes);
+    return op;
+  }
+
+  [[nodiscard]] constexpr std::size_t size_budget() const noexcept {
+    return size_budget_;
   }
 
   [[nodiscard]] constexpr const Entry& entry(unsigned s) const noexcept {
@@ -103,8 +186,12 @@ class DlsOp {
     return entries_[s];
   }
 
-  /// The guard set of an *original* (uncombined) request; used by the
-  /// issuer to interpret the reply. Combined mappings do not maintain it.
+  /// The success predicate, as a state bitmask. For an original guarded
+  /// operation this is its guard set V; `compose` maintains it (the
+  /// combined request succeeds from s iff every step of the chain finds
+  /// its guard along the chased path), so `succeeded()` on a composed
+  /// session is meaningful — the issuer of a combined request can read
+  /// whole-session success off the one reply.
   [[nodiscard]] constexpr std::uint16_t guard() const noexcept { return guard_; }
 
   [[nodiscard]] constexpr bool succeeded(const DlsCell& old) const noexcept {
@@ -136,10 +223,11 @@ class DlsOp {
     return n;
   }
 
-  /// Per state: 1 flag bit + state index + value slot reference; plus the
-  /// distinct store values.
+  /// Wire bytes: per state 1 store-flag bit + next-state index + store-slot
+  /// index (⌈lg |S|⌉ bits each) + 1 guard bit, rounded up to bytes, plus
+  /// one word per distinct store value (see detail::dls_encoded_bytes).
   [[nodiscard]] constexpr std::size_t encoded_size_bytes() const noexcept {
-    return NStates + distinct_store_values() * sizeof(Word);
+    return detail::dls_encoded_bytes(NStates, distinct_store_values());
   }
 
   [[nodiscard]] std::string to_string() const {
@@ -154,12 +242,15 @@ class DlsOp {
   }
 
   friend constexpr bool operator==(const DlsOp& a, const DlsOp& b) noexcept {
-    return a.entries_ == b.entries_;  // guard_ is issuer-side metadata
+    return a.entries_ == b.entries_;  // guard/budget are issuer-side metadata
   }
 
-  /// "f then g": chase each state through f, then through g.
+  /// "f then g": chase each state through f, then through g. The success
+  /// predicate composes along the same chase: the chain succeeds from s
+  /// iff f admits s AND g admits the state f leaves behind.
   friend constexpr DlsOp compose(const DlsOp& f, const DlsOp& g) noexcept {
     DlsOp out;
+    std::uint16_t guard = 0;
     for (unsigned s = 0; s < NStates; ++s) {
       const Entry& e1 = f.entries_[s];
       const Entry& e2 = g.entries_[e1.next];
@@ -168,22 +259,280 @@ class DlsOp {
       // Normalize value to 0 for keep-entries so equality is canonical.
       o.value = e2.store ? e2.value : (e1.store ? e1.value : 0);
       o.next = e2.next;
+      if ((f.guard_ & (1u << s)) && (g.guard_ & (1u << e1.next))) {
+        guard |= static_cast<std::uint16_t>(1u << s);
+      }
     }
-    out.guard_ = 0;
+    out.guard_ = guard;
+    out.size_budget_ = f.size_budget_ < g.size_budget_ ? f.size_budget_
+                                                       : g.size_budget_;
     return out;
   }
 
+  /// Composition under the wire budget: combine unless the composed table
+  /// would exceed the narrower operand's byte budget — then decline, and
+  /// the switch serves the second individually (§7 partial combining). At
+  /// the default budget (the §5.6 bound) this never declines: the
+  /// composed table has one row per state, so it carries at most |S|
+  /// distinct store values — the closure the bound expresses.
   friend constexpr std::optional<DlsOp> try_compose(const DlsOp& f,
                                                     const DlsOp& g) noexcept {
-    return compose(f, g);
+    DlsOp out = compose(f, g);
+    if (out.encoded_size_bytes() > out.size_budget_) return std::nullopt;
+    return out;
   }
 
  private:
+  static constexpr std::uint16_t kFullGuard =
+      static_cast<std::uint16_t>((1u << NStates) - 1);
+
   std::array<Entry, NStates> entries_{};
-  std::uint16_t guard_ = 0;
+  std::uint16_t guard_ = kFullGuard;
+  std::uint16_t size_budget_ = static_cast<std::uint16_t>(kSizeBound);
 };
 
 static_assert(Rmw<DlsOp<2>>);
 static_assert(Rmw<DlsOp<4>>);
+
+// --- the word-level runtime family --------------------------------------------
+
+/// A §5.6 guarded operation over a WORD-PACKED tagged cell, sized at
+/// runtime (1..16 states). This is the encoding that makes data-level
+/// synchronization a first-class citizen of the RmwBackend seam: the op is
+/// an alternative of core::AnyRmw, so the atomic CAS loop, the combining
+/// tree, the flat combiner, the sharded wrapper, the lock tier, and the
+/// simulated machine all serve it through their ordinary fetch_rmw path.
+/// Cells must be initialized with dls_pack(initial) and values must stay
+/// below kDlsValueLimit (the tag owns the low bits).
+///
+/// Identity is the UNIVERSAL identity (state-count 0 sentinel): it applies
+/// as a plain load on any cell and composes with any automaton — so
+/// AnyRmw's identity-absorption and the Rmw identity laws hold without
+/// knowing the state count. try_compose declines across distinct automata
+/// (different state counts: the transition tables are not composable) and
+/// past the wire budget, exactly like DlsOp.
+class DlsWordOp {
+ public:
+  using value_type = Word;
+  static constexpr unsigned kMaxStates = 16;
+
+  /// Universal identity: plain load, composes with everything.
+  constexpr DlsWordOp() noexcept = default;
+
+  static constexpr DlsWordOp identity() noexcept { return DlsWordOp{}; }
+
+  [[nodiscard]] constexpr bool is_identity() const noexcept {
+    return nstates_ == 0;
+  }
+
+  [[nodiscard]] constexpr unsigned states() const noexcept { return nstates_; }
+
+  static constexpr DlsWordOp guarded_load(
+      unsigned nstates, std::uint16_t guard,
+      const std::array<std::uint8_t, kMaxStates>& next) noexcept {
+    return make(nstates, guard, next, /*store=*/false, 0);
+  }
+
+  static constexpr DlsWordOp guarded_store(
+      unsigned nstates, Word v, std::uint16_t guard,
+      const std::array<std::uint8_t, kMaxStates>& next) noexcept {
+    KRS_EXPECTS(v < kDlsValueLimit);
+    return make(nstates, guard, next, /*store=*/true, v);
+  }
+
+  /// The packed twin of a compile-time DlsOp (same table, same guard, same
+  /// budget semantics) — the bridge the equivalence tests drive.
+  template <unsigned N>
+  static constexpr DlsWordOp from(const DlsOp<N>& op) noexcept {
+    DlsWordOp out;
+    out.nstates_ = N;
+    out.guard_ = op.guard();
+    out.size_budget_ = static_cast<std::uint16_t>(op.size_budget());
+    for (unsigned s = 0; s < N; ++s) {
+      const auto& e = op.entry(s);
+      KRS_ASSERT(!e.store || e.value < kDlsValueLimit);
+      out.values_[s] = e.store ? e.value : 0;
+      out.ctrl_[s] = pack_ctrl(e.store, e.next);
+    }
+    return out;
+  }
+
+  /// Copy with a narrower wire budget (see DlsOp::with_size_budget).
+  [[nodiscard]] constexpr DlsWordOp with_size_budget(
+      std::size_t bytes) const noexcept {
+    DlsWordOp op = *this;
+    op.size_budget_ = static_cast<std::uint16_t>(bytes);
+    return op;
+  }
+
+  [[nodiscard]] constexpr std::size_t size_budget() const noexcept {
+    return size_budget_;
+  }
+
+  [[nodiscard]] constexpr std::uint16_t guard() const noexcept {
+    return is_identity() ? std::uint16_t{0xFFFF} : guard_;
+  }
+
+  /// Success read off the packed PRIOR word of the reply, per the §5.6
+  /// nack rule: the issuer decodes the old state and checks its guard.
+  [[nodiscard]] constexpr bool succeeded(Word prior) const noexcept {
+    return is_identity() ||
+           (guard_ & (1u << (prior & kDlsStateMask))) != 0;
+  }
+
+  [[nodiscard]] constexpr bool stores_in(unsigned s) const noexcept {
+    return (ctrl_[s] & kStoreBit) != 0;
+  }
+  [[nodiscard]] constexpr std::uint8_t next_of(unsigned s) const noexcept {
+    return static_cast<std::uint8_t>(ctrl_[s] & kNextMask);
+  }
+  [[nodiscard]] constexpr Word value_of(unsigned s) const noexcept {
+    return values_[s];
+  }
+
+  /// Total on words: a tag outside the automaton (s ≥ nstates, only
+  /// reachable through a mis-initialized cell) behaves as failure —
+  /// identity, like any un-guarded state.
+  [[nodiscard]] constexpr Word apply(Word w) const noexcept {
+    const unsigned s = static_cast<unsigned>(w & kDlsStateMask);
+    if (is_identity() || s >= nstates_) return w;
+    const Word value = stores_in(s) ? values_[s] : (w >> kDlsStateBits);
+    return (value << kDlsStateBits) | next_of(s);
+  }
+
+  [[nodiscard]] constexpr unsigned distinct_store_values() const noexcept {
+    std::array<Word, kMaxStates> vals{};
+    unsigned n = 0;
+    for (unsigned s = 0; s < nstates_; ++s) {
+      if (!stores_in(s)) continue;
+      bool seen = false;
+      for (unsigned i = 0; i < n; ++i) {
+        if (vals[i] == values_[s]) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) vals[n++] = values_[s];
+    }
+    return n;
+  }
+
+  /// Same wire format as DlsOp (detail::dls_encoded_bytes); the identity
+  /// is a bare load — one byte of opcode, no table.
+  [[nodiscard]] constexpr std::size_t encoded_size_bytes() const noexcept {
+    if (is_identity()) return 1;
+    return detail::dls_encoded_bytes(nstates_, distinct_store_values());
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_identity()) return "dlsw{id}";
+    std::string s = "dlsw{";
+    for (unsigned i = 0; i < nstates_; ++i) {
+      if (i) s += ";";
+      s += "s" + std::to_string(i) +
+           (stores_in(i) ? "->(" + std::to_string(values_[i]) + ",s"
+                         : "->(keep,s") +
+           std::to_string(next_of(i)) + ")";
+    }
+    return s + "}";
+  }
+
+  /// Semantic equality: same automaton size and same per-state behavior.
+  /// Guard and budget are issuer/switch metadata, kept out of equality
+  /// like DlsOp does.
+  friend constexpr bool operator==(const DlsWordOp& a,
+                                   const DlsWordOp& b) noexcept {
+    if (a.nstates_ != b.nstates_) return false;
+    for (unsigned s = 0; s < a.nstates_; ++s) {
+      if (a.ctrl_[s] != b.ctrl_[s]) return false;
+      if (a.stores_in(s) && a.values_[s] != b.values_[s]) return false;
+    }
+    return true;
+  }
+
+  /// "f then g", defined when one side is the identity or the state
+  /// counts match; the table chase, guard composition, and budget meet
+  /// mirror DlsOp::compose.
+  friend constexpr DlsWordOp compose(const DlsWordOp& f, const DlsWordOp& g) {
+    if (f.is_identity()) return g;
+    if (g.is_identity()) return f;
+    KRS_EXPECTS(f.nstates_ == g.nstates_);
+    DlsWordOp out;
+    out.nstates_ = f.nstates_;
+    std::uint16_t guard = 0;
+    for (unsigned s = 0; s < f.nstates_; ++s) {
+      const unsigned mid = f.next_of(s);
+      const bool store = f.stores_in(s) || g.stores_in(mid);
+      Word value = 0;
+      if (g.stores_in(mid)) {
+        value = g.values_[mid];
+      } else if (f.stores_in(s)) {
+        value = f.values_[s];
+      }
+      out.values_[s] = value;
+      out.ctrl_[s] = pack_ctrl(store, g.next_of(mid));
+      if ((f.guard_ & (1u << s)) && (g.guard_ & (1u << mid))) {
+        guard |= static_cast<std::uint16_t>(1u << s);
+      }
+    }
+    out.guard_ = guard;
+    out.size_budget_ = f.size_budget_ < g.size_budget_ ? f.size_budget_
+                                                       : g.size_budget_;
+    return out;
+  }
+
+  /// Decline across distinct automata and past the wire budget; combine
+  /// otherwise. §7 partial combining makes every decline correct — the
+  /// switch serves the second individually at the root.
+  friend constexpr std::optional<DlsWordOp> try_compose(
+      const DlsWordOp& f, const DlsWordOp& g) noexcept {
+    if (!f.is_identity() && !g.is_identity() && f.nstates_ != g.nstates_) {
+      return std::nullopt;
+    }
+    DlsWordOp out = compose(f, g);
+    if (out.encoded_size_bytes() > out.size_budget_) return std::nullopt;
+    return out;
+  }
+
+ private:
+  static constexpr std::uint8_t kStoreBit = 0x80;
+  static constexpr std::uint8_t kNextMask = 0x0F;
+
+  static constexpr std::uint8_t pack_ctrl(bool store,
+                                          std::uint8_t next) noexcept {
+    return static_cast<std::uint8_t>((store ? kStoreBit : 0) |
+                                     (next & kNextMask));
+  }
+
+  static constexpr DlsWordOp make(
+      unsigned nstates, std::uint16_t guard,
+      const std::array<std::uint8_t, kMaxStates>& next, bool store,
+      Word v) noexcept {
+    KRS_EXPECTS(nstates >= 1 && nstates <= kMaxStates);
+    DlsWordOp op;
+    op.nstates_ = static_cast<std::uint8_t>(nstates);
+    op.guard_ = static_cast<std::uint16_t>(guard & ((1u << nstates) - 1));
+    op.size_budget_ =
+        static_cast<std::uint16_t>(detail::dls_size_bound(nstates));
+    for (unsigned s = 0; s < nstates; ++s) {
+      if (op.guard_ & (1u << s)) {
+        KRS_ASSERT(next[s] < nstates);
+        op.values_[s] = store ? v : 0;
+        op.ctrl_[s] = pack_ctrl(store, next[s]);
+      } else {
+        op.ctrl_[s] = pack_ctrl(false, static_cast<std::uint8_t>(s));
+      }
+    }
+    return op;
+  }
+
+  std::array<Word, kMaxStates> values_{};
+  std::array<std::uint8_t, kMaxStates> ctrl_{};
+  std::uint8_t nstates_ = 0;       ///< 0 = universal identity
+  std::uint16_t guard_ = 0;
+  std::uint16_t size_budget_ = 1;  ///< identity encodes as one opcode byte
+};
+
+static_assert(Rmw<DlsWordOp>);
 
 }  // namespace krs::core

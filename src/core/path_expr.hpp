@@ -1,0 +1,479 @@
+// Path expressions → §5.6 data-level-sync automata.
+//
+// Campbell–Habermann path expressions declare the legal orderings of
+// operations on a shared object: `open (read | append)* close` says every
+// session opens, then reads/appends, then closes — and the path repeats.
+// Operationally a path expression IS a cyclic finite automaton over
+// operation names, which is exactly the ⟨Φ, S, δ⟩ shape of the paper's
+// §5.6 data-level synchronization: tag the object with the automaton
+// state, guard each operation by the states where the path admits it, and
+// let failed operations NACK without touching the cell.
+//
+// This header compiles the expression language
+//
+//   expr   := seq ('|' seq)*            alternation
+//   seq    := factor+                   concatenation (whitespace)
+//   factor := atom '*' | atom '+' | atom
+//   atom   := ident | '(' expr ')'
+//
+// through the classical pipeline — Thompson construction, an ε edge from
+// accept back to start (paths repeat), subset construction, Moore
+// partition refinement — into a minimal DFA. Acceptance is erased by the
+// cyclic wrap, so minimization merges on transition behavior alone, which
+// is sound for prefix-closed protocol traces. The result must respect the
+// §5.6 tractability cap (≤ 16 states, DlsWordOp::kMaxStates): the guard
+// masks and transition tables of every operation drop straight into
+// DlsOp / DlsWordOp builders, and the automaton is served through any
+// RmwBackend substrate as ordinary word RMWs (see runtime/dls_service.hpp
+// and workload/path_scenarios.hpp).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/dls.hpp"
+#include "util/assert.hpp"
+
+namespace krs::core {
+
+/// A compiled path expression: a minimal cyclic DFA over operation names,
+/// start state 0, at most DlsWordOp::kMaxStates states. Operations missing
+/// from a state are NACKs (the §5.6 failure/identity entry).
+class PathAutomaton {
+ public:
+  [[nodiscard]] unsigned states() const noexcept { return nstates_; }
+
+  /// Operation names in first-appearance order.
+  [[nodiscard]] const std::vector<std::string>& alphabet() const noexcept {
+    return names_;
+  }
+
+  [[nodiscard]] bool has_op(std::string_view name) const noexcept {
+    return find(name) >= 0;
+  }
+
+  /// The guard set of an operation: the states in which the path admits it.
+  [[nodiscard]] std::uint16_t guard_of(std::string_view name) const {
+    const int a = find(name);
+    KRS_EXPECTS(a >= 0);
+    return guards_[static_cast<std::size_t>(a)];
+  }
+
+  /// δ(state, name); only meaningful where the guard admits the state.
+  [[nodiscard]] std::uint8_t next_of(std::string_view name,
+                                     unsigned state) const {
+    const int a = find(name);
+    KRS_EXPECTS(a >= 0 && state < nstates_);
+    return nexts_[static_cast<std::size_t>(a)][state];
+  }
+
+  [[nodiscard]] bool admits(std::string_view name, unsigned state) const {
+    return (guard_of(name) & (1u << state)) != 0;
+  }
+
+  /// The operation as a word-level guarded load (value untouched).
+  [[nodiscard]] DlsWordOp load_op(std::string_view name) const {
+    const int a = find(name);
+    KRS_EXPECTS(a >= 0);
+    return DlsWordOp::guarded_load(nstates_,
+                                   guards_[static_cast<std::size_t>(a)],
+                                   nexts_[static_cast<std::size_t>(a)]);
+  }
+
+  /// The operation as a word-level guarded store of v.
+  [[nodiscard]] DlsWordOp store_op(std::string_view name, Word v) const {
+    const int a = find(name);
+    KRS_EXPECTS(a >= 0);
+    return DlsWordOp::guarded_store(nstates_, v,
+                                    guards_[static_cast<std::size_t>(a)],
+                                    nexts_[static_cast<std::size_t>(a)]);
+  }
+
+  /// Compile-time-sized twins for the algebra layer / simulated machine.
+  /// N must equal states().
+  template <unsigned N>
+  [[nodiscard]] DlsOp<N> typed_load_op(std::string_view name) const {
+    KRS_EXPECTS(N == nstates_);
+    const int a = find(name);
+    KRS_EXPECTS(a >= 0);
+    return DlsOp<N>::guarded_load(guards_[static_cast<std::size_t>(a)],
+                                  trim<N>(nexts_[static_cast<std::size_t>(a)]));
+  }
+
+  template <unsigned N>
+  [[nodiscard]] DlsOp<N> typed_store_op(std::string_view name, Word v) const {
+    KRS_EXPECTS(N == nstates_);
+    const int a = find(name);
+    KRS_EXPECTS(a >= 0);
+    return DlsOp<N>::guarded_store(
+        v, guards_[static_cast<std::size_t>(a)],
+        trim<N>(nexts_[static_cast<std::size_t>(a)]));
+  }
+
+  /// Walk a scripted trace from state 0; true iff every step is admitted.
+  [[nodiscard]] bool accepts_trace(
+      const std::vector<std::string>& trace) const {
+    unsigned s = 0;
+    for (const auto& op : trace) {
+      if (!has_op(op) || !admits(op, s)) return false;
+      s = next_of(op, s);
+    }
+    return true;
+  }
+
+ private:
+  friend class PathCompiler;
+
+  [[nodiscard]] int find(std::string_view name) const noexcept {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  template <unsigned N>
+  static std::array<std::uint8_t, N> trim(
+      const std::array<std::uint8_t, DlsWordOp::kMaxStates>& full) {
+    std::array<std::uint8_t, N> out{};
+    for (unsigned i = 0; i < N; ++i) out[i] = full[i];
+    return out;
+  }
+
+  unsigned nstates_ = 1;
+  std::vector<std::string> names_;
+  std::vector<std::uint16_t> guards_;
+  std::vector<std::array<std::uint8_t, DlsWordOp::kMaxStates>> nexts_;
+};
+
+/// Compiles path expressions. Stateless apart from error reporting:
+///
+///   PathCompiler pc;
+///   auto a = pc.compile("open (read | append)* close");
+///   if (!a) { ... pc.error() ... }
+class PathCompiler {
+  /// Thompson NFA cap; expressions are tiny, this is a sanity bound.
+  static constexpr std::size_t kMaxNfa = 256;
+
+ public:
+  [[nodiscard]] std::optional<PathAutomaton> compile(std::string_view src) {
+    error_.clear();
+    nfa_.clear();
+    names_.clear();
+    src_ = src;
+    pos_ = 0;
+
+    const auto frag = parse_expr();
+    if (!frag) return std::nullopt;
+    skip_ws();
+    if (pos_ != src_.size()) {
+      return fail("unexpected '" + std::string(1, src_[pos_]) + "' at offset " +
+                  std::to_string(pos_));
+    }
+    if (names_.empty()) return fail("empty path expression");
+
+    // Paths repeat: wrap the accept back onto the start before
+    // determinizing, which also erases acceptance (every trace prefix of
+    // the repeated path is legal).
+    nfa_[static_cast<std::size_t>(frag->accept)].eps.push_back(frag->start);
+    return determinize(frag->start);
+  }
+
+  /// Why the last compile() returned nullopt.
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+ private:
+  using NfaSet = std::bitset<kMaxNfa>;
+
+  struct NfaState {
+    std::vector<std::pair<int, int>> edges;  ///< (symbol, target)
+    std::vector<int> eps;
+  };
+  struct Frag {
+    int start;
+    int accept;
+  };
+
+  // --- recursive-descent parser over Thompson fragments ---
+
+  std::optional<Frag> parse_expr() {
+    auto left = parse_seq();
+    if (!left) return std::nullopt;
+    while (peek() == '|') {
+      ++pos_;
+      auto right = parse_seq();
+      if (!right) return std::nullopt;
+      const int s = add_state();
+      const int t = add_state();
+      if (s < 0 || t < 0) return std::nullopt;
+      nfa_[static_cast<std::size_t>(s)].eps = {left->start, right->start};
+      nfa_[static_cast<std::size_t>(left->accept)].eps.push_back(t);
+      nfa_[static_cast<std::size_t>(right->accept)].eps.push_back(t);
+      left = Frag{s, t};
+    }
+    return left;
+  }
+
+  std::optional<Frag> parse_seq() {
+    std::optional<Frag> acc;
+    while (true) {
+      const char c = peek();
+      if (c != '(' && !is_ident_start(c)) break;
+      auto f = parse_factor();
+      if (!f) return std::nullopt;
+      if (!acc) {
+        acc = f;
+      } else {
+        nfa_[static_cast<std::size_t>(acc->accept)].eps.push_back(f->start);
+        acc->accept = f->accept;
+      }
+    }
+    if (!acc) return fail_frag("expected an operation name or '('");
+    return acc;
+  }
+
+  std::optional<Frag> parse_factor() {
+    auto inner = parse_atom();
+    if (!inner) return std::nullopt;
+    const char c = peek();
+    if (c == '*' || c == '+') {
+      ++pos_;
+      const int s = add_state();
+      const int t = add_state();
+      if (s < 0 || t < 0) return std::nullopt;
+      auto& start = nfa_[static_cast<std::size_t>(s)];
+      start.eps.push_back(inner->start);
+      if (c == '*') start.eps.push_back(t);  // zero iterations allowed
+      auto& acc = nfa_[static_cast<std::size_t>(inner->accept)];
+      acc.eps.push_back(inner->start);  // loop
+      acc.eps.push_back(t);
+      return Frag{s, t};
+    }
+    return inner;
+  }
+
+  std::optional<Frag> parse_atom() {
+    skip_ws();
+    if (peek() == '(') {
+      ++pos_;
+      auto inner = parse_expr();
+      if (!inner) return std::nullopt;
+      skip_ws();
+      if (peek() != ')') return fail_frag("missing ')'");
+      ++pos_;
+      return inner;
+    }
+    if (!is_ident_start(peek())) {
+      return fail_frag("expected an operation name or '('");
+    }
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    const int sym = intern(src_.substr(begin, pos_ - begin));
+    const int s = add_state();
+    const int t = add_state();
+    if (s < 0 || t < 0) return std::nullopt;
+    nfa_[static_cast<std::size_t>(s)].edges.emplace_back(sym, t);
+    return Frag{s, t};
+  }
+
+  // --- subset construction + Moore minimization ---
+
+  std::optional<PathAutomaton> determinize(int nfa_start) {
+    const auto nsyms = static_cast<int>(names_.size());
+
+    NfaSet start;
+    start.set(static_cast<std::size_t>(nfa_start));
+    close(start);
+
+    std::map<NfaSet, int, SetLess> ids;
+    std::vector<NfaSet> sets{start};
+    ids.emplace(start, 0);
+    // dfa[state][symbol] = target, -1 = not admitted (NACK).
+    std::vector<std::vector<int>> dfa;
+
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      dfa.emplace_back(static_cast<std::size_t>(nsyms), -1);
+      for (int a = 0; a < nsyms; ++a) {
+        NfaSet next;
+        for (std::size_t q = 0; q < nfa_.size(); ++q) {
+          if (!sets[i].test(q)) continue;
+          for (const auto& [sym, to] : nfa_[q].edges) {
+            if (sym == a) next.set(static_cast<std::size_t>(to));
+          }
+        }
+        if (next.none()) continue;
+        close(next);
+        auto [it, inserted] = ids.emplace(next, static_cast<int>(sets.size()));
+        if (inserted) sets.push_back(next);
+        dfa[i][static_cast<std::size_t>(a)] = it->second;
+      }
+      // The subset graph can exceed the state cap before minimization
+      // shrinks it; bound the walk at something comfortably larger.
+      if (sets.size() > 4 * DlsWordOp::kMaxStates) {
+        fail("path expression explodes past " +
+             std::to_string(4 * DlsWordOp::kMaxStates) +
+             " subset states before minimization");
+        return std::nullopt;
+      }
+    }
+
+    // Moore refinement. No acceptance split (the cyclic wrap erased it):
+    // start from one block, split on (symbol → block) signatures.
+    const auto n = static_cast<int>(sets.size());
+    std::vector<int> block(static_cast<std::size_t>(n), 0);
+    int nblocks = 1;
+    while (true) {
+      std::map<std::vector<int>, int> sig_ids;
+      std::vector<int> next_block(static_cast<std::size_t>(n));
+      for (int q = 0; q < n; ++q) {
+        std::vector<int> sig;
+        sig.reserve(static_cast<std::size_t>(nsyms) + 1);
+        sig.push_back(block[static_cast<std::size_t>(q)]);
+        for (int a = 0; a < nsyms; ++a) {
+          const int t = dfa[static_cast<std::size_t>(q)][static_cast<std::size_t>(a)];
+          sig.push_back(t < 0 ? -1 : block[static_cast<std::size_t>(t)]);
+        }
+        auto [it, inserted] =
+            sig_ids.emplace(std::move(sig), static_cast<int>(sig_ids.size()));
+        next_block[static_cast<std::size_t>(q)] = it->second;
+      }
+      const auto count = static_cast<int>(sig_ids.size());
+      block = std::move(next_block);
+      if (count == nblocks) break;
+      nblocks = count;
+    }
+
+    if (nblocks > static_cast<int>(DlsWordOp::kMaxStates)) {
+      fail("path expression needs " + std::to_string(nblocks) +
+           " states; the §5.6 tractability cap is " +
+           std::to_string(DlsWordOp::kMaxStates));
+      return std::nullopt;
+    }
+
+    // Renumber blocks BFS-from-start so state 0 is the initial state and
+    // the numbering is deterministic.
+    std::vector<int> renum(static_cast<std::size_t>(nblocks), -1);
+    std::vector<int> rep;  // representative DFA state per renumbered block
+    renum[static_cast<std::size_t>(block[0])] = 0;
+    rep.push_back(0);
+    for (std::size_t i = 0; i < rep.size(); ++i) {
+      for (int a = 0; a < nsyms; ++a) {
+        const int t = dfa[static_cast<std::size_t>(rep[i])][static_cast<std::size_t>(a)];
+        if (t < 0) continue;
+        const int b = block[static_cast<std::size_t>(t)];
+        if (renum[static_cast<std::size_t>(b)] < 0) {
+          renum[static_cast<std::size_t>(b)] = static_cast<int>(rep.size());
+          rep.push_back(t);
+        }
+      }
+    }
+    // Every block is reachable from the start block by construction
+    // (subset states are reachable, and blocks partition them).
+    KRS_ASSERT(static_cast<int>(rep.size()) == nblocks);
+
+    PathAutomaton out;
+    out.nstates_ = static_cast<unsigned>(nblocks);
+    out.names_ = names_;
+    out.guards_.assign(static_cast<std::size_t>(nsyms), 0);
+    out.nexts_.assign(static_cast<std::size_t>(nsyms), {});
+    for (int a = 0; a < nsyms; ++a) {
+      for (int b = 0; b < nblocks; ++b) {
+        const int t = dfa[static_cast<std::size_t>(rep[static_cast<std::size_t>(b)])]
+                         [static_cast<std::size_t>(a)];
+        if (t < 0) continue;
+        out.guards_[static_cast<std::size_t>(a)] |=
+            static_cast<std::uint16_t>(1u << b);
+        out.nexts_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(
+                renum[static_cast<std::size_t>(block[static_cast<std::size_t>(t)])]);
+      }
+    }
+    return out;
+  }
+
+  void close(NfaSet& set) const {
+    std::vector<std::size_t> stack;
+    for (std::size_t q = 0; q < nfa_.size(); ++q) {
+      if (set.test(q)) stack.push_back(q);
+    }
+    while (!stack.empty()) {
+      const std::size_t q = stack.back();
+      stack.pop_back();
+      for (const int to : nfa_[q].eps) {
+        if (!set.test(static_cast<std::size_t>(to))) {
+          set.set(static_cast<std::size_t>(to));
+          stack.push_back(static_cast<std::size_t>(to));
+        }
+      }
+    }
+  }
+
+  struct SetLess {
+    bool operator()(const NfaSet& a, const NfaSet& b) const {
+      for (std::size_t w = 0; w < kMaxNfa; ++w) {
+        if (a.test(w) != b.test(w)) return b.test(w);
+      }
+      return false;
+    }
+  };
+
+  // --- small helpers ---
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < src_.size() ? src_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < src_.size() &&
+           (src_[pos_] == ' ' || src_[pos_] == '\t' || src_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+  static bool is_ident_start(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  }
+  static bool is_ident_char(char c) {
+    return is_ident_start(c) || (c >= '0' && c <= '9') || c == '.';
+  }
+
+  int intern(std::string_view name) {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<int>(i);
+    }
+    names_.emplace_back(name);
+    return static_cast<int>(names_.size() - 1);
+  }
+
+  int add_state() {
+    if (nfa_.size() >= kMaxNfa) {
+      fail("path expression too large (NFA cap " + std::to_string(kMaxNfa) +
+           ")");
+      return -1;
+    }
+    nfa_.emplace_back();
+    return static_cast<int>(nfa_.size() - 1);
+  }
+
+  std::nullopt_t fail(std::string msg) {
+    if (error_.empty()) error_ = std::move(msg);
+    return std::nullopt;
+  }
+  std::optional<Frag> fail_frag(std::string msg) {
+    fail(std::move(msg));
+    return std::nullopt;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::vector<NfaState> nfa_;
+  std::vector<std::string> names_;
+  std::string error_;
+};
+
+}  // namespace krs::core

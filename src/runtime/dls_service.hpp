@@ -1,0 +1,87 @@
+// §5.6 data-level synchronization served through any RmwBackend.
+//
+// A DlsHost owns one backend cell holding a word-packed tagged value
+// (core::dls_pack: state tag in the low bits) and issues guarded
+// operations (core::DlsWordOp) through the substrate's ordinary
+// `fetch_rmw` path — so the atomic CAS loop, the combining tree (which
+// COMBINES automaton transitions and partially declines past the wire
+// budget, §7), the flat combiner, the sharded wrapper, the lock tier, and
+// the simulated machine all serve protocol steps the same way they serve
+// fetch-and-add. The reply carries the prior packed word; per §5.6 the
+// issuer reads success (ack vs nack) off the old state, and a nacked
+// operation is a no-op on the cell.
+//
+// IMPORTANT for sharded substrates: a DLS cell is ONE automaton — its
+// state tag cannot be striped across shards the way a counter can. Hosts
+// over ShardedBackend must pin a route (ScopedRouteKey) so every issuer
+// reaches the same inner cell; the conservation tests do exactly that.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "core/any_rmw.hpp"
+#include "core/dls.hpp"
+#include "runtime/rmw_backend.hpp"
+
+namespace krs::runtime {
+
+/// One §5.6-synchronized cell over a backend substrate.
+template <RmwBackend B>
+class DlsHost {
+ public:
+  struct Reply {
+    bool ok;              ///< old state ∈ guard: the operation took effect
+    core::DlsCell prior;  ///< unpacked cell BEFORE the operation
+  };
+
+  DlsHost(B& backend, core::DlsCell initial)
+      : backend_(backend), cell_(backend, core::dls_pack(initial)) {}
+
+  explicit DlsHost(B& backend) : DlsHost(backend, core::DlsCell{}) {}
+
+  /// Issue one guarded operation; never blocks beyond the substrate's own
+  /// combining/locking. A nack left the cell untouched.
+  Reply issue(const core::DlsWordOp& op) {
+    const core::Word prior = backend_.fetch_rmw(cell_, core::AnyRmw(op));
+    const bool ok = op.succeeded(prior);
+    (ok ? acks_ : nacks_).fetch_add(1, std::memory_order_relaxed);
+    return Reply{ok, core::dls_unpack(prior)};
+  }
+
+  /// Retry until the guard admits, up to max_attempts; nullopt = gave up
+  /// (each failed attempt was a §5.6 nack, counted in nacks()).
+  std::optional<Reply> issue_until(const core::DlsWordOp& op,
+                                   unsigned max_attempts) {
+    for (unsigned i = 0; i < max_attempts; ++i) {
+      Reply r = issue(op);
+      if (r.ok) return r;
+    }
+    return std::nullopt;
+  }
+
+  /// Unpacked snapshot of the cell (plain backend load; on a combining
+  /// substrate this is the tree's decombined read).
+  [[nodiscard]] core::DlsCell snapshot() const {
+    return core::dls_unpack(backend_.load(cell_));
+  }
+
+  [[nodiscard]] std::uint64_t acks() const noexcept {
+    return acks_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t nacks() const noexcept {
+    return nacks_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] B& backend() noexcept { return backend_; }
+  [[nodiscard]] typename B::Cell& cell() noexcept { return cell_; }
+
+ private:
+  B& backend_;
+  typename B::Cell cell_;
+  std::atomic<std::uint64_t> acks_{0};
+  std::atomic<std::uint64_t> nacks_{0};
+};
+
+}  // namespace krs::runtime

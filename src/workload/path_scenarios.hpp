@@ -1,0 +1,145 @@
+// Coordination scenarios written as path expressions.
+//
+// The paper's §5.6 sketches data-level synchronization and points at path
+// expressions as the protocol language; this header writes the classic
+// scenarios DOWN as expressions, compiles them (core/path_expr.hpp) to
+// minimal automata, and hands out the guarded operations as word-level
+// RMWs (core::DlsWordOp) any substrate can serve (runtime/dls_service.hpp).
+//
+// Each scenario documents the conservation invariant its automaton
+// enforces — the property the multi-thread tests check after hammering
+// the cell from 2/4/8 threads:
+//
+//   ProducerConsumerPath  `put (put get)* get`
+//       3 states = buffer occupancy 0..2. Acked puts minus acked gets
+//       equals the final occupancy; a get's reply value is the most
+//       recently acked put's value (the cell is a depth-2 handoff slot).
+//
+//   ReadersWritersPath    `w_open w_append* w_close | r_open (r_open r_close)* r_close`
+//       4 states: idle / writer-active / one-reader / two-readers.
+//       Writers exclude everyone (w_append is only admitted inside an
+//       acked w_open session); up to two readers share. Acked opens
+//       minus acked closes equals the occupancy encoded by the final
+//       state; closes never outrun opens.
+//
+//   FileSessionPath       `open (read | append)* close`
+//       2 states = the §5.5 full/empty pair: `open` flips empty→full
+//       like a lock acquire, everything else is guarded by full. Acked
+//       opens minus acked closes is 0 or 1 at every instant.
+#pragma once
+
+#include <string_view>
+
+#include "core/dls.hpp"
+#include "core/path_expr.hpp"
+#include "util/assert.hpp"
+
+namespace krs::workload {
+
+/// A compiled path-expression protocol: owns the automaton, exposes the
+/// operations. Construction asserts the expression compiles — these are
+/// library-fixed protocols, not user input.
+class CompiledPath {
+ public:
+  explicit CompiledPath(std::string_view expr) {
+    core::PathCompiler pc;
+    auto a = pc.compile(expr);
+    KRS_ASSERT(a.has_value());
+    automaton_ = *a;
+  }
+
+  [[nodiscard]] const core::PathAutomaton& automaton() const noexcept {
+    return automaton_;
+  }
+  [[nodiscard]] unsigned states() const noexcept {
+    return automaton_.states();
+  }
+
+  [[nodiscard]] core::DlsWordOp op(std::string_view name) const {
+    return automaton_.load_op(name);
+  }
+  [[nodiscard]] core::DlsWordOp store(std::string_view name,
+                                      core::Word v) const {
+    return automaton_.store_op(name, v);
+  }
+
+ private:
+  core::PathAutomaton automaton_;
+};
+
+/// Depth-2 producer/consumer handoff slot. State = occupancy (0, 1, 2).
+class ProducerConsumerPath : public CompiledPath {
+ public:
+  static constexpr std::string_view kExpr = "put (put get)* get";
+
+  ProducerConsumerPath() : CompiledPath(kExpr) {
+    KRS_ASSERT(states() == 3);
+  }
+
+  /// Deposit v; admitted while occupancy < 2.
+  [[nodiscard]] core::DlsWordOp put(core::Word v) const {
+    return store("put", v);
+  }
+  /// Remove; admitted while occupancy > 0. The reply's prior value is the
+  /// latest acked put.
+  [[nodiscard]] core::DlsWordOp get() const { return op("get"); }
+
+  /// Occupancy is literally the automaton state.
+  [[nodiscard]] static unsigned occupancy(const core::DlsCell& c) noexcept {
+    return c.state;
+  }
+};
+
+/// One writer XOR up to two readers. States: 0 idle, then writer-active
+/// and the reader-count states as the compiler numbers them.
+class ReadersWritersPath : public CompiledPath {
+ public:
+  static constexpr std::string_view kExpr =
+      "w_open w_append* w_close | r_open (r_open r_close)* r_close";
+
+  ReadersWritersPath() : CompiledPath(kExpr) {
+    KRS_ASSERT(states() == 4);
+  }
+
+  [[nodiscard]] core::DlsWordOp writer_open() const { return op("w_open"); }
+  [[nodiscard]] core::DlsWordOp writer_append(core::Word v) const {
+    return store("w_append", v);
+  }
+  [[nodiscard]] core::DlsWordOp writer_close() const { return op("w_close"); }
+  [[nodiscard]] core::DlsWordOp reader_open() const { return op("r_open"); }
+  [[nodiscard]] core::DlsWordOp reader_close() const { return op("r_close"); }
+
+  /// Opens-minus-closes encoded by a state: idle 0, writer or one reader
+  /// 1, two readers 2. Derived from the automaton rather than hard-coded
+  /// state numbers.
+  [[nodiscard]] unsigned occupancy(unsigned state) const {
+    if (state == 0) return 0;
+    // Two readers iff r_close leads to a state that still admits r_close.
+    const auto& a = automaton();
+    if (a.admits("r_close", state) &&
+        a.admits("r_close", a.next_of("r_close", state))) {
+      return 2;
+    }
+    return 1;
+  }
+};
+
+/// The §5.5 full/empty cell as the 2-state path `open (read | append)*
+/// close` — the smallest protocol the automaton family embeds.
+class FileSessionPath : public CompiledPath {
+ public:
+  static constexpr std::string_view kExpr = "open (read | append)* close";
+
+  FileSessionPath() : CompiledPath(kExpr) {
+    KRS_ASSERT(states() == 2);
+  }
+
+  [[nodiscard]] core::DlsWordOp open() const { return op("open"); }
+  [[nodiscard]] core::DlsWordOp read() const { return op("read"); }
+  [[nodiscard]] core::DlsWordOp append(core::Word v) const {
+    return store("append", v);
+  }
+  [[nodiscard]] core::DlsWordOp close() const { return op("close"); }
+};
+
+}  // namespace krs::workload

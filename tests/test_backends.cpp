@@ -31,6 +31,7 @@
 
 #include "analysis/instrument.hpp"
 #include "core/any_rmw.hpp"
+#include "core/dls.hpp"
 #include "core/fetch_theta.hpp"
 #include "core/load_store_swap.hpp"
 #include "runtime/combining_backend.hpp"
@@ -44,6 +45,7 @@
 #include "runtime/sharded_backend.hpp"
 #include "runtime/sim_backend.hpp"
 #include "verify/race_explorer.hpp"
+#include "workload/path_scenarios.hpp"
 
 namespace krs::runtime {
 
@@ -782,6 +784,29 @@ TEST(DeclinedCombineModel, RootServiceOfDeclinedSecondIsRaceFree) {
       << res.racy_schedules << " of " << res.schedules << " schedules racy";
 }
 
+TEST(DeclinedCombineModel, DlsNackRetryAfterRootServiceIsRaceFree) {
+  // The §5.6 variant of root service: the declined second is a GUARDED
+  // operation whose reply (the prior word) told the issuer NACK, so the
+  // issuer retries at the root. Same vars/locks as above, plus the retry:
+  // thread 1 re-enters the root lock after reading its reply. Every edge
+  // stays mediated by the status word or the root lock — race-free.
+  EventProgram prog;
+  prog.threads = {
+      // first: combine (acquire status, read deposit) → declined root
+      // service → distribute reply.
+      {EAcquire{0}, ERead{0}, EAcquire{1}, ERead{1}, EWrite{1}, ERelease{1},
+       EWrite{2}, ERelease{0}},
+      // second: deposit → pickup → decode nack off the prior → retry the
+      // guarded op directly under the root lock.
+      {EAcquire{0}, EWrite{0}, ERelease{0}, EAcquire{0}, ERead{2},
+       ERelease{0}, EAcquire{1}, ERead{1}, EWrite{1}, ERelease{1}},
+  };
+  const auto res = explore_races(prog);
+  EXPECT_GT(res.schedules, 0u);
+  EXPECT_TRUE(res.never_racy())
+      << res.racy_schedules << " of " << res.schedules << " schedules racy";
+}
+
 TEST(DeclinedCombineModel, NakedDepositAndPickupAlwaysRaces) {
   // Control: drop the second's status-word edges. With no release/acquire
   // pair there is no cross-thread ordering at all, so every schedule must
@@ -797,6 +822,124 @@ TEST(DeclinedCombineModel, NakedDepositAndPickupAlwaysRaces) {
   EXPECT_GT(res.schedules, 0u);
   EXPECT_TRUE(res.always_racy())
       << res.racy_schedules << " of " << res.schedules << " schedules racy";
+}
+
+// --- §5.6 guarded operations through every substrate --------------------------
+
+using krs::core::dls_pack;
+using krs::core::DlsCell;
+
+// The same scripted guarded-op session (including two protocol-violating
+// nacks that must leave the cell untouched) through any backend: the
+// prior-word stream is the observable, and it must be identical.
+template <typename B>
+std::vector<Word> scripted_dls_run(B& b) {
+  const krs::workload::FileSessionPath fs;
+  typename B::Cell c(b, dls_pack({100, 0}));
+  std::vector<Word> out;
+  for (const auto& op : {fs.read(),       // closed: NACK, unchanged
+                         fs.open(),       // → open
+                         fs.read(),       //
+                         fs.append(7),    // content ← 7
+                         fs.open(),       // already open: NACK
+                         fs.close(),      // → closed
+                         fs.open()}) {    // reopen
+    out.push_back(b.fetch_rmw(c, AnyRmw(op)));
+  }
+  out.push_back(b.load(c));
+  return out;
+}
+
+TEST(BackendEquivalence, ScriptedDlsOpsAgree) {
+  AtomicBackend ab;
+  CombiningBackend cb(4);
+  FlatCombiningBackend fb(4);
+  SimBackend sb(SimBackendConfig{.log2_procs = 2});
+  const auto a = scripted_dls_run(ab);
+  EXPECT_EQ(scripted_dls_run(cb), a);
+  EXPECT_EQ(scripted_dls_run(fb), a);
+  EXPECT_EQ(scripted_dls_run(sb), a);
+  const std::vector<Word> expect{
+      dls_pack({100, 0}), dls_pack({100, 0}), dls_pack({100, 1}),
+      dls_pack({100, 1}), dls_pack({7, 1}),   dls_pack({7, 1}),
+      dls_pack({7, 0}),   dls_pack({7, 1})};
+  EXPECT_EQ(a, expect);
+}
+
+TEST(BackendEquivalence, ScriptedDlsOpsAgreeSharded) {
+  AtomicBackend ab;
+  ShardedBackend<AtomicBackend> sharded_atomic{AtomicBackend{}, 4};
+  ShardedBackend<CombiningBackend> sharded_tree{CombiningBackend{4}, 4};
+  ShardedBackend<AtomicBackend> sharded_hashed{AtomicBackend{}, 8,
+                                               ShardRouting::kHashed};
+  const auto base = scripted_dls_run(ab);
+  EXPECT_EQ(scripted_dls_run(sharded_atomic), base);
+  EXPECT_EQ(scripted_dls_run(sharded_tree), base);
+  EXPECT_EQ(scripted_dls_run(sharded_hashed), base);
+}
+
+// One DECLINED §5.6 fold, driven deterministically: two puts whose wire
+// budget is narrowed to one value slot meet at a leaf, try_compose
+// declines, and the declined second is served individually at the root —
+// its reply carries the prior it actually saw there, so the issuer's
+// succeeded() decode is exact.
+TEST(CombineTelemetry, DlsDeclinedFoldServedAtRoot) {
+  const krs::workload::ProducerConsumerPath pc;
+  const auto budget = pc.put(111).encoded_size_bytes();  // one value slot
+  MappingCombiningTree<AnyRmw> tree(8, dls_pack({0, 0}));
+  EXPECT_TRUE(Peer::precombine(tree, 4));
+  EXPECT_TRUE(Peer::precombine(tree, 2));
+  EXPECT_FALSE(Peer::precombine(tree, 1));
+  EXPECT_FALSE(Peer::precombine(tree, 4));
+  Peer::deposit_second(tree, 4,
+                       AnyRmw(pc.put(222).with_size_budget(budget)));
+  AnyRmw combined =
+      Peer::combine(tree, 4, AnyRmw(pc.put(111).with_size_budget(budget)));
+  EXPECT_EQ(tree.declined_folds_at(4), 1u);
+  combined = Peer::combine(tree, 2, std::move(combined));  // no partner
+  const Word prior = Peer::apply_at_root(tree, combined);
+  EXPECT_EQ(prior, dls_pack({0, 0}));
+  EXPECT_EQ(tree.read(), dls_pack({111, 1}));
+  Peer::distribute(tree, 2, prior);
+  Peer::distribute(tree, 4, prior);
+  // The declined second ran at the root AFTER the first: occupancy 2.
+  EXPECT_EQ(tree.read(), dls_pack({222, 2}));
+  const Word second_prior = Peer::take_result(tree, 4);
+  EXPECT_EQ(second_prior, dls_pack({111, 1}));
+  EXPECT_TRUE(pc.put(222).succeeded(second_prior));
+  const CombiningTreeStats st = tree.stats();
+  EXPECT_EQ(st.folds, 0u);
+  EXPECT_EQ(st.declined_folds, 1u);
+  EXPECT_EQ(st.root_applies, 2u);
+}
+
+// Control: the SAME two puts at the default budget (the §5.6 bound) fold
+// into one root application, and the second's reply is the decombination
+// first_map.apply(prior) — the state the second actually observed.
+TEST(CombineTelemetry, DlsFoldAtDefaultBudgetCombines) {
+  const krs::workload::ProducerConsumerPath pc;
+  MappingCombiningTree<AnyRmw> tree(8, dls_pack({0, 0}));
+  EXPECT_TRUE(Peer::precombine(tree, 4));
+  EXPECT_TRUE(Peer::precombine(tree, 2));
+  EXPECT_FALSE(Peer::precombine(tree, 1));
+  EXPECT_FALSE(Peer::precombine(tree, 4));
+  Peer::deposit_second(tree, 4, AnyRmw(pc.put(222)));
+  AnyRmw combined = Peer::combine(tree, 4, AnyRmw(pc.put(111)));
+  EXPECT_EQ(tree.declined_folds_at(4), 0u);
+  combined = Peer::combine(tree, 2, std::move(combined));
+  const Word prior = Peer::apply_at_root(tree, combined);
+  EXPECT_EQ(prior, dls_pack({0, 0}));
+  // ONE root application carried both automaton transitions.
+  EXPECT_EQ(tree.read(), dls_pack({222, 2}));
+  Peer::distribute(tree, 2, prior);
+  Peer::distribute(tree, 4, prior);
+  const Word second_prior = Peer::take_result(tree, 4);
+  EXPECT_EQ(second_prior, dls_pack({111, 1}));
+  EXPECT_TRUE(pc.put(222).succeeded(second_prior));
+  const CombiningTreeStats st = tree.stats();
+  EXPECT_EQ(st.folds, 1u);
+  EXPECT_EQ(st.declined_folds, 0u);
+  EXPECT_EQ(st.root_applies, 1u);
 }
 
 }  // namespace

@@ -1,14 +1,27 @@
 // §5.6 — data-level synchronization: guarded operations over a tagged-cell
 // automaton, closure of per-state tables under composition, the |S| bound on
-// distinct store values, and the isomorphism with the full/empty family.
+// distinct store values, the isomorphism with the full/empty family, the
+// composed success predicate, the wire-budget decline (try_compose →
+// nullopt past the §5.6 size budget), the word-packed runtime family
+// (DlsWordOp through AnyRmw), and multi-thread guarded-op conservation
+// over the atomic / combining / flat / sharded substrates.
 #include <gtest/gtest.h>
 
 #include <array>
+#include <set>
+#include <thread>
 #include <vector>
 
+#include "core/any_rmw.hpp"
 #include "core/dls.hpp"
 #include "core/full_empty.hpp"
+#include "runtime/combining_backend.hpp"
+#include "runtime/dls_service.hpp"
+#include "runtime/flat_combining.hpp"
+#include "runtime/rmw_backend.hpp"
+#include "runtime/sharded_backend.hpp"
 #include "util/rng.hpp"
+#include "workload/path_scenarios.hpp"
 
 namespace {
 
@@ -202,6 +215,317 @@ TEST(Dls, ChainEqualsSerial) {
     }
     EXPECT_EQ(combined.apply(c0), cell);
   }
+}
+
+// --- the composed success predicate ------------------------------------------
+
+// Pin of the guard-composition fix: a LEGAL composed session must report
+// succeeded() == true (compose used to zero the guard, so every combined
+// request read as a NACK regardless of outcome).
+TEST(Dls, ComposedSessionGuardReportsSuccess) {
+  using Op = DlsOp<2>;
+  const Op open = Op::guarded_load(0b01, {1, 0});
+  const Op read = Op::guarded_load(0b10, {0, 1});
+  const Op close = Op::guarded_load(0b10, {0, 0});
+  const Op session = compose(compose(open, read), close);
+  EXPECT_TRUE(session.succeeded({5, 0}));   // from closed: every step legal
+  EXPECT_FALSE(session.succeeded({5, 1}));  // from open: the open nacks
+  // The identity is unguarded, so folding it in changes no predicate.
+  EXPECT_EQ(compose(Op::identity(), session).guard(), session.guard());
+  EXPECT_EQ(compose(session, Op::identity()).guard(), session.guard());
+}
+
+// compose()'s guard must equal the chained predicate at every state:
+// the chain succeeds from c iff f admits c AND g admits f's successor.
+TEST(Dls, ComposedGuardMatchesChainedPredicate) {
+  krs::util::Xoshiro256 rng(97);
+  for (int i = 0; i < 2000; ++i) {
+    const Op4 f = random_op(rng), g = random_op(rng);
+    const Op4 fg = compose(f, g);
+    for (unsigned s = 0; s < 4; ++s) {
+      const DlsCell c{rng.below(100), static_cast<std::uint8_t>(s)};
+      EXPECT_EQ(fg.succeeded(c), f.succeeded(c) && g.succeeded(f.apply(c)));
+    }
+  }
+}
+
+// --- the §5.6 size bound and the try_compose decline -------------------------
+
+// The documented wire format, spelled out: per state one store-flag bit
+// plus next-state and store-slot indices (⌈lg |S|⌉ bits each) plus one
+// guard bit, rounded up to bytes, plus one word per distinct store value.
+TEST(Dls, EncodedSizeMatchesDocumentedFormula) {
+  // |S| = 4: 4·(1 + 2·2) + 4 = 24 bits → 3 bytes of table.
+  EXPECT_EQ(Op4::identity().encoded_size_bytes(), 3u);
+  EXPECT_EQ(Op4::guarded_store(7, 0b1111, {0, 1, 2, 3}).encoded_size_bytes(),
+            3u + sizeof(Word));
+  // |S| = 2: 2·(1 + 2·1) + 2 = 8 bits → 1 byte of table.
+  EXPECT_EQ(Op2::identity().encoded_size_bytes(), 1u);
+  EXPECT_EQ(Op2::guarded_store(7, 0b01, {1, 0}).encoded_size_bytes(),
+            1u + sizeof(Word));
+  // The §5.6 bound: a table can carry at most |S| distinct store values.
+  EXPECT_EQ(Op4::kSizeBound, 3u + 4 * sizeof(Word));
+  EXPECT_EQ(Op2::kSizeBound, 1u + 2 * sizeof(Word));
+}
+
+// §5.6's closure: at the DEFAULT budget (the |S| bound) composition is
+// total — the composed table has one row per state, so it can never carry
+// more than |S| distinct values, and try_compose never declines.
+TEST(Dls, TryComposeTotalAtDefaultBudget) {
+  krs::util::Xoshiro256 rng(101);
+  for (int trial = 0; trial < 500; ++trial) {
+    Op4 acc = Op4::identity();
+    const int n = 1 + static_cast<int>(rng.below(8));
+    for (int i = 0; i < n; ++i) {
+      const auto r = try_compose(acc, random_op(rng));
+      ASSERT_TRUE(r.has_value());
+      acc = *r;
+      EXPECT_LE(acc.encoded_size_bytes(), Op4::kSizeBound);
+    }
+  }
+}
+
+// A switch whose wire format is NARROWER than the bound declines the
+// fold once the composed table would overflow it — the negative half of
+// the §7 partial-combining contract (the declined second is then served
+// individually at the root; test_backends.cpp drives that end).
+TEST(Dls, TryComposeDeclinesPastNarrowedBudget) {
+  // Stores on DISJOINT chased paths, so the composed table really carries
+  // two distinct values: a stores from state 0 (landing where b keeps),
+  // b stores from state 2 (where a keeps).
+  const Op4 a = Op4::guarded_store(11, 0b0001, {1, 0, 0, 0});
+  const Op4 b = Op4::guarded_store(22, 0b0100, {0, 0, 3, 0});
+  ASSERT_EQ(compose(a, b).distinct_store_values(), 2u);
+  const std::size_t one_value = a.encoded_size_bytes();
+  // Composing two distinct-value stores needs two value slots: decline.
+  EXPECT_FALSE(try_compose(a.with_size_budget(one_value),
+                           b.with_size_budget(one_value))
+                   .has_value());
+  // The SAME pair at the default budget combines (and matches compose).
+  const auto full = try_compose(a, b);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, compose(a, b));
+  // The budget is the MEET of the operands: one narrow side declines.
+  EXPECT_FALSE(try_compose(a, b.with_size_budget(one_value)).has_value());
+  // Same-value stores still fit one slot even at the narrow budget.
+  const Op4 b_same = Op4::guarded_store(11, 0b0100, {0, 0, 3, 0});
+  EXPECT_TRUE(try_compose(a.with_size_budget(one_value),
+                          b_same.with_size_budget(one_value))
+                  .has_value());
+}
+
+// --- the word-packed runtime family ------------------------------------------
+
+TEST(DlsWord, PackUnpackRoundTrip) {
+  krs::util::Xoshiro256 rng(103);
+  for (int i = 0; i < 1000; ++i) {
+    const DlsCell c{rng.below(kDlsValueLimit),
+                    static_cast<std::uint8_t>(rng.below(16))};
+    EXPECT_EQ(dls_unpack(dls_pack(c)), c);
+  }
+}
+
+// DlsWordOp::from(f) must mirror f on packed words: same transitions,
+// same success predicate, same composition, same encoded size.
+TEST(DlsWord, WordOpMirrorsTypedOp) {
+  krs::util::Xoshiro256 rng(107);
+  for (int i = 0; i < 1000; ++i) {
+    const Op4 f = random_op(rng), g = random_op(rng);
+    const DlsWordOp wf = DlsWordOp::from(f), wg = DlsWordOp::from(g);
+    for (unsigned s = 0; s < 4; ++s) {
+      const DlsCell c{rng.below(100), static_cast<std::uint8_t>(s)};
+      EXPECT_EQ(wf.apply(dls_pack(c)), dls_pack(f.apply(c)));
+      EXPECT_EQ(wf.succeeded(dls_pack(c)), f.succeeded(c));
+    }
+    EXPECT_EQ(compose(wf, wg), DlsWordOp::from(compose(f, g)));
+    EXPECT_EQ(compose(wf, wg).guard(), compose(f, g).guard());
+    EXPECT_EQ(wf.encoded_size_bytes(), f.encoded_size_bytes());
+  }
+}
+
+TEST(DlsWord, UniversalIdentityAbsorbs) {
+  const DlsWordOp id = DlsWordOp::identity();
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_EQ(id.apply(12345), 12345u);
+  EXPECT_TRUE(id.succeeded(0xFFu));
+  const DlsWordOp f = DlsWordOp::guarded_store(3, 7, 0b001, {1, 0, 2});
+  EXPECT_EQ(compose(id, f), f);
+  EXPECT_EQ(compose(f, id), f);
+  ASSERT_TRUE(try_compose(id, f).has_value());
+  EXPECT_EQ(*try_compose(id, f), f);
+}
+
+TEST(DlsWord, DeclinesAcrossDistinctAutomataAndBudgets) {
+  const DlsWordOp two = DlsWordOp::guarded_load(2, 0b01, {1, 0});
+  const DlsWordOp three = DlsWordOp::guarded_load(3, 0b001, {1, 0, 2});
+  // Different state counts = different automata: tables don't compose.
+  EXPECT_FALSE(try_compose(two, three).has_value());
+  // Budget decline, mirroring the typed family: disjoint-path stores so
+  // the composed table carries two distinct values.
+  const DlsWordOp a = DlsWordOp::guarded_store(3, 11, 0b001, {1, 0, 0});
+  const DlsWordOp b = DlsWordOp::guarded_store(3, 22, 0b100, {0, 0, 2});
+  ASSERT_EQ(compose(a, b).distinct_store_values(), 2u);
+  const auto narrow = a.encoded_size_bytes();
+  EXPECT_FALSE(try_compose(a.with_size_budget(narrow),
+                           b.with_size_budget(narrow))
+                   .has_value());
+  EXPECT_TRUE(try_compose(a, b).has_value());
+}
+
+// Through AnyRmw: the family combines with itself, declines cross-family,
+// and the §7 switch sees exactly the family's decline rule.
+TEST(DlsWord, AnyRmwCarriesTheFamily) {
+  const DlsWordOp put = DlsWordOp::guarded_store(3, 7, 0b011, {1, 2, 2});
+  const AnyRmw any(put);
+  EXPECT_TRUE(any.holds<DlsWordOp>());
+  EXPECT_EQ(any.apply(dls_pack({0, 0})), put.apply(dls_pack({0, 0})));
+  EXPECT_EQ(any.encoded_size_bytes(), 1 + put.encoded_size_bytes());
+  EXPECT_TRUE(try_compose(any, AnyRmw(put)).has_value());
+  EXPECT_FALSE(try_compose(any, AnyRmw(FetchAdd(1))).has_value());
+}
+
+// --- multi-thread guarded-op conservation over the substrates ----------------
+
+// The producer/consumer path `put (put get)* get` hammered from 2/4/8
+// threads: acked puts minus acked gets equals the final occupancy (the
+// automaton state), every got value was some acked put's value, and the
+// host's ack/nack ledger accounts for every issue. Mirrors the
+// hotspot-ticket pattern: same workload, every substrate, same invariants.
+template <typename B>
+void guarded_conservation(B backend) {
+  const krs::workload::ProducerConsumerPath pc;
+  for (const unsigned nt : {2u, 4u, 8u}) {
+    B b = backend;
+    krs::runtime::DlsHost<B> host(b);
+    constexpr unsigned kPer = 300;
+    std::vector<std::vector<Word>> put_acked(nt), got(nt);
+    {
+      std::vector<std::thread> ts;
+      ts.reserve(nt);
+      for (unsigned t = 0; t < nt; ++t) {
+        ts.emplace_back([&, t] {
+          for (unsigned i = 0; i < kPer; ++i) {
+            if ((i + t) % 2 == 0) {
+              const Word v = t * 100000 + i + 1;
+              if (host.issue(pc.put(v)).ok) put_acked[t].push_back(v);
+            } else {
+              const auto r = host.issue(pc.get());
+              if (r.ok) got[t].push_back(r.prior.value);
+            }
+          }
+        });
+      }
+      for (auto& th : ts) th.join();
+    }
+    std::uint64_t puts = 0, gets = 0;
+    std::set<Word> put_values;
+    for (const auto& v : put_acked) {
+      puts += v.size();
+      put_values.insert(v.begin(), v.end());
+    }
+    for (const auto& v : got) gets += v.size();
+    const DlsCell end = host.snapshot();
+    ASSERT_LE(end.state, 2u);
+    EXPECT_EQ(puts - gets, end.state) << "occupancy is acked puts - gets";
+    for (const auto& v : got) {
+      for (const Word w : v) {
+        EXPECT_TRUE(put_values.count(w)) << "got a value nobody put: " << w;
+      }
+    }
+    EXPECT_EQ(host.acks(), puts + gets);
+    EXPECT_EQ(host.acks() + host.nacks(),
+              static_cast<std::uint64_t>(nt) * kPer);
+  }
+}
+
+TEST(DlsMt, GuardedConservationAtomic) {
+  guarded_conservation(krs::runtime::AtomicBackend{});
+}
+
+TEST(DlsMt, GuardedConservationCombining) {
+  guarded_conservation(krs::runtime::CombiningBackend{8});
+}
+
+TEST(DlsMt, GuardedConservationFlat) {
+  guarded_conservation(krs::runtime::FlatCombiningBackend{8});
+}
+
+TEST(DlsMt, GuardedConservationShardedPinnedRoute) {
+  // A DLS cell is ONE automaton — its state tag cannot stripe across
+  // shards. Pinning every thread's route key sends all guarded ops to the
+  // same inner cell; the other shards stay at packed 0, so the sum-
+  // aggregated load still reads the automaton's word exactly.
+  using Sharded = krs::runtime::ShardedBackend<krs::runtime::AtomicBackend>;
+  const krs::workload::ProducerConsumerPath pc;
+  Sharded b{krs::runtime::AtomicBackend{}, 4};
+  krs::runtime::DlsHost<Sharded> host(b);
+  constexpr unsigned kThreads = 4, kPer = 300;
+  std::vector<std::vector<Word>> put_acked(kThreads), got(kThreads);
+  {
+    std::vector<std::thread> ts;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&, t] {
+        const krs::runtime::ScopedRouteKey pin(7);  // same shard for all
+        for (unsigned i = 0; i < kPer; ++i) {
+          if ((i + t) % 2 == 0) {
+            const Word v = t * 100000 + i + 1;
+            if (host.issue(pc.put(v)).ok) put_acked[t].push_back(v);
+          } else {
+            const auto r = host.issue(pc.get());
+            if (r.ok) got[t].push_back(r.prior.value);
+          }
+        }
+      });
+    }
+    for (auto& th : ts) th.join();
+  }
+  std::uint64_t puts = 0, gets = 0;
+  for (const auto& v : put_acked) puts += v.size();
+  for (const auto& v : got) gets += v.size();
+  const krs::runtime::ScopedRouteKey pin(7);
+  const DlsCell end = host.snapshot();
+  EXPECT_EQ(puts - gets, end.state);
+  EXPECT_EQ(host.acks() + host.nacks(),
+            static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+// Whole sessions of the 2-state file path at 2/4/8 threads: only the
+// open is contended (retry on nack), the held session's steps cannot
+// nack, and every opened session closes — the file ends closed and the
+// ack ledger is exactly four per session.
+template <typename B>
+void session_conservation(B backend) {
+  const krs::workload::FileSessionPath fs;
+  for (const unsigned nt : {2u, 4u, 8u}) {
+    B b = backend;
+    krs::runtime::DlsHost<B> host(b);
+    constexpr unsigned kSessions = 40;
+    {
+      std::vector<std::thread> ts;
+      ts.reserve(nt);
+      for (unsigned t = 0; t < nt; ++t) {
+        ts.emplace_back([&, t] {
+          for (unsigned k = 0; k < kSessions; ++k) {
+            ASSERT_TRUE(host.issue_until(fs.open(), 1u << 22).has_value());
+            EXPECT_TRUE(host.issue(fs.read()).ok);
+            EXPECT_TRUE(host.issue(fs.append(t * 1000 + k)).ok);
+            EXPECT_TRUE(host.issue(fs.close()).ok);
+          }
+        });
+      }
+      for (auto& th : ts) th.join();
+    }
+    EXPECT_EQ(host.snapshot().state, 0u) << "every open must have closed";
+    EXPECT_EQ(host.acks(), 4ull * nt * kSessions);
+  }
+}
+
+TEST(DlsMt, FileSessionsAtomic) {
+  session_conservation(krs::runtime::AtomicBackend{});
+}
+
+TEST(DlsMt, FileSessionsCombining) {
+  session_conservation(krs::runtime::CombiningBackend{8});
 }
 
 }  // namespace

@@ -72,7 +72,8 @@ LOAD_CLIENTS="${KRS_LOAD_CLIENTS:-1048576}"
 LOAD_SECONDS="${KRS_LOAD_SECONDS:-5}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-COMBINING_BENCHES=(bench_combining_tree bench_coordination bench_flat_vs_tree)
+COMBINING_BENCHES=(bench_combining_tree bench_coordination bench_flat_vs_tree
+                   bench_dls)
 MACHINE_BENCHES=(bench_machine)
 SHARDED_BENCHES=(bench_sharded)
 LOCK_BENCHES=(bench_lock_tier)
@@ -120,7 +121,7 @@ run_group() {
 }
 
 run_group "$OUT" \
-  "lockfree_vs_blocking_ops_ratio,combining_vs_atomic_ops_ratio,sim_cycles_per_op,sim_cycles_per_op:counter_scale/k=6,sim_cycles_per_op:counter_scale/k=10,sim_cycles_per_op:combine=0,sim_cycles_per_op:combine=1,sim_cycles_per_op:scenario_hotspot,sim_cycles_per_op:scenario_bursty,sim_cycles_per_op:scenario_closed,flat_vs_tree_ops_ratio" \
+  "lockfree_vs_blocking_ops_ratio,combining_vs_atomic_ops_ratio,sim_cycles_per_op,sim_cycles_per_op:counter_scale/k=6,sim_cycles_per_op:counter_scale/k=10,sim_cycles_per_op:combine=0,sim_cycles_per_op:combine=1,sim_cycles_per_op:scenario_hotspot,sim_cycles_per_op:scenario_bursty,sim_cycles_per_op:scenario_closed,flat_vs_tree_ops_ratio,dls_combine_rate,dls_combine_rate:combining/,dls_combine_rate:budget=narrow,dls_nack_rate,dls_nack_rate:atomic/,dls_nack_rate:flat/" \
   "${COMBINING_BENCHES[@]}"
 run_group "$MACHINE_OUT" "machine_parallel_speedup" "${MACHINE_BENCHES[@]}"
 run_group "$SHARDED_OUT" \
